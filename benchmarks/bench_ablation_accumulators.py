@@ -1,0 +1,99 @@
+"""Ablation — accumulator micro-costs on controlled ER rows (paper §5).
+
+Isolates the accumulator choice on one fixed problem shape (everything else
+— expansion, mask, semiring — identical), plus the hash load-factor
+sensitivity the paper fixes at 0.25 and the reference-vs-vectorized tier
+gap that motivates the two-tier design of this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit
+from repro import Mask, masked_spgemm
+from repro.accumulators.hash_acc import HashAccumulator, table_capacity
+from repro.bench import render_table, time_callable
+from repro.core import display_name
+from repro.graphs import erdos_renyi
+
+ALGOS = ("msa", "hash", "mca", "heap", "heapdot", "inner")
+
+
+def problem(n=1 << 10, d_in=8, d_m=8, seed=50):
+    A = erdos_renyi(n, d_in, rng=seed)
+    B = erdos_renyi(n, d_in, rng=seed + 1)
+    M = erdos_renyi(n, d_m, rng=seed + 2)
+    return A, B, Mask.from_matrix(M)
+
+
+def main() -> None:
+    emit("[Ablation: accumulators] one problem, six accumulators")
+    A, B, mask = problem()
+    rows = []
+    for alg in ALGOS:
+        t = time_callable(lambda a=alg: masked_spgemm(A, B, mask, algorithm=a),
+                          repeats=2, warmup=1)
+        rows.append([display_name(alg, 1), t * 1e3])
+    emit(render_table(["scheme", "time (ms)"], rows))
+
+    emit("\n[Ablation: hash load factor] paper fixes LF=0.25; sweep it")
+    lf_rows = []
+    rng = np.random.default_rng(3)
+    keys = rng.choice(1 << 20, size=256, replace=False)
+    for lf in (0.9, 0.5, 0.25, 0.125):
+        def run(lf=lf):
+            acc = HashAccumulator(keys.size, load_factor=lf)
+            for k in keys:
+                acc.set_allowed(int(k))
+            for k in keys:
+                acc.insert(int(k), 1.0)
+            for k in keys:
+                acc.remove(int(k))
+        t = time_callable(run, repeats=2, warmup=1)
+        lf_rows.append([lf, table_capacity(keys.size, lf), t * 1e3])
+    emit(render_table(["load factor", "capacity", "time (ms)"], lf_rows))
+
+    emit("\n[Ablation: tiers] vectorized vs reference (pure-Python) kernel")
+    A2, B2, mask2 = problem(n=256, seed=60)
+    tier_rows = []
+    for alg in ("msa", "hash"):
+        tv = time_callable(lambda a=alg: masked_spgemm(A2, B2, mask2,
+                                                       algorithm=a),
+                           repeats=2, warmup=1)
+        tr = time_callable(lambda a=alg: masked_spgemm(A2, B2, mask2,
+                                                       algorithm=a,
+                                                       tier="reference"),
+                           repeats=1, warmup=0)
+        tier_rows.append([display_name(alg, 1), tv * 1e3, tr * 1e3, tr / tv])
+    emit(render_table(["scheme", "vectorized (ms)", "reference (ms)",
+                       "ratio"], tier_rows))
+
+
+# ----------------------------------------------------------------------- #
+def test_accumulator_msa(benchmark, density_problem):
+    A, B, mask = density_problem
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="msa"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_accumulator_hash(benchmark, density_problem):
+    A, B, mask = density_problem
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="hash"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_accumulator_mca(benchmark, density_problem):
+    A, B, mask = density_problem
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="mca"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_accumulator_heap(benchmark, density_problem):
+    A, B, mask = density_problem
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="heap"),
+                       rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

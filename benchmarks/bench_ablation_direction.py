@@ -1,0 +1,69 @@
+"""Ablation — push vs pull vs direction-optimized traversal (paper §4).
+
+The paper grounds its Masked-SpGEMM taxonomy in the direction-optimized BFS
+of Beamer/Yang ([5], [38]): push work tracks the frontier, pull work tracks
+the unvisited (masked) set, and the right choice flips mid-traversal. This
+ablation times full BFS runs with the direction forced each way against the
+per-level work-estimate switch, on the two graph shapes that disagree about
+the answer (hub-heavy R-MAT vs high-diameter mesh).
+"""
+
+from __future__ import annotations
+
+from common import emit
+from repro.algorithms.direction_bfs import direction_optimized_bfs
+from repro.bench import render_table, time_callable
+from repro.graphs import grid_graph, rmat
+from repro.graphs.prep import to_undirected_simple
+
+GRAPHS = {
+    "rmat-s11-e16 (hubs)": lambda: to_undirected_simple(rmat(11, 16, rng=77)),
+    "grid-40x40 (mesh)": lambda: grid_graph(40),
+}
+
+
+def main() -> None:
+    emit("[Ablation: direction] push vs pull vs optimized BFS (paper §4 roots)")
+    emit("expectation: pull pays off on hub graphs after the frontier "
+         "explodes; meshes favour push almost throughout\n")
+    rows = []
+    for name, make in GRAPHS.items():
+        g = make()
+        times = {}
+        for mode in ("push", "pull", None):
+            label = mode or "auto"
+            times[label] = time_callable(
+                lambda m=mode: direction_optimized_bfs(g, 0, force=m),
+                repeats=2, warmup=1)
+        res = direction_optimized_bfs(g, 0)
+        switch = (res.directions.index("pull")
+                  if "pull" in res.directions else "-")
+        rows.append([name, times["push"] * 1e3, times["pull"] * 1e3,
+                     times["auto"] * 1e3, len(res.directions), switch])
+    emit(render_table(
+        ["graph", "push-only (ms)", "pull-only (ms)", "auto (ms)",
+         "levels", "first pull level"], rows))
+    emit("\n('first pull level' = '-' means the optimizer never left push)")
+
+
+# ----------------------------------------------------------------------- #
+def test_bfs_push_only(benchmark):
+    g = to_undirected_simple(rmat(10, 16, rng=78))
+    benchmark.pedantic(lambda: direction_optimized_bfs(g, 0, force="push"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_bfs_pull_only(benchmark):
+    g = to_undirected_simple(rmat(10, 16, rng=78))
+    benchmark.pedantic(lambda: direction_optimized_bfs(g, 0, force="pull"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_bfs_direction_optimized(benchmark):
+    g = to_undirected_simple(rmat(10, 16, rng=78))
+    benchmark.pedantic(lambda: direction_optimized_bfs(g, 0),
+                       rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Ablation — the hybrid per-row dispatcher vs fixed kernels (§9 extension).
+
+The paper leaves hybrid algorithms as future work; this bench evaluates our
+implementation on a workload engineered to have *heterogeneous rows*: one
+block of rows where pull wins (hub A-rows with sparse mask rows), one where
+heap wins (near-empty A-rows under a dense mask), one where MSA wins
+(balanced). A fixed kernel must compromise somewhere; the hybrid should
+track the per-block winner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit
+from repro import Mask, masked_spgemm
+from repro.bench import render_table, time_callable
+from repro.core import display_name
+from repro.core.hybrid_kernel import classify_rows
+from repro.sparse import COOMatrix, csr_random
+from repro.validation import INDEX_DTYPE
+
+ALGOS = ("msa", "hash", "heap", "inner", "hybrid")
+
+
+def heterogeneous_workload(n=1 << 11, seed=123):
+    rng = np.random.default_rng(seed)
+    third = n // 3
+    rows, cols = [], []
+    # block 1: hub rows (256 nnz each) -> pull-friendly with sparse masks
+    for i in range(third):
+        cs = rng.choice(n, size=256, replace=False)
+        rows += [i] * 256
+        cols += cs.tolist()
+    # block 2: near-empty rows (1 nnz) -> heap-friendly under dense masks
+    for i in range(third, 2 * third):
+        rows += [i]
+        cols += [int(rng.integers(0, n))]
+    # block 3: balanced rows (8 nnz)
+    for i in range(2 * third, n):
+        cs = rng.choice(n, size=8, replace=False)
+        rows += [i] * 8
+        cols += cs.tolist()
+    A = COOMatrix(np.array(rows), np.array(cols), np.ones(len(rows)),
+                  (n, n)).to_csr()
+    B = csr_random(n, n, nnz=8 * n, rng=rng)
+    # mask: sparse rows over block 1, dense rows over block 2, medium block 3
+    mrows, mcols = [], []
+    for i in range(third):
+        mrows += [i] * 2
+        mcols += rng.choice(n, size=2, replace=False).tolist()
+    for i in range(third, 2 * third):
+        mrows += [i] * 128
+        mcols += rng.choice(n, size=128, replace=False).tolist()
+    for i in range(2 * third, n):
+        mrows += [i] * 8
+        mcols += rng.choice(n, size=8, replace=False).tolist()
+    M = COOMatrix(np.array(mrows), np.array(mcols), np.ones(len(mrows)),
+                  (n, n)).to_csr()
+    return A, B, Mask.from_matrix(M)
+
+
+def main() -> None:
+    emit("[Ablation: hybrid] per-row dispatch vs fixed kernels")
+    emit("workload: 1/3 hub rows + sparse mask (pull), 1/3 empty-ish rows + "
+         "dense mask (heap), 1/3 balanced (msa)\n")
+    A, B, mask = heterogeneous_workload()
+    cls = classify_rows(A, B, mask, np.arange(A.nrows, dtype=INDEX_DTYPE))
+    unique, counts = np.unique(cls, return_counts=True)
+    names = {0: "msa", 1: "heap", 2: "inner"}
+    emit(f"hybrid row assignment: "
+         f"{ {names[int(u)]: int(c) for u, c in zip(unique, counts)} }\n")
+    rows = []
+    times = {}
+    for alg in ALGOS:
+        t = time_callable(lambda a=alg: masked_spgemm(A, B, mask, algorithm=a),
+                          repeats=2, warmup=1)
+        times[alg] = t
+        rows.append([display_name(alg, 1), t * 1e3])
+    emit(render_table(["scheme", "time (ms)"], rows))
+    best_fixed = min(t for a, t in times.items() if a != "hybrid")
+    emit(f"\nhybrid vs best fixed kernel: "
+         f"{times['hybrid'] / best_fixed:.2f}x "
+         f"(< 1 means the future-work hybrid pays off)")
+
+
+# ----------------------------------------------------------------------- #
+def test_hybrid_heterogeneous(benchmark):
+    A, B, mask = heterogeneous_workload(n=1 << 10)
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="hybrid"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_fixed_msa_heterogeneous(benchmark):
+    A, B, mask = heterogeneous_workload(n=1 << 10)
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="msa"),
+                       rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Ablation — the Heap NInspect parameter (paper §5.5, Algorithm 5).
+
+NInspect bounds mask inspection per heap push: 0 = never inspect (base
+algorithm), 1 = peek one mask element (the paper's Heap), ∞ = scan to
+certainty (HeapDot). The tradeoff: inspection work vs wasted heap pushes
+for masked-out products. The paper evaluates 1 and ∞; this ablation sweeps
+the *reference* implementation (which implements the literal Algorithm 5
+loop) across 0/1/4/∞ on masks of varying density, plus the vectorized
+Heap-vs-HeapDot pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit
+from repro import Mask, masked_spgemm
+from repro.accumulators import HeapMerger, RowIterator
+from repro.accumulators.heap_acc import INSPECT_ALL
+from repro.bench import render_table, time_callable
+from repro.graphs import erdos_renyi
+from repro.semiring import PLUS_TIMES
+
+NINSPECTS = (0, 1, 4, INSPECT_ALL)
+
+
+def reference_heap_row_bench(n=4096, n_rows_in_u=24, row_len=24, mask_len=64,
+                             seed=0):
+    """One masked SpGEVM via the literal Algorithm 4/5 machinery."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in range(n_rows_in_u):
+        cols = np.sort(rng.choice(n, size=row_len, replace=False))
+        rows.append((cols, rng.random(row_len), float(rng.integers(1, 4)), k))
+    m_cols = np.sort(rng.choice(n, size=mask_len, replace=False))
+
+    def run(ninspect):
+        iters = [RowIterator(c, v, s, k) for c, v, s, k in rows]
+        HeapMerger(PLUS_TIMES, ninspect=ninspect).merge(m_cols, iters)
+
+    return run
+
+
+def main() -> None:
+    emit("[Ablation: NInspect] mask inspection budget for heap pushes")
+    emit("paper evaluates NInspect ∈ {1, ∞}; complement forces 0\n")
+    rows = []
+    for mask_len in (16, 64, 256, 1024):
+        run = reference_heap_row_bench(mask_len=mask_len)
+        times = []
+        for ni in NINSPECTS:
+            t = time_callable(lambda ni=ni: run(ni), repeats=3, warmup=1)
+            times.append(t * 1e3)
+        label = [f"nnz(m)={mask_len}"] + times
+        rows.append(label)
+    emit(render_table(["row config", "NInspect=0 (ms)", "NInspect=1 (ms)",
+                       "NInspect=4 (ms)", "NInspect=inf (ms)"], rows))
+
+    emit("\nvectorized Heap (sort-then-filter) vs HeapDot (filter-then-sort):")
+    v_rows = []
+    for d_m in (1, 8, 64):
+        A = erdos_renyi(1 << 10, 8, rng=70)
+        B = erdos_renyi(1 << 10, 8, rng=71)
+        mask = Mask.from_matrix(erdos_renyi(1 << 10, d_m, rng=72))
+        th = time_callable(lambda: masked_spgemm(A, B, mask, algorithm="heap"),
+                           repeats=2, warmup=1)
+        td = time_callable(lambda: masked_spgemm(A, B, mask,
+                                                 algorithm="heapdot"),
+                           repeats=2, warmup=1)
+        v_rows.append([f"deg(M)={d_m}", th * 1e3, td * 1e3, td / th])
+    emit(render_table(["mask density", "Heap (ms)", "HeapDot (ms)",
+                       "HeapDot/Heap"], v_rows))
+
+
+# ----------------------------------------------------------------------- #
+def test_ninspect_1_reference(benchmark):
+    run = reference_heap_row_bench()
+    benchmark.pedantic(lambda: run(1), rounds=3, warmup_rounds=1)
+
+
+def test_ninspect_inf_reference(benchmark):
+    run = reference_heap_row_bench()
+    benchmark.pedantic(lambda: run(INSPECT_ALL), rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Figure 7 — best algorithm per (mask degree × input degree) cell.
+
+Paper: Erdős-Rényi inputs, dimensions 2^12-2^22, mask degree 1-1024 (x axis)
+vs input degree 1-128 (y axis); each cell colored by the winning scheme.
+Findings to reproduce (§8.1):
+
+* mask ≪ inputs → **Inner** wins;
+* inputs ≪ mask → **Heap/HeapDot** win;
+* comparable density → **MSA/Hash** win (MSA on smaller, Hash on larger
+  matrices).
+
+Scaled grid: n = 2^10 (with a 2^8 and a 2^12 row to show the size effect),
+mask degrees {1,4,16,64,256}, input degrees {1,2,4,8,16,32}.
+
+``main()`` prints the winner grid; pytest-benchmark times the three regime
+corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, tc_runner
+from repro import Mask, masked_spgemm
+from repro.bench import render_table, time_callable
+from repro.core import display_name
+from repro.graphs import erdos_renyi
+
+ALGOS = ("inner", "hash", "msa", "mca", "heap", "heapdot")
+
+MASK_DEGREES = (1, 4, 16, 64, 256)
+INPUT_DEGREES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def make_cell(n: int, d_in: float, d_m: float, seed: int = 0):
+    A = erdos_renyi(n, d_in, rng=seed * 3 + 1)
+    B = erdos_renyi(n, d_in, rng=seed * 3 + 2)
+    M = erdos_renyi(n, d_m, rng=seed * 3 + 3)
+    return A, B, Mask.from_matrix(M)
+
+
+def best_algorithm(n: int, d_in: float, d_m: float, repeats: int = 2) -> str:
+    A, B, mask = make_cell(n, d_in, d_m)
+    best, best_t = None, float("inf")
+    for alg in ALGOS:
+        t = time_callable(lambda a=alg: masked_spgemm(A, B, mask, algorithm=a),
+                          repeats=repeats, warmup=1)
+        if t < best_t:
+            best, best_t = alg, t
+    return best
+
+
+def winner_grid(n: int, repeats: int = 2) -> str:
+    rows = []
+    for d_in in INPUT_DEGREES:
+        row = [d_in]
+        for d_m in MASK_DEGREES:
+            row.append(display_name(best_algorithm(n, d_in, d_m, repeats), 1)
+                       .replace("-1P", ""))
+        rows.append(row)
+    headers = ["deg(A,B) \\ deg(M)"] + [str(d) for d in MASK_DEGREES]
+    return render_table(headers, rows)
+
+
+def main() -> None:
+    emit("[Figure 7] Best scheme vs mask/input density (ER graphs)")
+    emit("paper: Inner when mask ≪ inputs; Heap when inputs ≪ mask; "
+         "MSA/Hash in between (MSA small n, Hash large n)\n")
+    for n_exp in (8, 10, 12):
+        emit(f"--- dimension 2^{n_exp} x 2^{n_exp} ---")
+        emit(winner_grid(1 << n_exp))
+        emit("")
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark: the three regime corners at n = 2^10
+# ----------------------------------------------------------------------- #
+def test_sparse_mask_regime_inner(benchmark):
+    """mask ≪ inputs: Inner's home turf."""
+    A, B, mask = make_cell(1 << 10, 16, 1)
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="inner"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_dense_mask_regime_heap(benchmark):
+    """inputs ≪ mask: Heap's home turf."""
+    A, B, mask = make_cell(1 << 10, 2, 128)
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="heap"),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_balanced_regime_msa(benchmark):
+    """comparable densities: MSA's home turf."""
+    A, B, mask = make_cell(1 << 10, 8, 8)
+    benchmark.pedantic(lambda: masked_spgemm(A, B, mask, algorithm="msa"),
+                       rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

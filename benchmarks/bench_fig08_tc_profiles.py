@@ -1,0 +1,57 @@
+"""Figure 8 — Triangle Counting performance profiles of our 12 variants.
+
+Paper: Dolan-Moré profiles over 26 real graphs for the 12 proposed schemes
+(6 algorithms × {1P, 2P}). Findings to reproduce (§8.2):
+
+* **MSA-1P** best overall ("outperforming all other algorithms for 65% of
+  the test cases"), **MCA-1P** second;
+* Inner and Hash next; Heap/HeapDot worst;
+* every 1P variant beats its own 2P variant.
+
+``main()`` runs the full suite × 12 schemes and prints the profile table;
+pytest-benchmark times the two headline schemes on one suite graph.
+"""
+
+from __future__ import annotations
+
+from common import OUR_SCHEMES, emit, tc_grid_over_suite, tc_runner
+from repro.bench import performance_profile, render_profile
+
+
+def main() -> None:
+    emit("[Figure 8] Triangle Counting: performance profiles, our 12 schemes")
+    emit("paper: MSA-1P best (~65% of cases), then MCA-1P; 1P beats 2P; "
+         "heap-based worst\n")
+    grid = tc_grid_over_suite(OUR_SCHEMES, repeats=1)
+    prof = performance_profile(grid.times)
+    emit(render_profile("TC, all suite graphs, 12 schemes", prof))
+    one_p = [s for s in prof.ranking() if s.endswith("-1P")]
+    emit(f"\nranking (best first): {', '.join(prof.ranking())}")
+    emit(f"best 1P scheme: {one_p[0]}")
+
+
+# ----------------------------------------------------------------------- #
+def test_tc_msa_1p(benchmark, tc_medium):
+    L, mask = tc_medium
+    benchmark.pedantic(tc_runner(L, mask, "msa", 1), rounds=3, warmup_rounds=1)
+
+
+def test_tc_mca_1p(benchmark, tc_medium):
+    L, mask = tc_medium
+    benchmark.pedantic(tc_runner(L, mask, "mca", 1), rounds=3, warmup_rounds=1)
+
+
+def test_tc_msa_2p(benchmark, tc_medium):
+    """2P overhead visible against test_tc_msa_1p."""
+    L, mask = tc_medium
+    benchmark.pedantic(tc_runner(L, mask, "msa", 2), rounds=3, warmup_rounds=1)
+
+
+def test_tc_heap_1p(benchmark, tc_medium):
+    """The paper's worst family on TC."""
+    L, mask = tc_medium
+    benchmark.pedantic(tc_runner(L, mask, "heap", 1), rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

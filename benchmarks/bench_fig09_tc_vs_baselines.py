@@ -1,0 +1,72 @@
+"""Figure 9 — Triangle Counting: our best three vs SuiteSparse baselines.
+
+Paper: MSA-1P / Hash-1P / MCA-1P against SS:SAXPY and SS:DOT; "all our
+algorithms outperform SS:GB algorithms in almost all cases".
+
+Our baselines are algorithmic stand-ins (DESIGN.md): ``saxpy`` multiplies
+then masks (wasting the flops masking should save), ``saxpy-scipy`` does the
+same through scipy's compiled SpGEMM (a *stronger* absolute baseline), and
+``dot`` is pull-based with a per-call transpose of B. The reproducible claim
+is that mask-aware kernels beat multiply-then-mask of the *same* kernel
+quality — i.e. ours vs ``saxpy``/``dot``; ``saxpy-scipy`` is reported to
+show where compiled-vs-Python constants, not algorithmics, dominate.
+"""
+
+from __future__ import annotations
+
+from common import emit, tc_grid_over_suite, tc_runner
+from repro.bench import performance_profile, render_profile
+
+BEST_OURS = [("msa", 1), ("hash", 1), ("mca", 1)]
+
+
+def main() -> None:
+    emit("[Figure 9] Triangle Counting: best-3 ours vs SS:GB baselines")
+    emit("paper: ours beat SS:SAXPY / SS:DOT in almost all cases\n")
+    grid = tc_grid_over_suite(BEST_OURS, repeats=1, include_baselines=True)
+
+    # primary comparison: same implementation tier (python/numpy kernels) —
+    # this isolates the *algorithmic* claim the paper makes
+    same_tier = {k: v for k, v in grid.times.items()
+                 if k != "SS:SAXPY*(scipy)"}
+    prof = performance_profile(same_tier)
+    emit(render_profile("TC: ours vs same-tier baselines", prof))
+    emit(f"\nranking (best first): {', '.join(prof.ranking())}")
+
+    # secondary: the compiled scipy multiply-then-mask. It wins on raw
+    # constants (C vs numpy-batch Python), which is an implementation-tier
+    # statement, not an algorithmic one — report the gap for transparency.
+    import numpy as np
+
+    scipy_t = grid.times.get("SS:SAXPY*(scipy)", {})
+    best_label = prof.ranking()[0]
+    ratios = [grid.times[best_label][c] / scipy_t[c]
+              for c in scipy_t if c in grid.times.get(best_label, {})]
+    if ratios:
+        emit(f"\ncompiled reference point: scipy multiply-then-mask is "
+             f"{np.median(ratios):.1f}x faster than our best Python kernel "
+             f"(median over suite) — the constant-factor gap a C backend "
+             f"would close; the paper's own comparison is C++ vs C.")
+
+
+# ----------------------------------------------------------------------- #
+def test_tc_ours_msa(benchmark, tc_small):
+    L, mask = tc_small
+    benchmark.pedantic(tc_runner(L, mask, "msa", 1), rounds=3, warmup_rounds=1)
+
+
+def test_tc_baseline_saxpy(benchmark, tc_small):
+    """Multiply-then-mask: the work the mask-aware kernels avoid."""
+    L, mask = tc_small
+    benchmark.pedantic(tc_runner(L, mask, "saxpy", 1), rounds=3,
+                       warmup_rounds=1)
+
+
+def test_tc_baseline_dot(benchmark, tc_small):
+    """Pull baseline paying a per-call transpose of B."""
+    L, mask = tc_small
+    benchmark.pedantic(tc_runner(L, mask, "dot", 1), rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

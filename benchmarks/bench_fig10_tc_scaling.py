@@ -1,0 +1,58 @@
+"""Figure 10 — Triangle Counting GFLOPS vs R-MAT scale.
+
+Paper: R-MAT scales 8-20 on Haswell and KNL; MSA-1P attains the highest
+GFLOPS, Hash-1P and MCA-1P similar trends slightly below; SS:GB poor at
+small scales with SS:SAXPY closing the gap as inputs grow.
+
+Scaled reproduction: R-MAT scales 6-12 (edge factor 8); GFLOPS uses the
+standard 2·flops(L·L) convention of :func:`repro.bench.metrics.spgemm_flops`.
+"""
+
+from __future__ import annotations
+
+from common import emit, rmat_tc_workloads, tc_runner
+from repro.bench import gflops, render_series, time_callable
+
+SCALES = range(6, 13)
+SCHEMES = [("msa", 1), ("hash", 1), ("mca", 1), ("inner", 1),
+           ("saxpy", 1), ("dot", 1)]
+
+
+def main() -> None:
+    emit("[Figure 10] Triangle Counting: GFLOPS vs R-MAT scale (edge factor 8)")
+    emit("paper: MSA-1P highest; Hash/MCA similar trends; baselines behind\n")
+    workloads = rmat_tc_workloads(SCALES)
+    series: dict[str, list[tuple[float, float]]] = {}
+    from repro.core import display_name
+
+    for alg, ph in SCHEMES:
+        label = display_name(alg, ph)
+        pts = []
+        for scale, L, mask, flops in workloads:
+            t = time_callable(tc_runner(L, mask, alg, ph), repeats=1, warmup=1)
+            pts.append((scale, gflops(flops, t)))
+        series[label] = pts
+    emit(render_series("TC GFLOPS vs scale", "scale", "GFLOPS", series))
+    finals = {k: v[-1][1] for k, v in series.items()}
+    emit(f"\nGFLOPS at scale {max(SCALES)}: "
+         f"{ {k: round(v, 4) for k, v in finals.items()} }")
+
+
+# ----------------------------------------------------------------------- #
+def test_tc_scale8_msa(benchmark):
+    (_, L, mask, _), = rmat_tc_workloads([8])
+    benchmark.pedantic(tc_runner(L, mask, "msa", 1), rounds=3, warmup_rounds=1)
+
+
+def test_tc_scale10_msa(benchmark):
+    (_, L, mask, _), = rmat_tc_workloads([10])
+    benchmark.pedantic(tc_runner(L, mask, "msa", 1), rounds=3, warmup_rounds=1)
+
+
+def test_tc_scale10_hash(benchmark):
+    (_, L, mask, _), = rmat_tc_workloads([10])
+    benchmark.pedantic(tc_runner(L, mask, "hash", 1), rounds=3, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

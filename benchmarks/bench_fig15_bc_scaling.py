@@ -1,0 +1,76 @@
+"""Figure 15 — Betweenness Centrality MTEPS vs R-MAT scale.
+
+Paper: batch 512, R-MAT scales 8-20; "the schemes based on push-based
+algorithms, i.e., MSA-1P, Hash-1P, and SS:SAXPY are able to increase their
+MTEPS rate with increasing matrix scale"; SS:DOT collapses because the BC
+mask gets dense and it re-transposes B every call.
+
+Reproduction: batch 32, scales 6-11. MTEPS = batch × edges / time (§8.4,
+metric in :func:`repro.bench.metrics.mteps`). BC uses complemented masks in
+the forward stage, so only complement-capable schemes run (MCA excluded, as
+in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit
+from repro.algorithms import betweenness_centrality
+from repro.bench import mteps, render_series, time_callable
+from repro.core import display_name
+from repro.graphs import rmat
+
+BATCH = 32
+SCALES = range(6, 12)
+SCHEMES = [("msa", 1), ("hash", 1), ("msa", 2), ("hash", 2)]
+
+
+def bc_workload(scale: int):
+    g = rmat(scale, 8, rng=1500 + scale)
+    rng = np.random.default_rng(scale)
+    sources = rng.choice(g.nrows, size=min(BATCH, g.nrows), replace=False)
+    return g, sources
+
+
+def main() -> None:
+    emit(f"[Figure 15] Betweenness Centrality: MTEPS vs R-MAT scale "
+         f"(batch {BATCH})")
+    emit("paper: push-based schemes grow MTEPS with scale; dense masks doom "
+         "pull-based\n")
+    series: dict[str, list[tuple[float, float]]] = {}
+    for scale in SCALES:
+        g, sources = bc_workload(scale)
+        edges = g.nnz // 2
+        for alg, ph in SCHEMES:
+            label = display_name(alg, ph)
+            t = time_callable(
+                lambda a=alg, p=ph: betweenness_centrality(
+                    g, sources, algorithm=a, phases=p),
+                repeats=1, warmup=1)
+            series.setdefault(label, []).append(
+                (scale, mteps(len(sources), edges, t)))
+    emit(render_series("BC MTEPS vs scale", "scale", "MTEPS", series))
+    for label, pts in series.items():
+        ys = [y for _, y in pts]
+        emit(f"{label}: rate at smallest scale {ys[0]:.3f}, at largest "
+             f"{ys[-1]:.3f} MTEPS")
+
+
+# ----------------------------------------------------------------------- #
+def test_bc_scale8_msa(benchmark):
+    g, sources = bc_workload(8)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(g, sources, algorithm="msa"),
+        rounds=2, warmup_rounds=1)
+
+
+def test_bc_scale8_hash(benchmark):
+    g, sources = bc_workload(8)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(g, sources, algorithm="hash"),
+        rounds=2, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Figure 16 — Betweenness Centrality performance profiles vs SS:SAXPY.
+
+Paper: all real graphs except the three longest-running; schemes are MSA and
+Hash (1P and 2P) vs SS:SAXPY — "MSA-1P obtains the best performance in all
+test instances. 1P schemes again outperform 2P." MCA is absent (no
+complement support), Inner/Heap/SS:DOT were "prohibitively slow".
+
+Our SS:SAXPY stand-in for BC multiplies unmasked then applies the
+(complemented) mask — the same code path contrast as the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import COMPLEMENT_SCHEMES, emit
+from repro.algorithms import betweenness_centrality
+from repro.bench import GridResult, performance_profile, render_profile, run_grid
+from repro.core import display_name
+from repro.graphs import suite_graphs
+
+BATCH = 16
+
+
+def bc_cases(limit=None):
+    cases = []
+    for name, g in suite_graphs(exclude_largest=True, limit=limit):
+        rng = np.random.default_rng(hash(name) % (2 ** 31))
+        sources = rng.choice(g.nrows, size=min(BATCH, g.nrows), replace=False)
+
+        def make(scheme, g=g, sources=sources):
+            if isinstance(scheme, tuple):
+                alg, ph = scheme
+            else:
+                alg, ph = scheme, 1
+            return lambda: betweenness_centrality(g, sources, algorithm=alg,
+                                                  phases=ph)
+
+        cases.append((name, make))
+    return cases
+
+
+def main() -> None:
+    emit(f"[Figure 16] Betweenness Centrality profiles (batch {BATCH}): "
+         f"MSA/Hash 1P/2P vs SS:SAXPY")
+    emit("paper: MSA-1P best in all instances; 1P beats 2P\n")
+    # suite minus largest, and skip the slowest half for the saxpy baseline
+    # exactly as the paper skips its slowest inputs
+    grid = run_grid(bc_cases(limit=12), list(COMPLEMENT_SCHEMES) + ["saxpy"],
+                    repeats=1, warmup=0)
+    out = GridResult()
+    for scheme, per in grid.times.items():
+        label = (display_name(*scheme) if isinstance(scheme, tuple)
+                 else display_name(scheme))
+        for case, t in per.items():
+            out.record(label, case, t)
+    prof = performance_profile(out.times)
+    emit(render_profile("BC: ours vs SS:SAXPY*", prof))
+    emit(f"\nranking (best first): {', '.join(prof.ranking())}")
+    emit(f"MSA-1P fraction-best: {prof.fraction_best('MSA-1P'):.2f}")
+
+
+# ----------------------------------------------------------------------- #
+def test_bc_msa_1p(benchmark, bc_graph):
+    rng = np.random.default_rng(0)
+    sources = rng.choice(bc_graph.nrows, size=BATCH, replace=False)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(bc_graph, sources, algorithm="msa"),
+        rounds=2, warmup_rounds=1)
+
+
+def test_bc_hash_1p(benchmark, bc_graph):
+    rng = np.random.default_rng(0)
+    sources = rng.choice(bc_graph.nrows, size=BATCH, replace=False)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(bc_graph, sources, algorithm="hash"),
+        rounds=2, warmup_rounds=1)
+
+
+def test_bc_baseline_saxpy(benchmark, bc_graph):
+    rng = np.random.default_rng(0)
+    sources = rng.choice(bc_graph.nrows, size=BATCH, replace=False)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(bc_graph, sources, algorithm="saxpy"),
+        rounds=2, warmup_rounds=1)
+
+
+if __name__ == "__main__":
+    main()

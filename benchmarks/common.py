@@ -1,0 +1,98 @@
+"""Shared workload builders and reporting glue for the per-figure benches.
+
+Every ``bench_figXX_*.py`` module has two faces:
+
+* **pytest-benchmark tests** (collected by ``pytest benchmarks/
+  --benchmark-only``) timing a *representative subset* of the figure's grid,
+  sized to keep the whole bench suite in CI budgets; and
+* a ``main()`` that sweeps the figure's **full (scaled) grid** and prints the
+  same rows/series the paper plots. ``python benchmarks/bench_figXX_*.py``
+  regenerates the figure's data; EXPERIMENTS.md records those outputs.
+
+Scaling note (DESIGN.md §2): paper grids run at R-MAT scales 8-20 on 32-68
+cores; ours run at scales 6-12 on a laptop-class box. Crossovers are driven
+by density ratios, which the scaled grids preserve.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Mask, PLUS_PAIR
+from repro.bench import GridResult, run_grid, time_callable
+from repro.core import display_name, masked_spgemm
+from repro.graphs import rmat, suite_graphs
+from repro.graphs.prep import triangle_prep
+
+#: the 12 scheme variants of Fig. 8/12 (6 algorithms × {1P, 2P})
+OUR_SCHEMES = [(alg, ph)
+               for alg in ("msa", "hash", "mca", "heap", "heapdot", "inner")
+               for ph in (1, 2)]
+
+#: complement-capable schemes (Fig. 16's candidates)
+COMPLEMENT_SCHEMES = [(alg, ph) for alg in ("msa", "hash") for ph in (1, 2)]
+
+#: baseline stand-ins (see DESIGN.md substitution table)
+BASELINES = ["saxpy", "saxpy-scipy", "dot"]
+
+
+def scheme_name(alg: str, phases: int = 1) -> str:
+    return display_name(alg, phases)
+
+
+def tc_workload(g):
+    """Triangle-counting masked-product workload for one graph: the paper
+    times only the Masked SpGEMM (§8.2), so the workload is C = L ⊙ (L·L)."""
+    L = triangle_prep(g)
+    mask = Mask.from_matrix(L)
+    return L, mask
+
+
+def tc_runner(L, mask, alg: str, phases: int = 1, executor=None):
+    return lambda: masked_spgemm(L, L, mask, algorithm=alg,
+                                 semiring=PLUS_PAIR, phases=phases,
+                                 executor=executor)
+
+
+def tc_grid_over_suite(schemes, *, limit=None, exclude_largest=False,
+                       repeats=1, include_baselines=False) -> GridResult:
+    """Time the TC masked product for every suite graph × scheme."""
+    cases = []
+    for name, g in suite_graphs(limit=limit, exclude_largest=exclude_largest):
+        L, mask = tc_workload(g)
+
+        def make(scheme, L=L, mask=mask):
+            if isinstance(scheme, tuple):
+                alg, ph = scheme
+                return tc_runner(L, mask, alg, ph)
+            return tc_runner(L, mask, scheme, 1)
+
+        cases.append((name, make))
+    names = list(schemes) + (list(BASELINES) if include_baselines else [])
+    grid = run_grid(cases, names, repeats=repeats, warmup=1)
+    # re-key tuples to display names
+    out = GridResult()
+    for scheme, per in grid.times.items():
+        label = (scheme_name(*scheme) if isinstance(scheme, tuple)
+                 else scheme_name(scheme))
+        for case, t in per.items():
+            out.record(label, case, t)
+    return out
+
+
+def rmat_tc_workloads(scales, edge_factor=8, seed_base=7000):
+    """(scale, L, mask, flops) tuples for the scaling figures."""
+    from repro.bench import spgemm_flops
+
+    out = []
+    for s in scales:
+        g = rmat(s, edge_factor, rng=seed_base + s)
+        L, mask = tc_workload(g)
+        out.append((s, L, mask, spgemm_flops(L, L)))
+    return out
+
+
+def emit(text: str) -> None:
+    """Print a report block (flushed so piping to tee works cleanly)."""
+    print(text)
+    sys.stdout.flush()

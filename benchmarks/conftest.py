@@ -1,0 +1,56 @@
+"""Fixtures shared by the benchmark suite.
+
+Benchmark inputs are module-scoped and cached: generating R-MAT graphs is
+cheap, but preparing TC workloads (symmetrize + degree sort + tril) should
+not pollute the timed regions.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# make `import common` work when pytest is invoked from the repo root
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.graphs import load_graph, rmat
+from repro.graphs.prep import triangle_prep, to_undirected_simple
+from repro.mask import Mask
+
+
+@pytest.fixture(scope="session")
+def tc_small():
+    """Small TC workload (rmat-s8-e4 suite graph)."""
+    from common import tc_workload
+
+    return tc_workload(load_graph("rmat-s8-e4"))
+
+
+@pytest.fixture(scope="session")
+def tc_medium():
+    """Medium TC workload (rmat-s10-e8 suite graph)."""
+    from common import tc_workload
+
+    return tc_workload(load_graph("rmat-s10-e8"))
+
+
+@pytest.fixture(scope="session")
+def ktruss_graph():
+    return load_graph("rmat-s9-e8")
+
+
+@pytest.fixture(scope="session")
+def bc_graph():
+    return load_graph("er-s9-d8")
+
+
+@pytest.fixture(scope="session")
+def density_problem():
+    """Balanced-density ER problem for accumulator micro-benches."""
+    from repro.graphs import erdos_renyi
+
+    n = 1 << 10
+    A = erdos_renyi(n, 8, rng=41)
+    B = erdos_renyi(n, 8, rng=42)
+    M = erdos_renyi(n, 8, rng=43)
+    return A, B, Mask.from_matrix(M)

@@ -1,0 +1,5 @@
+"""Setup shim: keeps `pip install -e .` working on offline boxes that lack
+the `wheel` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Accumulators for Masked SpGEMM — the reference (faithful) tier.
+
+The paper's §5.1 defines the accumulator as "a data structure to merge scaled
+rows … the key differentiating feature between our proposed algorithms", with
+a three-procedure interface:
+
+* ``set_allowed(key)`` — mark keys that may appear in the output,
+* ``insert(key, value)`` — add a partial product (``value`` may be a thunk,
+  evaluated only if the product will not be discarded),
+* ``remove(key)`` — return the accumulated value (or ``None``) and clear it.
+
+Four masked implementations are provided — :class:`MSAAccumulator`,
+:class:`HashAccumulator`, :class:`MCAAccumulator` plus the heap-based merger
+:class:`HeapMerger` (the heap algorithm does not fit the 3-call interface;
+see its docstring) — together with complement-mask variants and the plain
+(unmasked) :class:`SPAAccumulator` used by the multiply-then-mask baseline.
+
+These classes are *reference implementations*: statement-for-statement
+faithful to the paper's pseudocode and state automata, used for correctness
+testing and small inputs. The benchmark-grade vectorized kernels live in
+:mod:`repro.core` and are tested for equivalence against these.
+"""
+
+from .base import ALLOWED, NOTALLOWED, SET, MaskedAccumulator
+from .msa import MSAAccumulator, MSAComplementAccumulator
+from .hash_acc import HashAccumulator, HashComplementAccumulator
+from .mca import MCAAccumulator
+from .heap_acc import HeapMerger, RowIterator
+from .spa import SPAAccumulator
+
+__all__ = [
+    "NOTALLOWED",
+    "ALLOWED",
+    "SET",
+    "MaskedAccumulator",
+    "MSAAccumulator",
+    "MSAComplementAccumulator",
+    "HashAccumulator",
+    "HashComplementAccumulator",
+    "MCAAccumulator",
+    "HeapMerger",
+    "RowIterator",
+    "SPAAccumulator",
+]

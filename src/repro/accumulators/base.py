@@ -1,0 +1,79 @@
+"""Accumulator state machine constants and abstract interface.
+
+Paper §5.1: "an accumulator for Masked SpGEVM needs to be able to
+differentiate between three states: SET, ALLOWED, and NOTALLOWED", with the
+MSA automaton (Fig. 3):
+
+.. code-block:: text
+
+    INIT -> NOTALLOWED --setAllowed()--> ALLOWED --insert()--> SET
+                                            ^                   |  insert() loops
+                                            +----- remove() ----+  back on SET
+
+MCA (Fig. 5) uses only ALLOWED/SET because its indexing scheme guarantees
+no NOTALLOWED key can ever be addressed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..errors import AccumulatorError
+from ..semiring import PLUS_TIMES, Semiring
+
+#: State encodings, shared by reference and vectorized tiers.
+NOTALLOWED = 0
+ALLOWED = 1
+SET = 2
+
+#: ``insert`` accepts either a concrete value or a zero-argument thunk that is
+#: only evaluated if the key is not discarded (paper: "the insert procedure
+#: allows the second argument to be a lambda function that will only be
+#: evaluated if the value it computes will not be discarded").
+ValueOrThunk = Union[float, Callable[[], float]]
+
+
+def _force(value: ValueOrThunk) -> float:
+    return value() if callable(value) else value
+
+
+class MaskedAccumulator:
+    """Abstract three-state masked accumulator (paper §5.1 interface).
+
+    Concrete subclasses decide the storage layout (dense arrays for MSA,
+    open-addressing table for Hash, mask-rank arrays for MCA); the semantics
+    of the three procedures are fixed here.
+
+    Subclasses accumulate with the semiring's additive monoid so the same
+    machinery serves plus_times, plus_pair, min_plus, …
+    """
+
+    def __init__(self, semiring: Semiring = PLUS_TIMES):
+        self.semiring = semiring
+
+    # -- interface ------------------------------------------------------ #
+    def set_allowed(self, key: int) -> None:
+        """Mark ``key`` as potentially present in the output (NOTALLOWED→ALLOWED)."""
+        raise NotImplementedError
+
+    def insert(self, key: int, value: ValueOrThunk) -> None:
+        """Insert/accumulate a partial product for ``key``.
+
+        Must be a no-op (and must *not* evaluate a thunk) when the key is in
+        the NOTALLOWED state — that skipped evaluation is precisely the saved
+        work that makes masked push algorithms beat multiply-then-mask.
+        """
+        raise NotImplementedError
+
+    def remove(self, key: int) -> Optional[float]:
+        """Return the accumulated value for ``key`` and reset it, or ``None``
+        if nothing was inserted (or the key was never allowed)."""
+        raise NotImplementedError
+
+    # -- common helpers -------------------------------------------------- #
+    def _accumulate(self, current: float, value: float) -> float:
+        return float(self.semiring.add.ufunc(current, value))
+
+    def _check_key(self, key: int, upper: int) -> None:
+        if not 0 <= key < upper:
+            raise AccumulatorError(f"key {key} out of range [0, {upper})")

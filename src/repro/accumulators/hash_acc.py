@@ -1,0 +1,193 @@
+"""Hash accumulator — paper §5.3.
+
+Rationale (paper): MSA's dense arrays rarely fit in L1 even though they hold
+few nonzeros, so indexing them misses cache; a hash table sized by the row's
+mask population ``nnz(m)`` trades cheaper misses for per-access hashing.
+
+Faithful details implemented here:
+
+* open addressing with **linear probing**;
+* **no resizing** for the non-complemented case — the table holds at most
+  ``nnz(m)`` keys, known up front;
+* **load factor 0.25** — capacity is the next power of two ≥ 4·nnz(m);
+* value and state stored **as a pair in one table** ("we store both the
+  accumulated value and its state as a pair in one single hash map").
+
+The complement variant cannot bound occupancy by ``nnz(m)`` (any product key
+outside the mask may land in the table), so it takes a capacity hint — the
+caller passes the row's flops bound — and mask keys are pre-inserted in the
+NOTALLOWED state so membership tests share the same probe loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AccumulatorError
+from ..semiring import PLUS_TIMES, Semiring
+from .base import ALLOWED, NOTALLOWED, SET, MaskedAccumulator, ValueOrThunk, _force
+
+#: Fibonacci-style multiplicative hash constant (Knuth); spreads consecutive
+#: column ids across the table, which matters because graph rows are runs.
+HASH_SCAL = 0x9E3779B97F4A7C15
+_EMPTY = -1
+
+#: Paper §5.3: "a load factor of 0.25 to reduce collisions".
+LOAD_FACTOR = 0.25
+
+
+def table_capacity(nkeys: int, load_factor: float = LOAD_FACTOR) -> int:
+    """Power-of-two capacity giving at most ``load_factor`` occupancy."""
+    need = max(4, int(np.ceil(max(nkeys, 1) / load_factor)))
+    return 1 << int(need - 1).bit_length()
+
+
+def _hash_slot(key: int, mask: int) -> int:
+    return ((key * HASH_SCAL) & 0xFFFFFFFFFFFFFFFF) >> 32 & mask
+
+
+class HashAccumulator(MaskedAccumulator):
+    """Open-addressing masked accumulator for non-complemented masks.
+
+    Parameters
+    ----------
+    nkeys : number of keys that will be ``set_allowed`` (= nnz of mask row).
+        Fixes the capacity; inserting more *allowed* keys than this raises.
+    """
+
+    def __init__(self, nkeys: int, semiring: Semiring = PLUS_TIMES,
+                 load_factor: float = LOAD_FACTOR):
+        super().__init__(semiring)
+        self.capacity = table_capacity(nkeys, load_factor)
+        self._mask = self.capacity - 1
+        self.keys = np.full(self.capacity, _EMPTY, dtype=np.int64)
+        self.states = np.full(self.capacity, NOTALLOWED, dtype=np.int8)
+        self.values = np.zeros(self.capacity, dtype=np.float64)
+        self._max_keys = int(nkeys)
+        self._nkeys = 0
+
+    # -- probing -------------------------------------------------------- #
+    def _find_slot(self, key: int) -> int:
+        """Slot holding ``key``, or the first empty slot of its probe chain."""
+        slot = _hash_slot(key, self._mask)
+        while True:
+            k = self.keys[slot]
+            if k == key or k == _EMPTY:
+                return slot
+            slot = (slot + 1) & self._mask
+
+    # -- interface ------------------------------------------------------ #
+    def set_allowed(self, key: int) -> None:
+        slot = self._find_slot(key)
+        if self.keys[slot] == _EMPTY:
+            if self._nkeys >= self._max_keys:
+                raise AccumulatorError(
+                    f"hash accumulator sized for {self._max_keys} keys; "
+                    f"set_allowed called with more distinct keys"
+                )
+            self.keys[slot] = key
+            self.states[slot] = ALLOWED
+            self._nkeys += 1
+        # already present: idempotent
+
+    def insert(self, key: int, value: ValueOrThunk) -> None:
+        slot = self._find_slot(key)
+        if self.keys[slot] == _EMPTY:
+            return  # not in mask: discard, thunk not evaluated
+        state = self.states[slot]
+        if state == NOTALLOWED:  # pragma: no cover - defensive; cannot happen
+            return
+        if state == ALLOWED:
+            self.states[slot] = SET
+            self.values[slot] = _force(value)
+        else:
+            self.values[slot] = self._accumulate(self.values[slot], _force(value))
+
+    def remove(self, key: int) -> Optional[float]:
+        slot = self._find_slot(key)
+        if self.keys[slot] == _EMPTY:
+            return None
+        out = float(self.values[slot]) if self.states[slot] == SET else None
+        # Do NOT empty the slot: open addressing with linear probing must not
+        # punch holes in probe chains mid-gather. Marking the state NOTALLOWED
+        # is enough — a second remove of the same key returns None, and the
+        # table is per-row (fresh instance each row), so no global reset is
+        # needed.
+        self.states[slot] = NOTALLOWED
+        return out
+
+
+class HashComplementAccumulator(MaskedAccumulator):
+    """Hash accumulator for complemented masks.
+
+    Mask keys are inserted up front in the NOTALLOWED state; any other key is
+    implicitly allowed and gets created on first ``insert``. Capacity is
+    sized by ``nnz(mask row) + products_bound`` (the caller's flops bound for
+    the row), so no resizing happens mid-row — keeping the kernel's "no
+    rehash" property.
+    """
+
+    def __init__(self, mask_keys, products_bound: int,
+                 semiring: Semiring = PLUS_TIMES,
+                 load_factor: float = LOAD_FACTOR):
+        super().__init__(semiring)
+        nkeys = len(mask_keys) + int(products_bound)
+        self.capacity = table_capacity(nkeys, load_factor)
+        self._mask = self.capacity - 1
+        self.keys = np.full(self.capacity, _EMPTY, dtype=np.int64)
+        self.states = np.full(self.capacity, NOTALLOWED, dtype=np.int8)
+        self.values = np.zeros(self.capacity, dtype=np.float64)
+        self._inserted: list[int] = []
+        for k in mask_keys:
+            slot = self._find_slot(int(k))
+            if self.keys[slot] == _EMPTY:
+                self.keys[slot] = int(k)
+                self.states[slot] = NOTALLOWED
+
+    def _find_slot(self, key: int) -> int:
+        slot = _hash_slot(key, self._mask)
+        while True:
+            k = self.keys[slot]
+            if k == key or k == _EMPTY:
+                return slot
+            slot = (slot + 1) & self._mask
+
+    def set_allowed(self, key: int) -> None:  # pragma: no cover - interface parity
+        raise NotImplementedError("complemented hash pre-marks mask keys instead")
+
+    def insert(self, key: int, value: ValueOrThunk) -> None:
+        slot = self._find_slot(key)
+        if self.keys[slot] == _EMPTY:
+            # implicitly allowed: first touch creates the entry
+            self.keys[slot] = key
+            self.states[slot] = SET
+            self.values[slot] = _force(value)
+            self._inserted.append(key)
+            return
+        state = self.states[slot]
+        if state == NOTALLOWED:
+            return  # in the mask: masked out under complement
+        if state == SET:
+            self.values[slot] = self._accumulate(self.values[slot], _force(value))
+
+    def remove(self, key: int) -> Optional[float]:
+        slot = self._find_slot(key)
+        if self.keys[slot] == _EMPTY or self.states[slot] != SET:
+            return None
+        out = float(self.values[slot])
+        self.states[slot] = NOTALLOWED  # consumed
+        return out
+
+    def drain(self) -> tuple[list[int], list[float]]:
+        """Gather inserted (key, value) pairs in sorted-key order."""
+        out_k: list[int] = []
+        out_v: list[float] = []
+        for k in sorted(set(self._inserted)):
+            v = self.remove(k)
+            if v is not None:
+                out_k.append(k)
+                out_v.append(v)
+        self._inserted.clear()
+        return out_k, out_v

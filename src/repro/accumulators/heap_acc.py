@@ -1,0 +1,206 @@
+"""Heap-based masked merger — paper §5.5 (Algorithms 4 and 5).
+
+The heap algorithm differs structurally from MSA/Hash/MCA: instead of
+scattering partial products into a table, it performs a k-way merge of the
+(sorted) B rows selected by u via a min-heap of row iterators, intersecting
+the merged stream with the (sorted) mask on the fly. Same-column products
+arrive consecutively, so accumulation needs only the previous output key
+("if the last inserted product has the same column index …, the result of
+the current product is added to the last product").
+
+``NInspect`` (Algorithm 5) bounds how many mask positions the insert
+procedure may inspect before giving up and pushing the iterator anyway:
+
+* ``NInspect = 0`` — push unconditionally (the base algorithm; also the
+  mandatory setting for complemented masks),
+* ``NInspect = 1`` — peek at a single mask element (the paper's **Heap**),
+* ``NInspect = ∞`` — scan until certainty (the paper's **HeapDot**).
+
+The mask iterator handed to the insert procedure is a *local copy* (pass by
+value): inspection must not consume mask positions other heap entries with
+smaller column ids may still need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..semiring import PLUS_TIMES, Semiring
+
+#: Sentinel for "scan the whole mask" (HeapDot).
+INSPECT_ALL = math.inf
+
+
+class RowIterator:
+    """Cursor over one scaled row ``u_k * B_k*`` in sorted column order."""
+
+    __slots__ = ("cols", "vals", "scale", "row_id", "pos")
+
+    def __init__(self, cols: np.ndarray, vals: np.ndarray, scale: float, row_id: int):
+        self.cols = cols
+        self.vals = vals
+        self.scale = float(scale)
+        self.row_id = int(row_id)
+        self.pos = 0
+
+    def is_valid(self) -> bool:
+        return self.pos < len(self.cols)
+
+    @property
+    def col_id(self) -> int:
+        return int(self.cols[self.pos])
+
+    def value(self, semiring: Semiring) -> float:
+        """The partial product ``u_k ⊗ B_kj`` at the cursor."""
+        return semiring.mul_scalar(self.scale, float(self.vals[self.pos]))
+
+    def advance(self) -> "RowIterator":
+        """Increment the cursor in place (returns self for chaining)."""
+        self.pos += 1
+        return self
+
+
+class _MaskCursor:
+    """Monotone cursor over the sorted mask column ids of one output row."""
+
+    __slots__ = ("cols", "pos")
+
+    def __init__(self, cols: np.ndarray, pos: int = 0):
+        self.cols = cols
+        self.pos = pos
+
+    def is_valid(self) -> bool:
+        return self.pos < len(self.cols)
+
+    @property
+    def col_id(self) -> int:
+        return int(self.cols[self.pos])
+
+    def advance(self) -> None:
+        self.pos += 1
+
+    def copy(self) -> "_MaskCursor":
+        return _MaskCursor(self.cols, self.pos)
+
+
+class HeapMerger:
+    """K-way-merge masked SpGEVM engine (one instance is reusable across rows)."""
+
+    def __init__(self, semiring: Semiring = PLUS_TIMES, ninspect: float = 1):
+        if not (ninspect == INSPECT_ALL or (isinstance(ninspect, (int, float))
+                                            and ninspect >= 0 and ninspect == int(ninspect))):
+            raise ValueError(f"ninspect must be a non-negative integer or INSPECT_ALL, "
+                             f"got {ninspect!r}")
+        self.semiring = semiring
+        self.ninspect = ninspect
+        self._seq = 0  # heap tie-breaker (iterators are not orderable)
+
+    # ------------------------------------------------------------------ #
+    def _push(self, pq: list, row_iter: RowIterator, m_cursor: _MaskCursor) -> None:
+        """Algorithm 5: Insert(PQ, rowIter, mIter, NInspect).
+
+        Inspects up to ``ninspect`` mask positions (on a local cursor copy)
+        looking for evidence the iterator's current column can intersect the
+        mask; skips heap pushes for provably-masked-out prefixes by advancing
+        the row iterator instead.
+        """
+        if not row_iter.is_valid():
+            return
+        if self.ninspect == 0:
+            self._heap_insert(pq, row_iter)
+            return
+        to_inspect = self.ninspect
+        cursor = m_cursor.copy()  # pass-by-value semantics
+        while row_iter.is_valid() and cursor.is_valid():
+            rc, mc = row_iter.col_id, cursor.col_id
+            if rc == mc:
+                self._heap_insert(pq, row_iter)
+                return
+            if rc < mc:
+                row_iter.advance()  # this product can never match the mask
+            else:
+                cursor.advance()
+                to_inspect -= 1
+                if to_inspect <= 0:
+                    # inspection budget exhausted: push and let the main loop
+                    # sort it out (matches Algorithm 5 line 17-19)
+                    if row_iter.is_valid():
+                        self._heap_insert(pq, row_iter)
+                    return
+        # Either the row ran out (nothing to push) or the mask ran out (no
+        # remaining product can be unmasked): drop the iterator.
+
+    def _heap_insert(self, pq: list, row_iter: RowIterator) -> None:
+        self._seq += 1
+        heapq.heappush(pq, (row_iter.col_id, self._seq, row_iter))
+
+    # ------------------------------------------------------------------ #
+    def merge(self, m_cols: np.ndarray, row_iters: Sequence[RowIterator]
+              ) -> tuple[list[int], list[float]]:
+        """Algorithm 4: masked k-way merge, C-row = intersection(m, S)."""
+        sem = self.semiring
+        pq: list = []
+        m_cursor = _MaskCursor(np.asarray(m_cols))
+        for it in row_iters:
+            self._push(pq, it, m_cursor)
+
+        out_cols: list[int] = []
+        out_vals: list[float] = []
+        prev_key: Optional[int] = None
+        while pq:
+            _, _, min_iter = heapq.heappop(pq)
+            # advance the shared mask cursor to the popped column
+            while m_cursor.is_valid() and m_cursor.col_id < min_iter.col_id:
+                m_cursor.advance()
+            if not m_cursor.is_valid():
+                break  # mask exhausted; nothing further can be produced
+            if m_cursor.col_id == min_iter.col_id:
+                j = min_iter.col_id
+                v = min_iter.value(sem)
+                if prev_key == j:
+                    out_vals[-1] = float(sem.add.ufunc(out_vals[-1], v))
+                else:
+                    prev_key = j
+                    out_cols.append(j)
+                    out_vals.append(v)
+            self._push(pq, min_iter.advance(), m_cursor)
+        return out_cols, out_vals
+
+    def merge_complement(self, m_cols: np.ndarray, row_iters: Sequence[RowIterator]
+                         ) -> tuple[list[int], list[float]]:
+        """Complemented variant: C-row = S \\ m (paper §5.5 last paragraph;
+        NInspect is forced to 0 because inspection can only *confirm*
+        membership, which under complement proves nothing useful)."""
+        sem = self.semiring
+        pq: list = []
+        for it in row_iters:
+            if it.is_valid():
+                self._heap_insert(pq, it)
+
+        m = np.asarray(m_cols)
+        m_pos = 0
+        out_cols: list[int] = []
+        out_vals: list[float] = []
+        prev_key: Optional[int] = None
+        while pq:
+            _, _, min_iter = heapq.heappop(pq)
+            j = min_iter.col_id
+            while m_pos < len(m) and m[m_pos] < j:
+                m_pos += 1
+            masked_out = m_pos < len(m) and m[m_pos] == j
+            if not masked_out:
+                v = min_iter.value(sem)
+                if prev_key == j:
+                    out_vals[-1] = float(sem.add.ufunc(out_vals[-1], v))
+                else:
+                    prev_key = j
+                    out_cols.append(j)
+                    out_vals.append(v)
+            it = min_iter.advance()
+            if it.is_valid():
+                self._heap_insert(pq, it)
+        return out_cols, out_vals

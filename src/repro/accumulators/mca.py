@@ -1,0 +1,75 @@
+"""Mask Compressed Accumulator (MCA) — paper §5.4, the novel structure.
+
+Key observation: the accumulator can never hold more than ``nnz(m)`` entries,
+so MCA allocates ``values``/``states`` of exactly that length and indexes
+them by **mask rank** — the number of mask nonzeros with column index smaller
+than j — rather than by column id. Because only mask positions are
+addressable, NOTALLOWED cannot occur; the automaton has just ALLOWED and SET
+(paper Fig. 5).
+
+Consequence the paper leans on: the *caller* must translate column ids to
+mask ranks, which is why the MCA SpGEVM (Algorithm 3) co-iterates the sorted
+mask with each sorted B row — and why MCA fundamentally **cannot support
+complemented masks** (the complement of the mask has no compact rank space).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AccumulatorError, MaskError
+from ..semiring import PLUS_TIMES, Semiring
+from .base import ALLOWED, SET, MaskedAccumulator, ValueOrThunk, _force
+
+
+class MCAAccumulator(MaskedAccumulator):
+    """Mask-rank-indexed accumulator of fixed size ``nnz(m)``.
+
+    Keys passed to :meth:`insert` / :meth:`remove` are **mask ranks** in
+    ``[0, nnz(m))``, not column ids. :meth:`set_allowed` exists for interface
+    parity but every rank is allowed by construction.
+    """
+
+    def __init__(self, mask_nnz: int, semiring: Semiring = PLUS_TIMES):
+        super().__init__(semiring)
+        self.size = int(mask_nnz)
+        self.values = np.zeros(self.size, dtype=np.float64)
+        self.states = np.full(self.size, ALLOWED, dtype=np.int8)
+
+    @staticmethod
+    def complement_unsupported() -> MaskError:
+        """The error every MCA entry point raises for complemented masks."""
+        return MaskError(
+            "MCA cannot be used with a complemented mask: its accumulator is "
+            "indexed by mask rank, which does not exist for the complement "
+            "(paper §8.4 excludes MCA from Betweenness Centrality for this reason)"
+        )
+
+    def set_allowed(self, key: int) -> None:
+        # All ranks are allowed by construction; validate the range anyway so
+        # misuse fails fast.
+        self._check_key(key, self.size)
+
+    def insert(self, key: int, value: ValueOrThunk) -> None:
+        self._check_key(key, self.size)
+        if self.states[key] == ALLOWED:
+            self.states[key] = SET
+            self.values[key] = _force(value)
+        else:
+            self.values[key] = self._accumulate(self.values[key], _force(value))
+
+    def remove(self, key: int) -> Optional[float]:
+        self._check_key(key, self.size)
+        if self.states[key] != SET:
+            return None
+        out = float(self.values[key])
+        self.states[key] = ALLOWED
+        return out
+
+    def _check_key(self, key: int, upper: int) -> None:
+        if not 0 <= key < upper:
+            raise AccumulatorError(
+                f"MCA key must be a mask rank in [0, {upper}), got {key}"
+            )

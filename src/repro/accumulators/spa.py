@@ -1,0 +1,48 @@
+"""Plain (unmasked) Sparse Accumulator — Gilbert/Moler/Schreiber SPA.
+
+This is the classic dense-array accumulator used by plain Gustavson SpGEMM
+(paper Algorithm 1 and §2.2). The library needs it for the multiply-then-mask
+baseline (SS:SAXPY stand-in): it accumulates *every* partial product with no
+mask filtering — the wasted work the masked accumulators exist to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..semiring import PLUS_TIMES, Semiring
+from .base import _force, ValueOrThunk
+
+
+class SPAAccumulator:
+    """Dense values + occupancy flags + touched-key log, reusable across rows."""
+
+    def __init__(self, ncols: int, semiring: Semiring = PLUS_TIMES):
+        self.semiring = semiring
+        self.ncols = int(ncols)
+        self.values = np.zeros(self.ncols, dtype=np.float64)
+        self.occupied = np.zeros(self.ncols, dtype=bool)
+        self._touched: list[int] = []
+
+    def insert(self, key: int, value: ValueOrThunk) -> None:
+        if self.occupied[key]:
+            self.values[key] = float(self.semiring.add.ufunc(
+                self.values[key], _force(value)))
+        else:
+            self.occupied[key] = True
+            self.values[key] = _force(value)
+            self._touched.append(key)
+
+    def get(self, key: int) -> Optional[float]:
+        return float(self.values[key]) if self.occupied[key] else None
+
+    def drain(self) -> tuple[list[int], list[float]]:
+        """Gather (key, value) pairs in sorted-key order and reset."""
+        keys = sorted(self._touched)
+        vals = [float(self.values[k]) for k in keys]
+        for k in keys:
+            self.occupied[k] = False
+        self._touched.clear()
+        return keys, vals

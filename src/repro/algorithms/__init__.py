@@ -1,0 +1,33 @@
+"""Graph applications built on Masked SpGEMM (the paper's three benchmarks
+plus a bonus multi-source BFS).
+
+Each application is "implemented within the GraphBLAS specifications,
+substituting Masked SpGEMM operations with calls to different algorithms"
+(paper §7) — i.e. every function takes an ``algorithm=`` knob that selects
+the masked kernel under test.
+"""
+
+from .triangle_count import triangle_count, triangle_count_matrix
+from .ktruss import ktruss
+from .betweenness import betweenness_centrality
+from .bfs import multi_source_bfs
+from .clustering import (
+    average_clustering,
+    clustering_coefficients,
+    triangles_per_vertex,
+)
+from .direction_bfs import direction_optimized_bfs
+from .mcl import markov_clustering
+
+__all__ = [
+    "triangle_count",
+    "triangle_count_matrix",
+    "ktruss",
+    "betweenness_centrality",
+    "multi_source_bfs",
+    "clustering_coefficients",
+    "average_clustering",
+    "triangles_per_vertex",
+    "direction_optimized_bfs",
+    "markov_clustering",
+]

@@ -1,0 +1,57 @@
+"""Local clustering coefficients via the TC masked product (bonus app).
+
+The per-edge triangle counts that ``C = L ⊙ (L·L)`` produces are exactly
+what local clustering coefficients need: the number of triangles through
+vertex v is the sum of C's entries in v's row *and* column (each triangle
+{i>j>k} is stored once at (i, j) but involves three vertices), and
+
+    cc(v) = 2·triangles(v) / (deg(v)·(deg(v)-1)).
+
+One more consumer of the paper's primary kernel, validated against
+networkx.clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import masked_spgemm
+from ..mask import Mask
+from ..semiring import PLUS_PAIR
+from ..sparse.csr import CSRMatrix
+from ..graphs.prep import to_undirected_simple
+
+
+def triangles_per_vertex(g: CSRMatrix, *, algorithm: str = "msa",
+                         prepared: bool = False) -> np.ndarray:
+    """Number of triangles through each vertex.
+
+    Uses the symmetric identity ``triangles(v) = ((A ⊙ (A·A)) row-sum)/2``:
+    the masked product's (v, w) entry counts common neighbours of the edge
+    (v, w), so summing row v counts each of v's triangles twice (once per
+    incident edge). Unlike the global count this keeps original vertex ids,
+    so no degree relabeling is applied.
+    """
+    A = g if prepared else to_undirected_simple(g)
+    S = masked_spgemm(A, A, Mask.from_matrix(A), algorithm=algorithm,
+                      semiring=PLUS_PAIR)
+    return S.row_sums() / 2.0
+
+
+def clustering_coefficients(g: CSRMatrix, *, algorithm: str = "msa") -> np.ndarray:
+    """Local clustering coefficient per vertex (0 where degree < 2)."""
+    A = to_undirected_simple(g)
+    tri = triangles_per_vertex(A, algorithm=algorithm, prepared=True)
+    deg = A.row_nnz().astype(np.float64)
+    possible = deg * (deg - 1) / 2.0
+    out = np.zeros(A.nrows, dtype=np.float64)
+    ok = possible > 0
+    out[ok] = tri[ok] / possible[ok]
+    return out
+
+
+def average_clustering(g: CSRMatrix, *, algorithm: str = "msa") -> float:
+    """Graph-average clustering coefficient (networkx convention: mean over
+    all vertices, zeros included)."""
+    cc = clustering_coefficients(g, algorithm=algorithm)
+    return float(cc.mean()) if cc.size else 0.0

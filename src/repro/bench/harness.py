@@ -1,0 +1,81 @@
+"""Experiment harness: timed runs over algorithm × input grids.
+
+Used by every per-figure script in ``benchmarks/``. Timing follows the
+usual micro-benchmark hygiene: one warmup run (JIT-free Python still wants
+its allocators and caches warm), then the minimum over ``repeats``
+measured runs (minimum, not mean — we estimate the cost of the work, not of
+the machine's noise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 3,
+                  warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass
+class GridResult:
+    """times[scheme][case] = seconds, plus free-form per-case metadata."""
+
+    times: dict[str, dict[str, float]] = field(default_factory=dict)
+    meta: dict[str, dict] = field(default_factory=dict)
+
+    def record(self, scheme: str, case: str, seconds: float) -> None:
+        self.times.setdefault(scheme, {})[case] = seconds
+
+    def schemes(self) -> list[str]:
+        return list(self.times)
+
+    def cases(self) -> list[str]:
+        return sorted({c for per in self.times.values() for c in per})
+
+
+def run_grid(
+    cases: Iterable[tuple[str, Callable[[str], Callable[[], object]]]],
+    schemes: Sequence[str],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    on_error: str = "skip",
+) -> GridResult:
+    """Time every (case, scheme) pair.
+
+    Parameters
+    ----------
+    cases : iterable of (case_name, make) where ``make(scheme)`` returns the
+        zero-arg callable to time (or raises for unsupported combinations).
+    schemes : scheme names passed to ``make``.
+    on_error : "skip" records nothing for unsupported pairs (Dolan-Moré then
+        treats them as failures); "raise" propagates.
+    """
+    result = GridResult()
+    for case_name, make in cases:
+        for scheme in schemes:
+            try:
+                fn = make(scheme)
+            except Exception:
+                if on_error == "raise":
+                    raise
+                continue
+            try:
+                seconds = time_callable(fn, repeats=repeats, warmup=warmup)
+            except Exception:
+                if on_error == "raise":
+                    raise
+                continue
+            result.record(scheme, case_name, seconds)
+    return result

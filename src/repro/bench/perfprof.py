@@ -1,0 +1,83 @@
+"""Dolan-Moré performance profiles (the paper's Figs. 8, 9, 12, 13, 16).
+
+"A point (x, y) indicates that the scheme for that point is within x factor
+of the best obtained result in y fraction of the test cases. The closer a
+scheme's line is to the y axis, the better" (paper §8.2).
+
+Input is a nested mapping ``times[scheme][case] = seconds``. Cases missing
+for a scheme (e.g. the scheme does not support that input) are treated as
+failures: their ratio is +inf and they never count toward the profile, the
+standard Dolan-Moré convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PerformanceProfile:
+    """Evaluated profile curves on a shared tau grid."""
+
+    taus: np.ndarray                      # ratio grid (>= 1)
+    curves: dict[str, np.ndarray]         # scheme -> fraction at each tau
+    ratios: dict[str, dict[str, float]]   # scheme -> case -> ratio-to-best
+
+    def fraction_best(self, scheme: str) -> float:
+        """Fraction of cases where ``scheme`` is (tied-)fastest — the y
+        intercept of its curve at tau=1."""
+        r = self.ratios[scheme]
+        if not r:
+            return 0.0
+        return float(np.mean([v <= 1.0 + 1e-12 for v in r.values()]))
+
+    def area(self, scheme: str) -> float:
+        """Area under the curve (higher = better overall)."""
+        return float(np.trapezoid(self.curves[scheme], self.taus))
+
+    def ranking(self) -> list[str]:
+        """Schemes ordered best-first by (fraction-best, area)."""
+        return sorted(self.curves,
+                      key=lambda s: (-self.fraction_best(s), -self.area(s)))
+
+
+def performance_profile(times: dict[str, dict[str, float]],
+                        taus: np.ndarray | None = None) -> PerformanceProfile:
+    """Compute Dolan-Moré profiles from per-scheme, per-case timings."""
+    if not times:
+        raise ValueError("no timings given")
+    cases = sorted({c for per in times.values() for c in per})
+    if not cases:
+        raise ValueError("no cases given")
+    best: dict[str, float] = {}
+    for c in cases:
+        vals = [per[c] for per in times.values() if c in per and per[c] > 0]
+        if not vals:
+            raise ValueError(f"case {c!r} has no valid timings")
+        best[c] = min(vals)
+
+    ratios: dict[str, dict[str, float]] = {}
+    for scheme, per in times.items():
+        ratios[scheme] = {
+            c: (per[c] / best[c] if c in per and per[c] > 0 else float("inf"))
+            for c in cases
+        }
+
+    if taus is None:
+        finite = [r for per in ratios.values() for r in per.values()
+                  if np.isfinite(r)]
+        hi = max(2.5, float(np.quantile(finite, 0.95)) * 1.1) if finite else 2.5
+        taus = np.linspace(1.0, hi, 64)
+    taus = np.asarray(taus, dtype=np.float64)
+
+    ncases = len(cases)
+    curves = {
+        scheme: np.array([
+            sum(1 for r in per.values() if r <= t + 1e-12) / ncases
+            for t in taus
+        ])
+        for scheme, per in ratios.items()
+    }
+    return PerformanceProfile(taus, curves, ratios)

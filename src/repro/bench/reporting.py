@@ -1,0 +1,65 @@
+"""ASCII renderers producing the same rows/series the paper's figures plot.
+
+No plotting libraries are available offline, so each figure is reported as
+(a) a data table and (b) — for performance profiles and series — a coarse
+text chart. EXPERIMENTS.md embeds these outputs directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .perfprof import PerformanceProfile
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 floatfmt: str = "{:.4g}") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    def fmt(x):
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    sep = "  "
+    out = [sep.join(h.ljust(w) for h, w in zip(headers, widths)),
+           sep.join("-" * w for w in widths)]
+    for r in cells:
+        out.append(sep.join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def render_series(title: str, xlabel: str, ylabel: str,
+                  series: Mapping[str, Sequence[tuple[float, float]]]) -> str:
+    """Multi-series table: one x column, one y column per scheme —
+    the textual form of a line plot like Figs. 10/11/14/15."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {name: dict(pts) for name, pts in series.items()}
+    headers = [xlabel] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [lookup[name].get(x, float("nan")) for name in series])
+    return f"== {title} ==  (y: {ylabel})\n" + render_table(headers, rows)
+
+
+def render_profile(title: str, profile: PerformanceProfile,
+                   taus: Sequence[float] = (1.0, 1.1, 1.2, 1.5, 2.0, 2.5),
+                   *, width: int = 40) -> str:
+    """Performance-profile summary: fraction-of-cases at chosen tau cuts,
+    plus a bar for fraction-best — the textual Fig. 8/9/12/13/16."""
+    lines = [f"== {title} ==  (performance profile; fraction of cases "
+             f"within tau of best)"]
+    headers = ["scheme"] + [f"tau={t:g}" for t in taus] + ["best-frac", ""]
+    rows = []
+    for scheme in profile.ranking():
+        per = profile.ratios[scheme]
+        fracs = [np.mean([r <= t + 1e-12 for r in per.values()]) for t in taus]
+        fb = profile.fraction_best(scheme)
+        bar = "#" * int(round(fb * width))
+        rows.append([scheme] + [float(f) for f in fracs] + [float(fb), bar])
+    lines.append(render_table(headers, rows, floatfmt="{:.2f}"))
+    return "\n".join(lines)

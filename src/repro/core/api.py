@@ -1,0 +1,135 @@
+"""Public entry points: :func:`masked_spgemm` and :func:`spgemm`.
+
+``masked_spgemm`` dispatches over
+
+* **algorithm** — ``msa | hash | mca | heap | heapdot | inner`` (the paper's
+  kernels), the baselines ``saxpy | saxpy-scipy | dot`` (SS:GB stand-ins),
+  or ``auto`` (Fig. 7-derived density heuristic);
+* **phases** — 1 (one-phase) or 2 (symbolic + numeric, paper §6);
+* **tier** — ``vectorized`` (numpy kernels) or ``reference`` (pure-Python,
+  faithful to the pseudocode);
+* **executor** — optional :mod:`repro.parallel` executor for row-parallel
+  execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_multiplicable
+from . import baselines, registry
+from .plain import plain_spgemm
+from .reference import reference_masked_spgemm
+from .types import stitch_blocks
+
+
+def spgemm(A: CSRMatrix, B: CSRMatrix, semiring: Semiring = PLUS_TIMES) -> CSRMatrix:
+    """Plain (unmasked) sparse matrix-matrix product, C = A·B."""
+    return plain_spgemm(A, B, semiring)
+
+
+def masked_spgemm(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    mask: Mask | CSRMatrix | None = None,
+    *,
+    algorithm: str = "auto",
+    semiring: Semiring = PLUS_TIMES,
+    phases: int = 1,
+    tier: str = "vectorized",
+    executor=None,
+    verify_symbolic: bool = True,
+) -> CSRMatrix:
+    """Compute ``C = M ⊙ (A·B)`` (or ``¬M ⊙ (A·B)`` for complemented masks).
+
+    Parameters
+    ----------
+    A, B : CSRMatrix
+        Operands; ``A`` is m×k, ``B`` is k×n.
+    mask : Mask, CSRMatrix or None
+        The structural mask. A CSRMatrix is interpreted as a
+        non-complemented mask over its stored pattern. ``None`` means "no
+        mask" (the full complemented-empty mask), i.e. plain SpGEMM through
+        the masked machinery.
+    algorithm : str
+        Kernel or baseline name (see module docstring). ``auto`` picks by
+        mask/input density, the paper's hybrid-dispatch future-work idea.
+    phases : int
+        1 = one-phase (numeric only, upper-bound temp buffers);
+        2 = two-phase (symbolic pass computes the exact output pattern size
+        before the numeric pass — paper §6).
+    tier : str
+        ``vectorized`` (default) or ``reference``.
+    executor : optional
+        A :mod:`repro.parallel` executor; ``None`` runs serially.
+    verify_symbolic : bool
+        In two-phase mode, cross-check the symbolic row sizes against the
+        numeric result (cheap; catches kernel divergence). Disable for
+        benchmarking.
+
+    Returns
+    -------
+    CSRMatrix
+        Canonical CSR output. Entries where the (semiring) sum produced the
+        additive identity are kept if the accumulator was touched — matching
+        GraphBLAS, which distinguishes stored zeros from absent entries.
+    """
+    out_shape = check_multiplicable(A.shape, B.shape)
+    if mask is None:
+        mask = Mask.full(out_shape)
+    elif isinstance(mask, CSRMatrix):
+        mask = Mask.from_matrix(mask)
+    mask.check_output_shape(out_shape)
+
+    algorithm = algorithm.lower()
+    if algorithm == "auto":
+        algorithm = registry.auto_select(A, B, mask)
+
+    if phases not in (1, 2):
+        raise AlgorithmError(f"phases must be 1 or 2, got {phases!r}")
+
+    # ----- baselines (whole-matrix code paths) ------------------------- #
+    if algorithm == "saxpy":
+        return baselines.saxpy_masked_spgemm(A, B, mask, semiring)
+    if algorithm == "saxpy-scipy":
+        return baselines.saxpy_masked_spgemm(A, B, mask, semiring, use_scipy=True)
+    if algorithm == "dot":
+        return baselines.dot_masked_spgemm(A, B, mask, semiring)
+
+    # ----- reference tier ---------------------------------------------- #
+    if tier == "reference":
+        return reference_masked_spgemm(A, B, mask, algorithm, semiring)
+    if tier != "vectorized":
+        raise AlgorithmError(f"unknown tier {tier!r}; use 'vectorized' or 'reference'")
+
+    spec = registry.get_spec(algorithm)
+    if mask.complemented and not spec.supports_complement:
+        # kernels raise their own specific error; call numeric to surface it
+        spec.numeric(A, B, mask, semiring, np.empty(0, dtype=INDEX_DTYPE))
+
+    # ----- parallel path ------------------------------------------------ #
+    if executor is not None:
+        from ..parallel.runner import parallel_masked_spgemm
+
+        return parallel_masked_spgemm(
+            A, B, mask, algorithm=algorithm, semiring=semiring,
+            phases=phases, executor=executor,
+        )
+
+    # ----- serial vectorized path ---------------------------------------- #
+    rows = np.arange(out_shape[0], dtype=INDEX_DTYPE)
+    symbolic_sizes = None
+    if phases == 2:
+        symbolic_sizes = spec.symbolic(A, B, mask, rows)
+    block = spec.numeric(A, B, mask, semiring, rows)
+    if symbolic_sizes is not None and verify_symbolic:
+        if not np.array_equal(symbolic_sizes, block.sizes):
+            raise AlgorithmError(
+                f"{algorithm}: symbolic phase predicted row sizes that differ "
+                f"from the numeric result — kernel bug"
+            )
+    return stitch_blocks([block], out_shape[0], out_shape[1])

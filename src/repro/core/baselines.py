@@ -1,0 +1,50 @@
+"""Baseline algorithms standing in for SuiteSparse:GraphBLAS (paper §8).
+
+The paper benchmarks against two SS:GB code paths. We reproduce their
+*algorithmic* traits (see DESIGN.md for the substitution argument):
+
+* **SAXPY** (``saxpy``) — push-based multiply-then-mask: a full unmasked
+  Gustavson SpGEMM followed by post-hoc mask application. This is the
+  Fig. 1 "plain" path; it wastes exactly the flops the masked kernels skip.
+  ``saxpy-scipy`` routes the multiply through scipy's compiled kernel —
+  a *stronger* baseline in absolute time, same algorithmic shape.
+* **DOT** (``dot``) — pull-based dot products like Inner, but paying the
+  CSR→CSC transposition of B *inside every call*, the overhead the paper
+  calls out for SS:DOT in §8.4 ("the matrix B is transposed in the library
+  before each Masked SpGEMM").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import ops
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_multiplicable
+from . import inner_kernel
+from .plain import plain_spgemm, plain_spgemm_scipy
+from .types import stitch_blocks
+
+
+def saxpy_masked_spgemm(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                        semiring: Semiring = PLUS_TIMES,
+                        *, use_scipy: bool = False) -> CSRMatrix:
+    """Multiply-then-mask baseline (SS:SAXPY stand-in)."""
+    shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(shape)
+    full = (plain_spgemm_scipy if use_scipy else plain_spgemm)(A, B, semiring)
+    return ops.apply_mask(full, mask.to_matrix(), complemented=mask.complemented)
+
+
+def dot_masked_spgemm(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                      semiring: Semiring = PLUS_TIMES) -> CSRMatrix:
+    """Pull-based dot baseline (SS:DOT stand-in): Inner's kernel, but the
+    CSC conversion of B happens inside the call, every call."""
+    shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(shape)
+    b_csc = B.to_csc()  # the per-call transposition overhead, by design
+    rows = np.arange(shape[0], dtype=INDEX_DTYPE)
+    block = inner_kernel.numeric_rows(A, B, mask, semiring, rows, b_csc=b_csc)
+    return stitch_blocks([block], shape[0], shape[1])

@@ -1,0 +1,82 @@
+"""Vectorized helpers shared by the push-based kernels.
+
+The central primitive is *row expansion*: for output row i, gather the
+column ids and values of every partial product ``A_ik ⊗ B_kj`` — i.e. the
+concatenation of the scaled rows ``{A_ik · B_k* : A_ik ≠ 0}``. This is the
+paper's memory-access patterns 1-3 (§4.2: unit-stride read of A's row,
+random-like reads of B's row pointers, stanza-like reads of B's nonzeros)
+collapsed into numpy gathers. What each algorithm then *does* with the
+expanded stream (scatter into MSA/Hash/MCA, or merge/sort for Heap) is what
+differentiates the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..semiring import Semiring
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE
+
+
+def concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Flat index array enumerating ``[starts[t], starts[t]+lens[t])`` for all t.
+
+    Standard cumsum trick; O(total) with no Python loop. Empty ranges are
+    handled (they contribute nothing).
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    nz = lens > 0
+    s, l = starts[nz], lens[nz]
+    step = np.ones(total, dtype=INDEX_DTYPE)
+    step[0] = s[0]
+    ends = np.cumsum(l)[:-1]
+    step[ends] = s[1:] - (s[:-1] + l[:-1] - 1)
+    return np.cumsum(step)
+
+
+def expand_row(A: CSRMatrix, B: CSRMatrix, i: int, semiring: Semiring
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """All partial products of output row ``i``: ``(col_ids, values)``.
+
+    Products appear grouped by k (i.e. in B-row order), each group sorted by
+    column — the exact order a sequential Gustavson loop would generate them.
+    """
+    lo, hi = A.indptr[i], A.indptr[i + 1]
+    a_cols = A.indices[lo:hi]
+    a_vals = A.data[lo:hi]
+    starts = B.indptr[a_cols]
+    lens = B.indptr[a_cols + 1] - starts
+    flat = concat_ranges(starts, lens)
+    bj = B.indices[flat]
+    bv = B.data[flat]
+    av = np.repeat(a_vals, lens)
+    return bj, semiring.multiply(av, bv)
+
+
+def expand_row_pattern(A: CSRMatrix, B: CSRMatrix, i: int) -> np.ndarray:
+    """Column ids only — the symbolic-phase version of :func:`expand_row`."""
+    lo, hi = A.indptr[i], A.indptr[i + 1]
+    a_cols = A.indices[lo:hi]
+    starts = B.indptr[a_cols]
+    lens = B.indptr[a_cols + 1] - starts
+    return B.indices[concat_ranges(starts, lens)]
+
+
+def per_row_flops(A: CSRMatrix, B: CSRMatrix) -> np.ndarray:
+    """Number of partial products per output row:
+    ``flops_i = Σ_{k: A_ik ≠ 0} nnz(B_k*)`` (one multiply each; the common
+    "2·flops" convention doubles this for the adds — see
+    :mod:`repro.bench.metrics`)."""
+    lens = np.diff(B.indptr)[A.indices] if A.nnz else np.empty(0, dtype=INDEX_DTYPE)
+    csum = np.concatenate([[0], np.cumsum(lens)])
+    return (csum[A.indptr[1:]] - csum[A.indptr[:-1]]).astype(INDEX_DTYPE)
+
+
+def total_flops(A: CSRMatrix, B: CSRMatrix) -> int:
+    """``flops(AB)`` — total multiply count of the unmasked product."""
+    if A.nnz == 0:
+        return 0
+    return int(np.diff(B.indptr)[A.indices].sum())

@@ -1,0 +1,259 @@
+"""Reference (faithful pure-Python) Masked SpGEMM implementations.
+
+Each function here mirrors one of the paper's pseudocode listings:
+
+* :func:`spgevm_msa` / :func:`spgevm_hash` — Algorithm 2 shape: mark the
+  mask row allowed, insert every partial product (as a lazily-evaluated
+  thunk), gather in mask order.
+* :func:`spgevm_mca` — Algorithm 3: co-iterate the sorted mask with each
+  sorted B row, translating column ids to mask ranks.
+* :func:`spgevm_heap` — Algorithms 4+5 via :class:`~repro.accumulators.heap_acc.HeapMerger`.
+* :func:`spgevm_inner` — §4.1 pull-based sparse dot products.
+
+:func:`reference_masked_spgemm` assembles output rows into a canonical CSR
+matrix and handles complemented masks. These run in O(pure-Python) time —
+they exist for correctness, specification and small-input use, not speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accumulators import (
+    HashAccumulator,
+    HashComplementAccumulator,
+    HeapMerger,
+    MCAAccumulator,
+    MSAAccumulator,
+    MSAComplementAccumulator,
+    RowIterator,
+)
+from ..accumulators.heap_acc import INSPECT_ALL
+from ..errors import AlgorithmError, MaskError
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_multiplicable
+
+
+# --------------------------------------------------------------------- #
+# per-row (SpGEVM) reference kernels — non-complemented
+# --------------------------------------------------------------------- #
+def _iter_products(u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    """Yield (j, thunk) for every partial product u_k ⊗ B_kj, in the order a
+    sequential Gustavson loop produces them. Thunks keep the paper's
+    lazy-evaluation contract observable."""
+    for k, uk in zip(u_cols, u_vals):
+        lo, hi = B.indptr[k], B.indptr[k + 1]
+        for p in range(lo, hi):
+            j = int(B.indices[p])
+            bkj = float(B.data[p])
+            yield j, (lambda a=float(uk), b=bkj: semiring.mul_scalar(a, b))
+
+
+def spgevm_msa(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring,
+               accum: MSAAccumulator | None = None):
+    """Algorithm 2 with the MSA accumulator."""
+    accum = accum if accum is not None else MSAAccumulator(B.ncols, semiring)
+    for j in m_cols:
+        accum.set_allowed(int(j))
+    for j, thunk in _iter_products(u_cols, u_vals, B, semiring):
+        accum.insert(j, thunk)
+    out_c: list[int] = []
+    out_v: list[float] = []
+    for j in m_cols:  # gather in mask order -> stable/sorted output
+        v = accum.remove(int(j))
+        if v is not None:
+            out_c.append(int(j))
+            out_v.append(v)
+    return out_c, out_v
+
+
+def spgevm_hash(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    """Algorithm 2 shape with the Hash accumulator (§5.3)."""
+    accum = HashAccumulator(len(m_cols), semiring)
+    for j in m_cols:
+        accum.set_allowed(int(j))
+    for j, thunk in _iter_products(u_cols, u_vals, B, semiring):
+        accum.insert(j, thunk)
+    out_c: list[int] = []
+    out_v: list[float] = []
+    for j in m_cols:
+        v = accum.remove(int(j))
+        if v is not None:
+            out_c.append(int(j))
+            out_v.append(v)
+    return out_c, out_v
+
+
+def spgevm_mca(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    """Algorithm 3: MCA masked SpGEVM (requires sorted mask and B rows)."""
+    m = np.asarray(m_cols)
+    accum = MCAAccumulator(m.size, semiring)
+    for k, uk in zip(u_cols, u_vals):
+        lo, hi = int(B.indptr[k]), int(B.indptr[k + 1])
+        p = lo  # rowIter
+        for idx in range(m.size):  # Enumerate(m)
+            j = int(m[idx])
+            while p < hi and B.indices[p] < j:
+                p += 1
+            if p >= hi:
+                break
+            if B.indices[p] == j:
+                accum.insert(idx, semiring.mul_scalar(float(uk), float(B.data[p])))
+    out_c: list[int] = []
+    out_v: list[float] = []
+    for idx in range(m.size):
+        v = accum.remove(idx)
+        if v is not None:
+            out_c.append(int(m[idx]))
+            out_v.append(v)
+    return out_c, out_v
+
+
+def spgevm_heap(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring,
+                ninspect: float = 1):
+    """Algorithms 4+5: heap-merge masked SpGEVM."""
+    merger = HeapMerger(semiring, ninspect=ninspect)
+    iters = []
+    for k, uk in zip(u_cols, u_vals):
+        lo, hi = int(B.indptr[k]), int(B.indptr[k + 1])
+        iters.append(RowIterator(B.indices[lo:hi], B.data[lo:hi], float(uk), int(k)))
+    return merger.merge(np.asarray(m_cols), iters)
+
+
+def spgevm_inner(m_cols, a_cols, a_vals, B_csc, semiring: Semiring):
+    """§4.1 pull-based kernel: one sparse dot product per unmasked entry.
+
+    ``B_csc`` must be a :class:`~repro.sparse.csc.CSCMatrix`; the sorted
+    row-id/column-id intersection is a two-pointer merge.
+    """
+    out_c: list[int] = []
+    out_v: list[float] = []
+    for j in m_cols:
+        b_rows, b_vals = B_csc.col(int(j))
+        p, q = 0, 0
+        acc = None
+        while p < len(a_cols) and q < len(b_rows):
+            ak, bk = int(a_cols[p]), int(b_rows[q])
+            if ak == bk:
+                prod = semiring.mul_scalar(float(a_vals[p]), float(b_vals[q]))
+                acc = prod if acc is None else float(semiring.add.ufunc(acc, prod))
+                p += 1
+                q += 1
+            elif ak < bk:
+                p += 1
+            else:
+                q += 1
+        if acc is not None:
+            out_c.append(int(j))
+            out_v.append(acc)
+    return out_c, out_v
+
+
+# --------------------------------------------------------------------- #
+# per-row reference kernels — complemented masks
+# --------------------------------------------------------------------- #
+def spgevm_msa_complement(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    accum = MSAComplementAccumulator(B.ncols, semiring)
+    for j in m_cols:
+        accum.set_not_allowed(int(j))
+    for j, thunk in _iter_products(u_cols, u_vals, B, semiring):
+        accum.insert(j, thunk)
+    return accum.drain(int(j) for j in m_cols)
+
+
+def spgevm_hash_complement(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    bound = sum(int(B.indptr[k + 1] - B.indptr[k]) for k in u_cols)
+    accum = HashComplementAccumulator([int(j) for j in m_cols], bound, semiring)
+    for j, thunk in _iter_products(u_cols, u_vals, B, semiring):
+        accum.insert(j, thunk)
+    return accum.drain()
+
+
+def spgevm_heap_complement(m_cols, u_cols, u_vals, B: CSRMatrix, semiring: Semiring):
+    merger = HeapMerger(semiring, ninspect=0)
+    iters = []
+    for k, uk in zip(u_cols, u_vals):
+        lo, hi = int(B.indptr[k]), int(B.indptr[k + 1])
+        iters.append(RowIterator(B.indices[lo:hi], B.data[lo:hi], float(uk), int(k)))
+    return merger.merge_complement(np.asarray(m_cols), iters)
+
+
+# --------------------------------------------------------------------- #
+# matrix-level driver
+# --------------------------------------------------------------------- #
+_PLAIN = {
+    "msa": spgevm_msa,
+    "hash": spgevm_hash,
+    "mca": spgevm_mca,
+    "heap": lambda m, uc, uv, B, s: spgevm_heap(m, uc, uv, B, s, ninspect=1),
+    "heapdot": lambda m, uc, uv, B, s: spgevm_heap(m, uc, uv, B, s, ninspect=INSPECT_ALL),
+}
+
+_COMPLEMENT = {
+    "msa": spgevm_msa_complement,
+    "hash": spgevm_hash_complement,
+    "heap": spgevm_heap_complement,
+    "heapdot": spgevm_heap_complement,  # NInspect forced to 0 either way
+}
+
+
+def reference_masked_spgemm(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    mask: Mask,
+    algorithm: str = "msa",
+    semiring: Semiring = PLUS_TIMES,
+) -> CSRMatrix:
+    """Row-by-row Masked SpGEMM over the reference accumulators.
+
+    This is the behavioural specification the vectorized kernels are tested
+    against. O(pure-Python); use :func:`repro.core.api.masked_spgemm` for
+    real workloads.
+    """
+    out_shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(out_shape)
+    algorithm = algorithm.lower()
+
+    if algorithm == "inner":
+        if mask.complemented:
+            raise MaskError("the pull-based Inner algorithm is not defined for "
+                            "complemented masks (it would need a dot per absent "
+                            "entry, O(n) per row)")
+        B_csc = B.to_csc()
+        kernel = None
+    else:
+        if algorithm == "mca" and mask.complemented:
+            raise MCAAccumulator.complement_unsupported()
+        table = _COMPLEMENT if mask.complemented else _PLAIN
+        if algorithm not in table:
+            raise AlgorithmError(
+                f"unknown or unsupported reference algorithm {algorithm!r} "
+                f"(complemented={mask.complemented}); available: {sorted(table)}"
+            )
+        kernel = table[algorithm]
+
+    indptr = np.zeros(out_shape[0] + 1, dtype=INDEX_DTYPE)
+    all_cols: list[list[int]] = []
+    all_vals: list[list[float]] = []
+    # Reuse one MSA across rows (the whole point of its O(ncols) init being
+    # amortized); other accumulators are per-row by design.
+    msa = MSAAccumulator(out_shape[1], semiring) if algorithm == "msa" and not mask.complemented else None
+
+    for i in range(out_shape[0]):
+        m_cols = mask.row(i)
+        u_cols, u_vals = A.row(i)
+        if algorithm == "inner":
+            c, v = spgevm_inner(m_cols, u_cols, u_vals, B_csc, semiring)
+        elif msa is not None:
+            c, v = spgevm_msa(m_cols, u_cols, u_vals, B, semiring, accum=msa)
+        else:
+            c, v = kernel(m_cols, u_cols, u_vals, B, semiring)
+        indptr[i + 1] = indptr[i] + len(c)
+        all_cols.append(c)
+        all_vals.append(v)
+
+    indices = np.array([j for row in all_cols for j in row], dtype=INDEX_DTYPE)
+    data = np.array([v for row in all_vals for v in row], dtype=np.float64)
+    return CSRMatrix(indptr, indices, data, out_shape, check=False)

@@ -1,0 +1,151 @@
+"""Algorithm registry: names, metadata and kernel lookup.
+
+The paper's evaluation names algorithms ``<Alg>-<Phases>`` (e.g. ``MSA-1P``,
+``Hash-2P``). Here the algorithm key and phase count are separate arguments
+to :func:`repro.core.api.masked_spgemm`; :func:`display_name` produces the
+paper-style label, and :func:`parse_name` accepts it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import AlgorithmError
+from . import (
+    hash_kernel,
+    heap_kernel,
+    hybrid_kernel,
+    inner_kernel,
+    mca_kernel,
+    msa_kernel,
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata + kernel entry points for one Masked SpGEMM algorithm."""
+
+    key: str
+    label: str
+    family: str  # "push" or "pull"
+    numeric: Callable
+    symbolic: Callable
+    supports_complement: bool
+    description: str
+
+
+_SPECS: dict[str, AlgorithmSpec] = {
+    "msa": AlgorithmSpec(
+        "msa", "MSA", "push",
+        msa_kernel.numeric_rows, msa_kernel.symbolic_rows, True,
+        "Masked Sparse Accumulator: dense states/values arrays (paper §5.2)",
+    ),
+    "hash": AlgorithmSpec(
+        "hash", "Hash", "push",
+        hash_kernel.numeric_rows, hash_kernel.symbolic_rows, True,
+        "Open-addressing hash accumulator, LF 0.25 (paper §5.3)",
+    ),
+    "mca": AlgorithmSpec(
+        "mca", "MCA", "push",
+        mca_kernel.numeric_rows, mca_kernel.symbolic_rows, False,
+        "Mask Compressed Accumulator indexed by mask rank (paper §5.4)",
+    ),
+    "heap": AlgorithmSpec(
+        "heap", "Heap", "push",
+        heap_kernel.numeric_rows, heap_kernel.symbolic_rows, True,
+        "K-way merge with NInspect=1 mask peeking (paper §5.5)",
+    ),
+    "heapdot": AlgorithmSpec(
+        "heapdot", "HeapDot", "push",
+        heap_kernel.numeric_rows_heapdot, heap_kernel.symbolic_rows, True,
+        "K-way merge with NInspect=∞ full mask inspection (paper §5.5)",
+    ),
+    "inner": AlgorithmSpec(
+        "inner", "Inner", "pull",
+        inner_kernel.numeric_rows, inner_kernel.symbolic_rows, False,
+        "Pull-based sparse dot products over mask entries (paper §4.1)",
+    ),
+    "hybrid": AlgorithmSpec(
+        "hybrid", "Hybrid", "mixed",
+        hybrid_kernel.numeric_rows, hybrid_kernel.symbolic_rows, True,
+        "Per-row dispatch between MSA/Heap/Inner by row-local density "
+        "(the paper's §9 future-work hybrid, implemented)",
+    ),
+}
+
+#: Baselines are dispatched separately (they are whole-matrix functions, not
+#: row kernels) but listed so harnesses can enumerate everything.
+BASELINE_KEYS = ("saxpy", "saxpy-scipy", "dot")
+
+
+def get_spec(key: str) -> AlgorithmSpec:
+    try:
+        return _SPECS[key.lower()]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {key!r}; kernels: {sorted(_SPECS)}, "
+            f"baselines: {list(BASELINE_KEYS)}"
+        ) from None
+
+
+def available_algorithms(*, complemented: bool | None = None,
+                         include_baselines: bool = False) -> list[str]:
+    """Algorithm keys, optionally filtered by complement support."""
+    keys = [k for k, s in _SPECS.items()
+            if complemented is None or not complemented or s.supports_complement]
+    if include_baselines:
+        keys += list(BASELINE_KEYS)
+    return keys
+
+
+def algorithm_info(key: str) -> AlgorithmSpec:
+    return get_spec(key)
+
+
+def display_name(key: str, phases: int = 1) -> str:
+    """Paper-style label, e.g. ``display_name("msa", 2) == "MSA-2P"``."""
+    base = {"saxpy": "SS:SAXPY*", "saxpy-scipy": "SS:SAXPY*(scipy)",
+            "dot": "SS:DOT*"}.get(key.lower())
+    if base is not None:
+        return base
+    return f"{get_spec(key).label}-{phases}P"
+
+
+def parse_name(name: str) -> tuple[str, int]:
+    """Inverse of :func:`display_name` for kernel algorithms:
+    ``"MSA-1P" -> ("msa", 1)``. Bare keys default to one phase."""
+    s = name.strip().lower()
+    phases = 1
+    if s.endswith("-1p"):
+        s, phases = s[:-3], 1
+    elif s.endswith("-2p"):
+        s, phases = s[:-3], 2
+    get_spec(s)  # validate
+    return s, phases
+
+
+def auto_select(A, B, mask) -> str:
+    """Mask/input-density heuristic distilled from the paper's Fig. 7:
+
+    * mask much sparser than the inputs → ``inner`` (pull wins),
+    * inputs much sparser than the mask → ``heap``,
+    * comparable densities → ``msa`` on small outputs (dense arrays cheap),
+      ``hash`` on large ones (MSA's cache penalty grows with ncols).
+
+    This hybrid dispatcher is the paper's "future work" hybrid in its
+    simplest form.
+    """
+    nrows = max(A.nrows, 1)
+    d_a = A.nnz / nrows
+    d_b = B.nnz / max(B.nrows, 1)
+    d_in = min(d_a, d_b)
+    msa_cutoff = 1 << 15  # dense accumulator stops paying off past ~32k cols
+    if mask.complemented:
+        return "msa" if B.ncols <= msa_cutoff else "hash"
+    d_m = mask.nnz / max(mask.nrows, 1)
+    if d_m * 4 <= d_in:
+        return "inner"
+    if d_in * 4 <= d_m:
+        return "heap"
+    return "msa" if B.ncols <= msa_cutoff else "hash"

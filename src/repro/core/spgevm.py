@@ -1,0 +1,63 @@
+"""Masked SpGEVM: the vector-level operation the paper's §5 is written in.
+
+``v⊺ = m⊺ ⊙ (u⊺ B)`` — one output row of a Masked SpGEMM. The public
+:func:`masked_spgevm` reuses the registered row kernels by viewing ``u`` as
+a 1×n matrix (zero copy), so the vector API inherits every algorithm,
+semiring and complement path of the matrix API, plus the reference tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+from ..validation import INDEX_DTYPE
+from .api import masked_spgemm
+
+
+def _vector_mask(m: SparseVector | Mask | None, ncols: int,
+                 complemented: bool) -> Mask:
+    if m is None:
+        return Mask.full((1, ncols))
+    if isinstance(m, Mask):
+        if m.shape != (1, ncols):
+            raise ShapeError(
+                f"mask shape {m.shape} does not match (1, {ncols})")
+        return m
+    indptr = np.array([0, m.nnz], dtype=INDEX_DTYPE)
+    return Mask(indptr, m.indices.copy(), (1, ncols), complemented=complemented)
+
+
+def masked_spgevm(
+    u: SparseVector,
+    B: CSRMatrix,
+    m: SparseVector | Mask | None = None,
+    *,
+    algorithm: str = "auto",
+    semiring: Semiring = PLUS_TIMES,
+    complemented: bool = False,
+    tier: str = "vectorized",
+) -> SparseVector:
+    """Compute ``v = m ⊙ (u·B)`` (or ``¬m ⊙ (u·B)``).
+
+    Parameters
+    ----------
+    u : SparseVector of length B.nrows
+        The input row vector (a row of A in the matrix formulation).
+    B : CSRMatrix
+    m : SparseVector, Mask or None
+        Mask over the output length B.ncols. A SparseVector mask uses its
+        pattern; ``complemented`` applies in that case. ``None`` = unmasked.
+    algorithm, semiring, tier : as in :func:`repro.core.api.masked_spgemm`.
+    """
+    if u.n != B.nrows:
+        raise ShapeError(
+            f"u has length {u.n} but B has {B.nrows} rows")
+    mask = _vector_mask(m, B.ncols, complemented)
+    out = masked_spgemm(u.as_row_matrix(), B, mask, algorithm=algorithm,
+                        semiring=semiring, tier=tier)
+    return SparseVector.from_row_matrix(out)

@@ -1,0 +1,56 @@
+"""Shared types for the vectorized kernel tier.
+
+Every vectorized kernel module implements the same two-function protocol so
+the dispatcher and the parallel layer can treat algorithms uniformly:
+
+``numeric_rows(A, B, mask, semiring, rows) -> RowBlock``
+    Compute output rows ``rows`` (an int64 array of row ids) and return their
+    sizes plus concatenated column ids / values.
+
+``symbolic_rows(A, B, mask, rows) -> np.ndarray``
+    Pattern-only pass returning the exact nnz of each requested output row —
+    the paper's symbolic phase (§6).
+
+The dispatcher stitches :class:`RowBlock` chunks into a CSR matrix; chunks
+are independent, which is exactly the row-parallelism the paper exploits
+("plenty of coarse-grained parallelism across rows", §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import INDEX_DTYPE
+
+
+@dataclass
+class RowBlock:
+    """Computed output rows: ``sizes[t]`` entries for the t-th requested row,
+    stored consecutively in ``cols`` / ``vals``."""
+
+    sizes: np.ndarray  # int64, len == len(rows)
+    cols: np.ndarray   # int64, len == sizes.sum()
+    vals: np.ndarray   # float64, len == sizes.sum()
+
+    def __post_init__(self):
+        assert self.cols.size == self.vals.size == int(self.sizes.sum())
+
+
+def stitch_blocks(blocks: list[RowBlock], nrows: int, ncols: int):
+    """Assemble per-chunk :class:`RowBlock` results (in row order) into a
+    canonical CSR matrix."""
+    from ..sparse.csr import CSRMatrix
+
+    sizes = (np.concatenate([b.sizes for b in blocks])
+             if blocks else np.zeros(0, dtype=INDEX_DTYPE))
+    if sizes.size != nrows:
+        raise ValueError(f"blocks cover {sizes.size} rows, expected {nrows}")
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(sizes, out=indptr[1:])
+    cols = (np.concatenate([b.cols for b in blocks])
+            if blocks else np.empty(0, dtype=INDEX_DTYPE))
+    vals = (np.concatenate([b.vals for b in blocks])
+            if blocks else np.empty(0, dtype=np.float64))
+    return CSRMatrix(indptr, cols, vals, (nrows, ncols), check=False)

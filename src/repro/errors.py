@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing shape problems from format problems etc.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand dimensions are incompatible (e.g. A is m-by-k, B is not k-by-n)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse structure violates its format invariants (indptr monotonicity,
+    out-of-range indices, unsorted/duplicate columns where sortedness is
+    required, dtype problems)."""
+
+
+class MaskError(ReproError, ValueError):
+    """Mask is malformed or unsupported for the requested operation
+    (e.g. MCA with a complemented mask)."""
+
+
+class AlgorithmError(ReproError, ValueError):
+    """Unknown algorithm name or unsupported algorithm/option combination."""
+
+
+class AccumulatorError(ReproError, RuntimeError):
+    """An accumulator's state-machine contract was violated (e.g. ``insert``
+    before ``setAllowed`` in strict mode, ``remove`` of an unknown key)."""
+
+
+class IOFormatError(ReproError, ValueError):
+    """A Matrix Market (or other external) file could not be parsed."""

@@ -1,0 +1,39 @@
+"""Graph substrate: generators, preparation helpers and the input suite.
+
+The paper evaluates on Erdős-Rényi and R-MAT synthetic graphs plus 26
+real-world SuiteSparse matrices. This package provides the two synthetic
+generators with the paper's parameters (R-MAT uses the Graph500 constants)
+and a seeded, laptop-scale stand-in suite spanning the same structural axes
+as the real collection (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from .generators import (
+    banded_matrix,
+    chung_lu,
+    erdos_renyi,
+    grid_graph,
+    rmat,
+    watts_strogatz,
+)
+from .prep import (
+    relabel_by_degree,
+    to_undirected_simple,
+    tril_lower,
+)
+from .suite import SUITE_SPECS, load_graph, suite_graphs, suite_names
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "watts_strogatz",
+    "grid_graph",
+    "banded_matrix",
+    "chung_lu",
+    "relabel_by_degree",
+    "to_undirected_simple",
+    "tril_lower",
+    "SUITE_SPECS",
+    "suite_names",
+    "suite_graphs",
+    "load_graph",
+]

@@ -1,0 +1,147 @@
+"""Synthetic graph/matrix generators.
+
+* :func:`erdos_renyi` — the paper's controlled-density experiments (Fig. 7)
+  vary ER degree for mask and inputs independently.
+* :func:`rmat` — Recursive MATrix generator (Chakrabarti et al.) "with
+  parameters identical to those used in the Graph500 benchmark"
+  (a, b, c, d) = (0.57, 0.19, 0.19, 0.05); used for the scaling figures.
+* The remaining generators diversify the stand-in suite: small-world rings
+  (:func:`watts_strogatz`), meshes (:func:`grid_graph`), banded matrices
+  (:func:`banded_matrix`) and skewed-degree Chung-Lu graphs
+  (:func:`chung_lu`).
+
+All return canonical :class:`~repro.sparse.csr.CSRMatrix` adjacency
+patterns; duplicate sampled edges collapse, so realized nnz can land
+slightly under the request (Graph500 has the same property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+#: Graph500 R-MAT quadrant probabilities (paper §7).
+GRAPH500_PARAMS = (0.57, 0.19, 0.19, 0.05)
+
+
+def _rng(rng) -> np.random.Generator:
+    return rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+
+def _edges_to_csr(rows, cols, n, *, symmetrize: bool, remove_self_loops: bool,
+                  values: np.ndarray | None = None) -> CSRMatrix:
+    if remove_self_loops:
+        keep = rows != cols
+        rows, cols = rows[keep], cols[keep]
+        values = values[keep] if values is not None else None
+    if symmetrize:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        values = np.concatenate([values, values]) if values is not None else None
+    vals = values if values is not None else np.ones(rows.size)
+    m = COOMatrix(rows, cols, vals, (n, n)).to_csr()
+    # collapse duplicate-edge sums back to a 0/1 pattern
+    return m.pattern() if values is None else m
+
+
+def erdos_renyi(n: int, degree: float, *, rng=None, symmetrize: bool = False,
+                remove_self_loops: bool = True) -> CSRMatrix:
+    """G(n, m)-style Erdős-Rényi pattern with expected row degree ``degree``.
+
+    Samples ``round(n*degree)`` directed edges uniformly (with replacement,
+    duplicates collapsed). ``symmetrize=True`` mirrors edges for an
+    undirected graph (realized degree then approaches ``2*degree`` before
+    duplicate collapse — callers wanting a target undirected degree should
+    halve).
+    """
+    gen = _rng(rng)
+    nedges = int(round(n * degree))
+    if nedges == 0 or n == 0:
+        return CSRMatrix.empty((n, n))
+    rows = gen.integers(0, n, size=nedges, dtype=np.int64)
+    cols = gen.integers(0, n, size=nedges, dtype=np.int64)
+    return _edges_to_csr(rows, cols, n, symmetrize=symmetrize,
+                         remove_self_loops=remove_self_loops)
+
+
+def rmat(scale: int, edge_factor: int = 16, *, params=GRAPH500_PARAMS, rng=None,
+         symmetrize: bool = True, remove_self_loops: bool = True) -> CSRMatrix:
+    """R-MAT graph: n = 2^scale vertices, ~edge_factor·n sampled edges.
+
+    Each edge picks one quadrant per bit level according to ``params``;
+    the Graph500 defaults produce the skewed power-law-ish degree
+    distributions the paper's scaling experiments use.
+    """
+    gen = _rng(rng)
+    n = 1 << scale
+    nedges = edge_factor * n
+    a, b, c, d = params
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise ValueError(f"R-MAT params must sum to 1, got {params}")
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    for _level in range(scale):
+        r = gen.random(nedges)
+        # quadrants: a=(0,0) b=(0,1) c=(1,0) d=(1,1)
+        row_bit = r >= a + b
+        col_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    return _edges_to_csr(rows, cols, n, symmetrize=symmetrize,
+                         remove_self_loops=remove_self_loops)
+
+
+def watts_strogatz(n: int, k: int, p: float, *, rng=None) -> CSRMatrix:
+    """Small-world ring: each vertex connects to its k nearest ring
+    neighbours on each side; each edge rewires its endpoint with
+    probability p. Undirected simple pattern."""
+    gen = _rng(rng)
+    if n == 0:
+        return CSRMatrix.empty((0, 0))
+    src = np.repeat(np.arange(n, dtype=np.int64), k)
+    offsets = np.tile(np.arange(1, k + 1, dtype=np.int64), n)
+    dst = (src + offsets) % n
+    rewire = gen.random(src.size) < p
+    dst[rewire] = gen.integers(0, n, size=int(rewire.sum()), dtype=np.int64)
+    return _edges_to_csr(src, dst, n, symmetrize=True, remove_self_loops=True)
+
+
+def grid_graph(side: int) -> CSRMatrix:
+    """2-D mesh (side×side vertices, 4-neighbour connectivity) — the
+    high-locality, low-degree end of the suite."""
+    n = side * side
+    ids = np.arange(n, dtype=np.int64).reshape(side, side)
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    e = np.concatenate([right, down])
+    return _edges_to_csr(e[:, 0], e[:, 1], n, symmetrize=True,
+                         remove_self_loops=True)
+
+
+def banded_matrix(n: int, bandwidth: int, *, rng=None, fill: float = 0.6) -> CSRMatrix:
+    """Random pattern confined to ``|i-j| <= bandwidth`` — exercises the
+    paper's matrix-bandwidth assumption (§4.2, β(A) vs cache size)."""
+    gen = _rng(rng)
+    nnz_target = int(n * bandwidth * fill)
+    rows = gen.integers(0, n, size=nnz_target, dtype=np.int64)
+    span = gen.integers(-bandwidth, bandwidth + 1, size=nnz_target)
+    cols = np.clip(rows + span, 0, n - 1)
+    return _edges_to_csr(rows, cols, n, symmetrize=True, remove_self_loops=True)
+
+
+def chung_lu(n: int, avg_degree: float, exponent: float = 2.5, *, rng=None
+             ) -> CSRMatrix:
+    """Chung-Lu random graph with power-law expected degrees
+    (P(deg) ~ deg^-exponent): heavy-tailed like web/social graphs, which is
+    where load imbalance and hub rows stress the accumulators."""
+    gen = _rng(rng)
+    if n == 0:
+        return CSRMatrix.empty((0, 0))
+    # expected-degree weights w_i ∝ (i+1)^{-1/(exponent-1)}
+    w = (np.arange(1, n + 1, dtype=np.float64)) ** (-1.0 / (exponent - 1.0))
+    p = w / w.sum()
+    nedges = int(round(n * avg_degree / 2))
+    rows = gen.choice(n, size=nedges, p=p).astype(np.int64)
+    cols = gen.choice(n, size=nedges, p=p).astype(np.int64)
+    return _edges_to_csr(rows, cols, n, symmetrize=True, remove_self_loops=True)

@@ -1,0 +1,5 @@
+"""Mask abstraction for Masked SpGEMM."""
+
+from .mask import Mask
+
+__all__ = ["Mask"]

@@ -1,0 +1,101 @@
+"""Structural mask for ``C = M ⊙ (A·B)`` and ``C = ¬M ⊙ (A·B)``.
+
+Per the paper (§2): "we only utilize the pattern of the mask …, hence the
+values in the mask are not evaluated and the type of the mask elements does
+not matter." A :class:`Mask` therefore wraps only the CSR *pattern* (indptr +
+indices) of the masking matrix plus a ``complemented`` flag. The mask is
+stored in CSR (paper §2.1: "We use CSR format for storing the mask") with
+sorted row indices, which MCA and Heap depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MaskError
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_shape
+
+
+class Mask:
+    """Structural mask over an (nrows x ncols) output space.
+
+    Parameters
+    ----------
+    indptr, indices : CSR pattern arrays (values are irrelevant and not kept)
+    shape : (nrows, ncols)
+    complemented : bool
+        When True the mask selects entries *not* present in the pattern
+        (``C = ¬M ⊙ (A·B)``), the form graph traversals use to avoid
+        re-visiting vertices.
+    """
+
+    __slots__ = ("indptr", "indices", "shape", "complemented")
+
+    def __init__(self, indptr, indices, shape, *, complemented: bool = False):
+        self.shape = check_shape(shape)
+        # reuse CSRMatrix validation by building a throwaway pattern matrix
+        pat = CSRMatrix(indptr, indices, np.ones(len(indices)), self.shape)
+        self.indptr = pat.indptr
+        self.indices = pat.indices
+        self.complemented = bool(complemented)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matrix(cls, m: CSRMatrix, *, complemented: bool = False) -> "Mask":
+        """Build a mask from the stored pattern of a CSR matrix.
+
+        Note: *stored* pattern — explicit zeros count as present, matching
+        GraphBLAS structural-mask semantics.
+        """
+        return cls(m.indptr.copy(), m.indices.copy(), m.shape,
+                   complemented=complemented)
+
+    @classmethod
+    def full(cls, shape) -> "Mask":
+        """A no-op mask (complement of the empty pattern): every output entry
+        is allowed. Lets plain SpGEMM be expressed as Masked SpGEMM."""
+        nrows, _ = check_shape(shape)
+        return cls(np.zeros(nrows + 1, dtype=INDEX_DTYPE),
+                   np.empty(0, dtype=INDEX_DTYPE), shape, complemented=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Stored pattern entries — nnz(M) in the paper's cost formulas."""
+        return int(self.indices.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row(self, i: int) -> np.ndarray:
+        """Sorted column ids allowed (or disallowed, if complemented) in row i."""
+        return self.indices[self.indptr[i]: self.indptr[i + 1]]
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def complement(self) -> "Mask":
+        """The same pattern with the complemented flag flipped."""
+        return Mask(self.indptr.copy(), self.indices.copy(), self.shape,
+                    complemented=not self.complemented)
+
+    def to_matrix(self) -> CSRMatrix:
+        """Materialize the pattern as an all-ones CSR matrix."""
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(),
+                         np.ones(self.nnz), self.shape, check=False)
+
+    def check_output_shape(self, out_shape) -> None:
+        if tuple(out_shape) != self.shape:
+            raise MaskError(
+                f"mask shape {self.shape} does not match output shape {tuple(out_shape)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = "¬" if self.complemented else ""
+        return f"<Mask {c}M shape={self.shape} nnz={self.nnz}>"

@@ -1,0 +1,101 @@
+"""Row-parallel Masked SpGEMM driver.
+
+Flow: estimate per-row work → cut contiguous flops-balanced chunks
+(oversubscribed 4× so the greedy schedule can balance) → run the kernel's
+``numeric_rows`` (and ``symbolic_rows`` for two-phase) per chunk on the
+executor → stitch the RowBlocks back into one CSR matrix.
+
+Process-pool support: operands are parked in module globals under a token
+before the pool forks, so children inherit them via copy-on-write and tasks
+carry only ``(token, chunk_of_row_ids)``. Semirings are passed *by name*
+(pickling lambdas is a trap); custom semiring objects therefore require a
+thread/serial/simulated executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
+from ..sparse.csr import CSRMatrix
+from ..validation import check_multiplicable
+from ..core import registry
+from ..core.types import stitch_blocks
+from .executor import ProcessExecutor
+from .partition import balanced_partition, estimate_row_weights
+
+#: chunks per worker; >1 lets greedy scheduling smooth residual imbalance
+OVERSUBSCRIBE = 4
+
+# ---------------------------------------------------------------------- #
+# process-pool plumbing: context parked in globals pre-fork
+# ---------------------------------------------------------------------- #
+_CONTEXTS: dict[int, tuple] = {}
+_TOKENS = itertools.count()
+
+
+def _chunk_task(args):
+    """Top-level (picklable) task: run one chunk against the parked context."""
+    token, rows, phase = args
+    A, B, mask, algorithm, semiring_name = _CONTEXTS[token]
+    spec = registry.get_spec(algorithm)
+    semiring = _SEMIRING_REGISTRY[semiring_name]
+    if phase == "symbolic":
+        return spec.symbolic(A, B, mask, rows)
+    return spec.numeric(A, B, mask, semiring, rows)
+
+
+def parallel_masked_spgemm(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    mask: Mask,
+    *,
+    algorithm: str = "msa",
+    semiring: Semiring = PLUS_TIMES,
+    phases: int = 1,
+    executor=None,
+    nchunks: Optional[int] = None,
+) -> CSRMatrix:
+    """Row-parallel ``C = M ⊙ (A·B)`` on the given executor."""
+    out_shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(out_shape)
+    spec = registry.get_spec(algorithm)
+    if executor is None:
+        from .executor import SerialExecutor
+
+        executor = SerialExecutor()
+
+    weights = estimate_row_weights(A, B, mask, algorithm)
+    nchunks = nchunks or max(1, executor.nworkers * OVERSUBSCRIBE)
+    chunks = balanced_partition(weights, nchunks)
+    if not chunks:
+        return CSRMatrix.empty(out_shape)
+
+    if isinstance(executor, ProcessExecutor):
+        if semiring.name not in _SEMIRING_REGISTRY:
+            raise AlgorithmError(
+                f"process executor requires a registered semiring (got "
+                f"{semiring.name!r}); use a thread or serial executor for "
+                f"custom semirings"
+            )
+        token = next(_TOKENS)
+        _CONTEXTS[token] = (A, B, mask, algorithm, semiring.name)
+        try:
+            if phases == 2:
+                executor.map(_chunk_task,
+                             [(token, c, "symbolic") for c in chunks])
+            blocks = executor.map(_chunk_task,
+                                  [(token, c, "numeric") for c in chunks])
+        finally:
+            del _CONTEXTS[token]
+    else:
+        if phases == 2:
+            executor.map(lambda c: spec.symbolic(A, B, mask, c), chunks)
+        blocks = executor.map(lambda c: spec.numeric(A, B, mask, semiring, c),
+                              chunks)
+
+    return stitch_blocks(blocks, out_shape[0], out_shape[1])

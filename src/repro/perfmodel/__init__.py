@@ -1,0 +1,32 @@
+"""Performance models: the paper's §4 memory-traffic analysis as code, plus
+a small cache simulator that replays kernel address traces.
+
+The paper argues its algorithm choices from first-principles memory traffic
+(pull: ``nnz(A) + nnz(M)(1 + nnz(B)/n)``; push: ``nnz(A) + nnz(A)·L +
+flops(AB)`` + an accumulator-dependent term) and from cache behaviour
+(MSA's dense arrays miss once they outgrow the cache; Hash/MCA track
+``nnz(m)``). Since we have no hardware counters, both mechanisms are made
+*measurable*: :mod:`traffic` computes the formulas, :mod:`cachesim` +
+:mod:`trace` replay per-row address streams through an LRU cache.
+"""
+
+from .traffic import (
+    TrafficModel,
+    pull_traffic,
+    push_traffic,
+    accumulator_traffic,
+    predicted_best,
+)
+from .cachesim import LRUCache
+from .trace import row_trace, simulate_row_misses
+
+__all__ = [
+    "TrafficModel",
+    "pull_traffic",
+    "push_traffic",
+    "accumulator_traffic",
+    "predicted_best",
+    "LRUCache",
+    "row_trace",
+    "simulate_row_misses",
+]

@@ -1,0 +1,84 @@
+"""Set-associative LRU cache simulator.
+
+A deliberately small, exact simulator: addresses (in bytes) are mapped to
+lines and sets; each set keeps true LRU order. It exists to make the paper's
+cache *arguments* measurable — e.g. "the arrays in the MSA accumulator are
+too large to fit in L1 … so indexing an element of these arrays usually
+incurs a cache miss" (§5.3), and the Haswell-vs-KNL L3 explanation of §8.3 —
+on address traces produced by :mod:`repro.perfmodel.trace`.
+
+Traces are replayed sequentially (true LRU is inherently sequential), so
+keep them to ~10^5-10^6 accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LRUCache:
+    """Set-associative LRU cache over byte addresses.
+
+    Parameters
+    ----------
+    size_bytes : total capacity (must be divisible by line_bytes * ways)
+    line_bytes : cache-line size (default 64)
+    ways : associativity (default 8)
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 8):
+        if size_bytes % (line_bytes * ways):
+            raise ValueError(
+                f"size {size_bytes} not divisible by line*ways = {line_bytes * ways}"
+            )
+        self.line_bytes = int(line_bytes)
+        self.ways = int(ways)
+        self.nsets = size_bytes // (line_bytes * ways)
+        # sets[s] is a list of tags, most recent last
+        self._sets: list[list[int]] = [[] for _ in range(self.nsets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines (keeps statistics)."""
+        self._sets = [[] for _ in range(self.nsets)]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        a = self.accesses
+        return self.misses / a if a else 0.0
+
+    # ------------------------------------------------------------------ #
+    def access(self, addr: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = addr // self.line_bytes
+        s = line % self.nsets
+        tag = line // self.nsets
+        ways = self._sets[s]
+        try:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        except ValueError:
+            ways.append(tag)
+            if len(ways) > self.ways:
+                ways.pop(0)
+            self.misses += 1
+            return False
+
+    def access_many(self, addrs: np.ndarray) -> int:
+        """Replay a whole trace; returns the number of misses it caused."""
+        before = self.misses
+        for a in np.asarray(addrs, dtype=np.int64):
+            self.access(int(a))
+        return self.misses - before

@@ -1,0 +1,88 @@
+"""Address-trace generation for the accumulator step of each algorithm.
+
+For one output row we emit the byte addresses the *accumulator* (memory
+access pattern 4 of §4.2) would touch — the other patterns (streams over A,
+B and the output) are identical across push algorithms and therefore not
+discriminating. Layouts follow the implementations:
+
+* MSA — two dense arrays of ``ncols`` doubles; each product and each mask
+  mark touches ``states[j]`` and ``values[j]``.
+* Hash — one open-addressing table of ``capacity = nnz(m)/0.25`` 24-byte
+  entries; each access touches its hashed slot (probe chains ignored — at
+  LF 0.25 they are short).
+* MCA — two arrays of ``nnz(m)`` entries indexed by mask rank.
+* Heap — the iterator heap: ``nnz(u)`` entries touched per pop/push.
+
+Replaying these traces through :class:`~repro.perfmodel.cachesim.LRUCache`
+turns the paper's "MSA misses more as the matrix grows" into a measured
+number (see ``benchmarks/bench_ablation_traffic_model.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accumulators.hash_acc import table_capacity
+from ..core.expand import expand_row_pattern
+from ..mask import Mask
+from ..sparse.csr import CSRMatrix
+from .cachesim import LRUCache
+
+_WORD = 8
+_HASH_ENTRY = 24  # key + value + state, padded
+
+#: distinct base offsets so arrays do not alias in the simulated cache
+_VALUES_BASE = 1 << 30
+_STATES_BASE = 1 << 31
+
+
+def _hash_slot(keys: np.ndarray, cap: int) -> np.ndarray:
+    h = (keys.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(32)
+    return (h & np.uint64(cap - 1)).astype(np.int64)
+
+
+def row_trace(algorithm: str, A: CSRMatrix, B: CSRMatrix, mask: Mask, i: int
+              ) -> np.ndarray:
+    """Byte-address trace of the accumulator accesses for output row ``i``."""
+    m_cols = mask.indices[mask.indptr[i]: mask.indptr[i + 1]]
+    bj = expand_row_pattern(A, B, i)
+    algorithm = algorithm.lower()
+    if algorithm == "msa":
+        keys = np.concatenate([m_cols, bj, m_cols])  # mark, scatter, gather
+        return np.concatenate([_STATES_BASE + keys * _WORD,
+                               _VALUES_BASE + keys * _WORD])
+    if algorithm == "hash":
+        cap = table_capacity(m_cols.size)
+        keys = np.concatenate([m_cols, bj, m_cols])
+        return _hash_slot(keys, cap) * _HASH_ENTRY
+    if algorithm == "mca":
+        if m_cols.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ranks = np.searchsorted(m_cols, bj)
+        ranks[ranks == m_cols.size] = 0
+        hit = m_cols[ranks] == bj
+        keys = np.concatenate([ranks[hit], np.arange(m_cols.size)])
+        return np.concatenate([_STATES_BASE + keys * _WORD,
+                               _VALUES_BASE + keys * _WORD])
+    if algorithm in ("heap", "heapdot"):
+        nu = int(A.indptr[i + 1] - A.indptr[i])
+        if nu == 0:
+            return np.empty(0, dtype=np.int64)
+        # each of the flops pops touches O(1) heap slots near the root plus
+        # its reinsertion slot; model as a uniform touch over the heap array
+        rng = np.random.default_rng(i)
+        slots = rng.integers(0, nu, size=bj.size * 2)
+        return slots * _HASH_ENTRY
+    raise ValueError(f"no trace model for algorithm {algorithm!r}")
+
+
+def simulate_row_misses(algorithm: str, A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                        rows, cache: LRUCache | None = None,
+                        *, size_bytes: int = 32 * 1024) -> tuple[int, int]:
+    """Replay the accumulator traces of ``rows`` through an (L1-sized by
+    default) cache. Returns (misses, accesses)."""
+    cache = cache or LRUCache(size_bytes)
+    cache.reset_stats()
+    for i in rows:
+        cache.access_many(row_trace(algorithm, A, B, mask, int(i)))
+    return cache.misses, cache.accesses

@@ -1,0 +1,36 @@
+"""Semiring abstraction (GraphBLAS-style) over which SpGEMM is generalized.
+
+The paper keeps to the arithmetic semiring "to keep the discussions simple"
+(§2) but notes the evaluated graph algorithms use various semirings; the
+ones actually needed by the evaluation are provided here: arithmetic
+(PLUS_TIMES), PLUS_PAIR (triangle counting / k-truss count common
+neighbours), PLUS_FIRST / PLUS_SECOND (betweenness centrality path
+accumulation), MIN_PLUS (shortest paths), MAX_TIMES and boolean OR_AND.
+"""
+
+from .semiring import Monoid, Semiring
+from .standard import (
+    ARITHMETIC,
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_FIRST,
+    PLUS_PAIR,
+    PLUS_SECOND,
+    PLUS_TIMES,
+    by_name,
+)
+
+__all__ = [
+    "Monoid",
+    "Semiring",
+    "ARITHMETIC",
+    "PLUS_TIMES",
+    "PLUS_PAIR",
+    "PLUS_FIRST",
+    "PLUS_SECOND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "OR_AND",
+    "by_name",
+]

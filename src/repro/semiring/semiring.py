@@ -1,0 +1,85 @@
+"""Semiring and monoid classes.
+
+A semiring for SpGEMM purposes is an additive commutative monoid
+``(add, identity)`` used by the accumulator to merge partial products, plus a
+multiplicative binary op ``mul(a_ik, b_kj)`` producing those products.
+
+Design constraint: the vectorized kernels accumulate with
+``numpy.ufunc.at`` (scatter-accumulate) and ``numpy.ufunc.reduceat``
+(segment reduction), so the additive op must be a *numpy ufunc*
+(``np.add``, ``np.minimum``, ...). The multiplicative op only ever runs
+element-wise on aligned arrays, so any callable of two arrays works; common
+cases (``first``/``second``/``pair``) are expressed without materializing a
+multiply at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """Commutative additive monoid backed by a numpy ufunc.
+
+    Attributes
+    ----------
+    ufunc : np.ufunc
+        Must support ``.at`` and ``.reduceat`` (all arithmetic ufuncs do).
+    identity : float
+        Identity element (0 for +, +inf for min, -inf for max).
+    name : str
+    """
+
+    ufunc: np.ufunc
+    identity: float
+    name: str
+
+    def __post_init__(self):
+        if not isinstance(self.ufunc, np.ufunc):
+            raise TypeError(f"Monoid requires a numpy ufunc, got {type(self.ufunc)}")
+
+    def reduce(self, values: np.ndarray):
+        """Reduce a 1-D array to a scalar, returning identity when empty."""
+        if values.size == 0:
+            return self.identity
+        return self.ufunc.reduce(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name})"
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (add-monoid, multiply) pair driving SpGEMM.
+
+    ``mul`` takes the expanded, aligned arrays ``(a_vals, b_vals)`` — i.e.
+    ``a_vals[p]`` is the A-entry and ``b_vals[p]`` the B-entry of partial
+    product p — and returns the products array. ``mul_scalar`` is the scalar
+    version used by the reference (pure-Python) tier.
+    """
+
+    add: Monoid
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    name: str
+    mul_scalar: Callable[[float, float], float] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.mul_scalar is None:
+            # element-wise callables usually work on scalars too
+            object.__setattr__(self, "mul_scalar", lambda a, b: float(self.mul(
+                np.asarray([a]), np.asarray([b]))[0]))
+
+    @property
+    def identity(self) -> float:
+        return self.add.identity
+
+    def multiply(self, a_vals: np.ndarray, b_vals: np.ndarray) -> np.ndarray:
+        """Compute aligned partial products (vectorized tier entry point)."""
+        return self.mul(a_vals, b_vals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"

@@ -1,0 +1,121 @@
+"""Constructors for common sparse matrices.
+
+These are substrate utilities used by generators, tests and examples:
+identity/diagonal, dense conversion, edge-list ingestion and uniform random
+(Erdős-Rényi-style) patterns. Graph-specific generators (R-MAT etc.) live in
+:mod:`repro.graphs.generators`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..validation import INDEX_DTYPE, VALUE_DTYPE, check_shape
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+
+def csr_eye(n: int, dtype=VALUE_DTYPE) -> CSRMatrix:
+    """n-by-n identity matrix in CSR."""
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    indptr = np.arange(n + 1, dtype=INDEX_DTYPE)
+    return CSRMatrix(indptr, idx, np.ones(n, dtype=dtype), (n, n), check=False)
+
+
+def csr_diag(values, k: int = 0) -> CSRMatrix:
+    """Square matrix with ``values`` on the k-th diagonal."""
+    v = np.asarray(values, dtype=VALUE_DTYPE)
+    n = v.size + abs(k)
+    rows = np.arange(v.size, dtype=INDEX_DTYPE) + max(0, -k)
+    cols = np.arange(v.size, dtype=INDEX_DTYPE) + max(0, k)
+    return COOMatrix(rows, cols, v, (n, n)).to_csr()
+
+
+def csr_from_dense(arr, *, keep_explicit_zeros: bool = False) -> CSRMatrix:
+    """Build a CSR matrix from a dense 2-D array, dropping zeros by default."""
+    a = np.asarray(arr)
+    if a.ndim != 2:
+        raise ShapeError(f"expected 2-D array, got ndim={a.ndim}")
+    if keep_explicit_zeros:
+        rows, cols = np.indices(a.shape)
+        rows, cols = rows.ravel(), cols.ravel()
+    else:
+        rows, cols = np.nonzero(a)
+    return COOMatrix(
+        rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE),
+        a[rows, cols].astype(VALUE_DTYPE), a.shape,
+    ).to_csr()
+
+
+def csr_from_edges(edges, shape, *, values=None, symmetrize: bool = False) -> CSRMatrix:
+    """Build a CSR adjacency matrix from an iterable/array of (u, v) edges.
+
+    Parameters
+    ----------
+    edges : (m, 2) array-like of vertex pairs
+    shape : matrix shape (usually (n, n))
+    values : optional per-edge values; default all-ones
+    symmetrize : also insert (v, u) for every (u, v) — undirected graphs.
+        Duplicate edges collapse (summed) via COO canonicalization; callers
+        wanting a pure 0/1 pattern should call ``.pattern()`` afterwards.
+    """
+    e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                   dtype=INDEX_DTYPE)
+    if e.size == 0:
+        return CSRMatrix.empty(shape)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise ShapeError(f"edges must be (m, 2)-shaped, got {e.shape}")
+    rows, cols = e[:, 0], e[:, 1]
+    vals = (np.ones(rows.size, dtype=VALUE_DTYPE) if values is None
+            else np.asarray(values, dtype=VALUE_DTYPE))
+    if symmetrize:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    return COOMatrix(rows, cols, vals, shape).to_csr()
+
+
+def csr_random(
+    nrows: int,
+    ncols: int,
+    density: float | None = None,
+    *,
+    nnz: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    values: str = "uniform",
+) -> CSRMatrix:
+    """Uniformly random sparse matrix (each cell independently, ER-style).
+
+    Exactly one of ``density`` / ``nnz`` must be given. Sampling draws
+    ``nnz`` cell ids with replacement then dedupes, so the realized nnz can
+    be slightly below the request for dense targets — the same convention
+    scipy.sparse.random and the Graph500 generator use.
+
+    Parameters
+    ----------
+    values : "uniform" (U[0,1)), "ones", or "randint" (1..9, nice to read)
+    """
+    check_shape((nrows, ncols))
+    if (density is None) == (nnz is None):
+        raise ValueError("specify exactly one of density / nnz")
+    if nnz is None:
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        nnz = int(round(density * nrows * ncols))
+    if nnz < 0:
+        raise ValueError(f"nnz must be non-negative, got {nnz}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if nnz == 0 or nrows == 0 or ncols == 0:
+        return CSRMatrix.empty((nrows, ncols))
+    flat = gen.integers(0, nrows * ncols, size=nnz, dtype=np.int64)
+    flat = np.unique(flat)
+    rows, cols = flat // ncols, flat % ncols
+    if values == "uniform":
+        vals = gen.random(rows.size)
+    elif values == "ones":
+        vals = np.ones(rows.size)
+    elif values == "randint":
+        vals = gen.integers(1, 10, size=rows.size).astype(VALUE_DTYPE)
+    else:
+        raise ValueError(f"unknown values kind {values!r}")
+    return COOMatrix(rows, cols, vals, (nrows, ncols)).to_csr()

@@ -1,0 +1,95 @@
+"""Format conversions: COO <-> CSR <-> CSC, plus an optional scipy bridge.
+
+All conversions are implemented from scratch with numpy primitives
+(`lexsort`, `bincount`, `cumsum`, stable `argsort`) — ``scipy`` is imported
+lazily and only by :func:`from_scipy` / :func:`to_scipy`, which exist solely
+so the test-suite can compare against the scipy oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import INDEX_DTYPE
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Canonicalize a COO matrix (sort row-major, sum duplicates) into CSR."""
+    canon = coo.canonicalize()
+    counts = np.bincount(canon.rows, minlength=canon.shape[0])
+    indptr = np.zeros(canon.shape[0] + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(indptr, canon.cols, canon.data, canon.shape, check=False)
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    rows = np.repeat(np.arange(csr.nrows, dtype=INDEX_DTYPE), csr.row_nnz())
+    return COOMatrix(rows, csr.indices.copy(), csr.data.copy(), csr.shape)
+
+
+def _transpose_arrays(indptr, indices, data, nrows, ncols):
+    """Core transpose: given CSR arrays of an (nrows x ncols) matrix, return
+    the CSR arrays of its (ncols x nrows) transpose, rows sorted+unique.
+
+    Uses a stable argsort on column ids: stability preserves ascending row
+    order within each output row, so the result is canonical by construction.
+    """
+    row_ids = np.repeat(np.arange(nrows, dtype=INDEX_DTYPE), np.diff(indptr))
+    order = np.argsort(indices, kind="stable")
+    t_indices = row_ids[order]
+    t_data = data[order]
+    counts = np.bincount(indices, minlength=ncols)
+    t_indptr = np.zeros(ncols + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=t_indptr[1:])
+    return t_indptr, t_indices, t_data
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """Convert CSR to CSC via one stable argsort over column ids.
+
+    This materializes the same data compressed along the other axis; it is
+    the explicit transpose work SuiteSparse performs before its dot-product
+    kernel (paper §8.4 notes this per-call overhead for SS:DOT).
+    """
+    t_indptr, t_indices, t_data = _transpose_arrays(
+        csr.indptr, csr.indices, csr.data, csr.nrows, csr.ncols
+    )
+    return CSCMatrix(t_indptr, t_indices, t_data, csr.shape, check=False)
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    t_indptr, t_indices, t_data = _transpose_arrays(
+        csc.indptr, csc.indices, csc.data, csc.ncols, csc.nrows
+    )
+    return CSRMatrix(t_indptr, t_indices, t_data, csc.shape, check=False)
+
+
+# ---------------------------------------------------------------------- #
+# scipy bridge — test oracle only
+# ---------------------------------------------------------------------- #
+def to_scipy(csr: CSRMatrix):
+    """Convert to ``scipy.sparse.csr_matrix`` (test oracle / interop)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (csr.data.copy(), csr.indices.copy(), csr.indptr.copy()), shape=csr.shape
+    )
+
+
+def from_scipy(mat) -> CSRMatrix:
+    """Convert any scipy sparse matrix to our canonical CSRMatrix."""
+    import scipy.sparse as sp
+
+    m = sp.csr_matrix(mat)
+    m.sort_indices()
+    m.sum_duplicates()
+    return CSRMatrix(
+        m.indptr.astype(INDEX_DTYPE),
+        m.indices.astype(INDEX_DTYPE),
+        m.data.astype(np.float64),
+        m.shape,
+        check=False,
+    )

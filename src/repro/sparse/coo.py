@@ -1,0 +1,131 @@
+"""COO (coordinate / triplet) sparse format.
+
+COO is the builder and interchange format: generators emit edge lists as COO,
+Matrix Market files parse into COO, and COO canonicalization (sort + duplicate
+summation) is the single place where messy input becomes a clean compressed
+matrix. The compute kernels never operate on COO directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from ..validation import (
+    INDEX_DTYPE,
+    as_index_array,
+    as_value_array,
+    check_indices_in_range,
+    check_shape,
+)
+
+
+@dataclass
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Attributes
+    ----------
+    rows, cols : int64 arrays of equal length
+        Row/column index of each stored entry.
+    data : 1-D array of values, same length as ``rows``
+    shape : (nrows, ncols)
+
+    Entries may be unsorted and may contain duplicates until
+    :meth:`canonicalize` is called; duplicate (i, j) pairs are *summed*
+    (GraphBLAS "dup op = plus" convention, also what Matrix Market implies).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __init__(self, rows, cols, data, shape):
+        self.shape = check_shape(shape)
+        self.rows = as_index_array(rows, "rows")
+        self.cols = as_index_array(cols, "cols")
+        self.data = as_value_array(data, "data", dtype=np.asarray(data).dtype)
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise FormatError(
+                f"rows/cols/data length mismatch: "
+                f"{self.rows.size}/{self.cols.size}/{self.data.size}"
+            )
+        check_indices_in_range(self.rows, self.shape[0], "rows")
+        check_indices_in_range(self.cols, self.shape[1], "cols")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates counted separately)."""
+        return int(self.rows.size)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(self.rows.copy(), self.cols.copy(), self.data.copy(), self.shape)
+
+    # ------------------------------------------------------------------ #
+    def canonicalize(self) -> "COOMatrix":
+        """Return an equivalent COO with row-major sorted, duplicate-free
+        entries (duplicates summed) and explicit zeros *retained*.
+
+        Explicit zeros are kept because GraphBLAS masks are structural: an
+        explicitly stored zero is part of the pattern. Use :meth:`prune` to
+        drop them.
+        """
+        if self.nnz == 0:
+            return self.copy()
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        d = self.data[order]
+        # boundary[i] is True where entry i starts a new (row, col) group
+        boundary = np.empty(r.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(r[1:], r[:-1], out=boundary[1:])
+        boundary[1:] |= c[1:] != c[:-1]
+        group_ids = np.cumsum(boundary) - 1
+        ngroups = int(group_ids[-1]) + 1
+        out_r = r[boundary]
+        out_c = c[boundary]
+        out_d = np.zeros(ngroups, dtype=d.dtype)
+        np.add.at(out_d, group_ids, d)
+        return COOMatrix(out_r, out_c, out_d, self.shape)
+
+    def prune(self, tol: float = 0.0) -> "COOMatrix":
+        """Drop stored entries with ``|value| <= tol`` (default: exact zeros)."""
+        keep = np.abs(self.data) > tol
+        return COOMatrix(self.rows[keep], self.cols[keep], self.data[keep], self.shape)
+
+    # ------------------------------------------------------------------ #
+    def to_csr(self):
+        """Convert to CSR (canonicalizing on the way)."""
+        from .convert import coo_to_csr
+
+        return coo_to_csr(self)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D numpy array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(self.cols.copy(), self.rows.copy(), self.data.copy(),
+                         (self.shape[1], self.shape[0]))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, shape, dtype=np.float64) -> "COOMatrix":
+        z = np.empty(0, dtype=INDEX_DTYPE)
+        return cls(z, z.copy(), np.empty(0, dtype=dtype), shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<COOMatrix shape={self.shape} nnz={self.nnz} dtype={self.data.dtype}>"
+        )

@@ -1,0 +1,100 @@
+"""CSC (Compressed Sparse Column) format.
+
+The paper uses CSC in exactly one place (§4.1): the pull-based Inner
+algorithm reads ``B`` column-by-column, "most efficiently implemented when A
+is stored in CSR and B is stored in CSC". We represent a CSC matrix as the
+CSR arrays of its transpose plus the logical shape, which makes the
+column-access path (``col(j)``) a zero-copy slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import INDEX_DTYPE, VALUE_DTYPE, check_shape
+from .csr import CSRMatrix
+
+
+class CSCMatrix:
+    """Compressed sparse column matrix.
+
+    Internally stores ``indptr`` over *columns*, ``indices`` holding *row*
+    ids (sorted, unique within a column) and ``data``. Equivalently this is
+    the CSR representation of the transpose.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(self, indptr, indices, data, shape, *, check: bool = True):
+        self.shape = check_shape(shape)
+        # Validate by viewing as CSR of the transpose.
+        as_csr = CSRMatrix(indptr, indices, data, (self.shape[1], self.shape[0]),
+                           check=check)
+        self.indptr = as_csr.indptr
+        self.indices = as_csr.indices
+        self.data = as_csr.data
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column nonzero counts, ``nnz(B_*j)`` for all j."""
+        return np.diff(self.indptr)
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of (row indices, values) of column ``j`` — zero copy.
+
+        This is the access pattern the Inner algorithm performs for every
+        unmasked output entry (paper §4.1).
+        """
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(self.indptr.copy(), self.indices.copy(), self.data.copy(),
+                         self.shape, check=False)
+
+    # ------------------------------------------------------------------ #
+    def to_csr(self) -> CSRMatrix:
+        from .convert import csc_to_csr
+
+        return csc_to_csr(self)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        cols = np.repeat(np.arange(self.ncols, dtype=INDEX_DTYPE), self.col_nnz())
+        out[self.indices, cols] = self.data
+        return out
+
+    def transpose_view_csr(self) -> CSRMatrix:
+        """Reinterpret the same arrays as the CSR matrix B^T (zero copy)."""
+        return CSRMatrix(self.indptr, self.indices, self.data,
+                         (self.shape[1], self.shape[0]), check=False)
+
+    @classmethod
+    def empty(cls, shape, dtype=VALUE_DTYPE) -> "CSCMatrix":
+        m, n = check_shape(shape)
+        return cls(
+            np.zeros(n + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=dtype),
+            shape,
+            check=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CSCMatrix shape={self.shape} nnz={self.nnz} dtype={self.data.dtype}>"

@@ -1,0 +1,142 @@
+"""DCSR (doubly-compressed sparse row) — the hypersparse format.
+
+The paper (§3) notes SuiteSparse's hypersparse case "uses either DCSR or
+DCSC [10]" (Buluç & Gilbert). DCSR compresses the row-pointer axis too:
+only rows with at least one nonzero are materialized, so storage is
+O(nnz + nrows_nonempty) instead of O(nnz + nrows). That matters exactly
+where the paper's applications produce hypersparse intermediates — e.g.
+betweenness-centrality frontiers, where a handful of batch rows remain
+active in late BFS levels.
+
+This implementation interoperates with CSR (lossless round-trip) and offers
+the row-access API the kernels' reference tier needs. The vectorized matrix
+kernels stay CSR-only, matching the paper's stated scope ("Our work is
+focused on the CSR format"); DCSR here is substrate for storage-sensitive
+callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..validation import (
+    INDEX_DTYPE,
+    as_index_array,
+    as_value_array,
+    check_indices_in_range,
+    check_shape,
+)
+from .csr import CSRMatrix
+
+
+class DCSRMatrix:
+    """Doubly-compressed sparse row matrix.
+
+    Attributes
+    ----------
+    row_ids : sorted unique ids of the non-empty rows (length nzr)
+    indptr : length nzr+1; ``indptr[t]:indptr[t+1]`` slices row ``row_ids[t]``
+    indices, data : column ids / values, rows sorted internally
+    shape : logical (nrows, ncols)
+    """
+
+    __slots__ = ("row_ids", "indptr", "indices", "data", "shape")
+
+    def __init__(self, row_ids, indptr, indices, data, shape, *,
+                 check: bool = True):
+        self.shape = check_shape(shape)
+        self.row_ids = as_index_array(row_ids, "row_ids")
+        self.indptr = as_index_array(indptr, "indptr")
+        self.indices = as_index_array(indices, "indices")
+        self.data = as_value_array(data, "data")
+        if check:
+            if self.indptr.shape != (self.row_ids.size + 1,):
+                raise FormatError(
+                    f"indptr length {self.indptr.size} != nzr+1 "
+                    f"{self.row_ids.size + 1}")
+            if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+                raise FormatError("indptr must span [0, nnz]")
+            if np.any(np.diff(self.indptr) <= 0):
+                raise FormatError(
+                    "DCSR rows must be non-empty (that is the point of "
+                    "double compression); empty rows simply do not appear")
+            if self.row_ids.size:
+                check_indices_in_range(self.row_ids, self.shape[0], "row_ids")
+                if np.any(np.diff(self.row_ids) <= 0):
+                    raise FormatError("row_ids must be strictly increasing")
+            check_indices_in_range(self.indices, self.shape[1], "indices")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nzr(self) -> int:
+        """Number of non-empty rows — the quantity DCSR compresses over."""
+        return int(self.row_ids.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def storage_words(self) -> int:
+        """Index-array words used (the DCSR-vs-CSR saving is visible here)."""
+        return self.row_ids.size + self.indptr.size + self.indices.size
+
+    # ------------------------------------------------------------------ #
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(cols, vals) of logical row i; empty views when i has no entries.
+
+        Binary search over ``row_ids`` — O(log nzr), the access-cost tax
+        DCSR pays for its storage saving.
+        """
+        t = int(np.searchsorted(self.row_ids, i))
+        if t == self.row_ids.size or self.row_ids[t] != i:
+            return (np.empty(0, dtype=INDEX_DTYPE),
+                    np.empty(0, dtype=np.float64))
+        lo, hi = self.indptr[t], self.indptr[t + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def iter_rows(self):
+        """Yield (row_id, cols, vals) over non-empty rows only — the
+        iteration pattern hypersparse algorithms rely on."""
+        for t in range(self.nzr):
+            lo, hi = self.indptr[t], self.indptr[t + 1]
+            yield int(self.row_ids[t]), self.indices[lo:hi], self.data[lo:hi]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csr(cls, m: CSRMatrix) -> "DCSRMatrix":
+        rnnz = m.row_nnz()
+        nonempty = np.flatnonzero(rnnz > 0).astype(INDEX_DTYPE)
+        indptr = np.zeros(nonempty.size + 1, dtype=INDEX_DTYPE)
+        np.cumsum(rnnz[nonempty], out=indptr[1:])
+        return cls(nonempty, indptr, m.indices.copy(), m.data.copy(),
+                   m.shape, check=False)
+
+    def to_csr(self) -> CSRMatrix:
+        rnnz = np.zeros(self.nrows, dtype=INDEX_DTYPE)
+        rnnz[self.row_ids] = np.diff(self.indptr)
+        indptr = np.zeros(self.nrows + 1, dtype=INDEX_DTYPE)
+        np.cumsum(rnnz, out=indptr[1:])
+        return CSRMatrix(indptr, self.indices.copy(), self.data.copy(),
+                         self.shape, check=False)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().to_dense()
+
+    @classmethod
+    def empty(cls, shape) -> "DCSRMatrix":
+        z = np.empty(0, dtype=INDEX_DTYPE)
+        return cls(z, np.zeros(1, dtype=INDEX_DTYPE), z.copy(),
+                   np.empty(0), shape, check=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<DCSRMatrix shape={self.shape} nnz={self.nnz} "
+                f"nzr={self.nzr}/{self.nrows}>")

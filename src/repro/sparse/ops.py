@@ -1,0 +1,186 @@
+"""Structural and element-wise operations on CSR matrices.
+
+These are the GraphBLAS-flavoured helper operations the paper's applications
+need around the masked product itself: ``tril`` for triangle counting's
+``L``, element-wise multiply/add/divide for betweenness centrality's
+dependency updates, pattern extraction for masks, and mask application (the
+"multiply then mask" strawman of the paper's Fig. 1 needs ``apply_mask``).
+
+Row-major (row, col) pairs are encoded as scalar keys ``row * ncols + col``
+so set operations (union / intersection / difference) become 1-D sorted-array
+operations — a standard trick that keeps everything vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..validation import INDEX_DTYPE, VALUE_DTYPE, check_same_shape
+from .csr import CSRMatrix
+
+
+# ---------------------------------------------------------------------- #
+# key encoding
+# ---------------------------------------------------------------------- #
+def _keys(m: CSRMatrix) -> np.ndarray:
+    """Encode stored coordinates as sorted unique int64 scalar keys."""
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    return rows * m.ncols + m.indices
+
+
+def _from_keys(keys: np.ndarray, values: np.ndarray, shape) -> CSRMatrix:
+    """Rebuild a canonical CSR from sorted unique keys + aligned values."""
+    nrows, ncols = shape
+    rows = keys // ncols
+    cols = keys - rows * ncols
+    counts = np.bincount(rows, minlength=nrows)
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(indptr, cols, values, shape, check=False)
+
+
+# ---------------------------------------------------------------------- #
+# structural ops
+# ---------------------------------------------------------------------- #
+def transpose_csr(m: CSRMatrix) -> CSRMatrix:
+    from .convert import _transpose_arrays
+
+    t_indptr, t_indices, t_data = _transpose_arrays(
+        m.indptr, m.indices, m.data, m.nrows, m.ncols
+    )
+    return CSRMatrix(t_indptr, t_indices, t_data, (m.ncols, m.nrows), check=False)
+
+
+def _select(m: CSRMatrix, keep: np.ndarray) -> CSRMatrix:
+    """Filter stored entries by boolean mask ``keep`` (aligned with data)."""
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    counts = np.bincount(rows[keep], minlength=m.nrows)
+    indptr = np.zeros(m.nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(indptr, m.indices[keep], m.data[keep], m.shape, check=False)
+
+
+def tril(m: CSRMatrix, k: int = -1) -> CSRMatrix:
+    """Entries on/below the k-th diagonal (default strictly-lower, the ``L``
+    of the paper's triangle-counting formulation ``sum(L .* (L·L))``)."""
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    return _select(m, m.indices - rows <= k)
+
+
+def triu(m: CSRMatrix, k: int = 1) -> CSRMatrix:
+    """Entries on/above the k-th diagonal (default strictly-upper)."""
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    return _select(m, m.indices - rows >= k)
+
+
+def diagonal(m: CSRMatrix) -> np.ndarray:
+    """Dense main diagonal (zeros where unstored)."""
+    out = np.zeros(min(m.shape), dtype=m.dtype)
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    on_diag = rows == m.indices
+    out[rows[on_diag]] = m.data[on_diag]
+    return out
+
+
+def prune(m: CSRMatrix, tol: float = 0.0) -> CSRMatrix:
+    """Drop stored entries with ``|value| <= tol``."""
+    return _select(m, np.abs(m.data) > tol)
+
+
+def remove_diagonal(m: CSRMatrix) -> CSRMatrix:
+    """Drop stored entries on the main diagonal (self-loops in graph terms)."""
+    rows = np.repeat(np.arange(m.nrows, dtype=INDEX_DTYPE), m.row_nnz())
+    return _select(m, rows != m.indices)
+
+
+# ---------------------------------------------------------------------- #
+# element-wise ops
+# ---------------------------------------------------------------------- #
+def ewise_mult(
+    a: CSRMatrix, b: CSRMatrix, op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.multiply
+) -> CSRMatrix:
+    """Element-wise op on the *intersection* of patterns (GraphBLAS eWiseMult)."""
+    check_same_shape(a.shape, b.shape, "ewise_mult operands")
+    ka, kb = _keys(a), _keys(b)
+    common, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+    vals = op(a.data[ia], b.data[ib]).astype(VALUE_DTYPE, copy=False)
+    return _from_keys(common, vals, a.shape)
+
+
+def ewise_add(
+    a: CSRMatrix, b: CSRMatrix, op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add
+) -> CSRMatrix:
+    """Element-wise op on the *union* of patterns (GraphBLAS eWiseAdd):
+    where only one operand stores a value, that value passes through."""
+    check_same_shape(a.shape, b.shape, "ewise_add operands")
+    ka, kb = _keys(a), _keys(b)
+    union = np.union1d(ka, kb)
+    vals = np.zeros(union.size, dtype=VALUE_DTYPE)
+    pa = np.searchsorted(union, ka)
+    pb = np.searchsorted(union, kb)
+    in_a = np.zeros(union.size, dtype=bool)
+    in_b = np.zeros(union.size, dtype=bool)
+    in_a[pa] = True
+    in_b[pb] = True
+    va = np.zeros(union.size, dtype=VALUE_DTYPE)
+    vb = np.zeros(union.size, dtype=VALUE_DTYPE)
+    va[pa] = a.data
+    vb[pb] = b.data
+    both = in_a & in_b
+    vals[both] = op(va[both], vb[both])
+    only_a = in_a & ~in_b
+    only_b = in_b & ~in_a
+    vals[only_a] = va[only_a]
+    vals[only_b] = vb[only_b]
+    return _from_keys(union, vals, a.shape)
+
+
+def ewise_div(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Element-wise a/b on the pattern intersection. Entries of ``a`` with no
+    matching ``b`` entry are dropped (consistent with eWiseMult semantics);
+    betweenness centrality only divides where the divisor exists."""
+    return ewise_mult(a, b, op=lambda x, y: x / y)
+
+
+def apply_mask(c: CSRMatrix, mask: CSRMatrix, *, complemented: bool = False) -> CSRMatrix:
+    """Keep entries of ``c`` whose coordinates lie in (resp. outside, when
+    complemented) the stored pattern of ``mask``. This is the *post-hoc*
+    masking of the paper's Fig. 1 "plain" path — the thing the masked
+    kernels exist to avoid."""
+    check_same_shape(c.shape, mask.shape, "matrix and mask")
+    kc, km = _keys(c), _keys(mask)
+    member = np.isin(kc, km, assume_unique=True)
+    keep = ~member if complemented else member
+    return _select(c, keep)
+
+
+def scale_values(m: CSRMatrix, fn: Callable[[np.ndarray], np.ndarray]) -> CSRMatrix:
+    """Apply a value-wise function to stored values (GraphBLAS apply)."""
+    return CSRMatrix(m.indptr.copy(), m.indices.copy(),
+                     fn(m.data).astype(VALUE_DTYPE, copy=False), m.shape, check=False)
+
+
+def pattern_union(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Union of patterns with all-ones values."""
+    check_same_shape(a.shape, b.shape, "pattern_union operands")
+    union = np.union1d(_keys(a), _keys(b))
+    return _from_keys(union, np.ones(union.size, dtype=VALUE_DTYPE), a.shape)
+
+
+def pattern_difference(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Entries of ``a`` whose coordinates are NOT stored in ``b`` (values kept)."""
+    check_same_shape(a.shape, b.shape, "pattern_difference operands")
+    ka, kb = _keys(a), _keys(b)
+    keep = ~np.isin(ka, kb, assume_unique=True)
+    return _select(a, keep)
+
+
+def symmetrize(m: CSRMatrix) -> CSRMatrix:
+    """Pattern-symmetrize: return a matrix with entries on union(P, P^T) and
+    all-ones values — the standard "make the graph undirected" prep step."""
+    if m.nrows != m.ncols:
+        raise ShapeError("symmetrize requires a square matrix")
+    return pattern_union(m.pattern(), transpose_csr(m).pattern())

@@ -1,0 +1,104 @@
+"""Sparse vectors — first-class citizens for the SpGEVM-level API.
+
+The paper describes every algorithm at the vector level (§5): "calculation
+of each row can be seen as a row vector-matrix multiplication (SpGEVM)
+followed by mask operation v⊺ = m⊺ ⊙ (u⊺B)". This module provides the
+:class:`SparseVector` those signatures want, stored as sorted (indices,
+values) pairs — exactly one CSR row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..validation import INDEX_DTYPE, VALUE_DTYPE, as_index_array, as_value_array
+from .csr import CSRMatrix
+
+
+class SparseVector:
+    """Sparse vector of logical length ``n`` with sorted unique indices."""
+
+    __slots__ = ("indices", "data", "n")
+
+    def __init__(self, indices, data, n, *, check: bool = True):
+        self.n = int(n)
+        self.indices = as_index_array(indices, "indices")
+        self.data = as_value_array(data, "data")
+        if check:
+            if self.indices.size != self.data.size:
+                raise FormatError(
+                    f"indices/data length mismatch: {self.indices.size} vs "
+                    f"{self.data.size}")
+            if self.indices.size:
+                if self.indices.min() < 0 or self.indices.max() >= self.n:
+                    raise FormatError(
+                        f"indices out of range [0, {self.n})")
+                if np.any(np.diff(self.indices) <= 0):
+                    raise FormatError(
+                        "indices must be strictly increasing; use "
+                        "SparseVector.from_pairs for unsorted input")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, indices, values, n) -> "SparseVector":
+        """Build from unsorted (possibly duplicated) pairs; duplicates sum."""
+        idx = as_index_array(indices, "indices")
+        val = as_value_array(values, "values")
+        if idx.size == 0:
+            return cls.empty(n)
+        order = np.argsort(idx, kind="stable")
+        idx, val = idx[order], val[order]
+        boundary = np.empty(idx.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(idx[1:], idx[:-1], out=boundary[1:])
+        groups = np.cumsum(boundary) - 1
+        out_idx = idx[boundary]
+        out_val = np.zeros(out_idx.size, dtype=VALUE_DTYPE)
+        np.add.at(out_val, groups, val)
+        return cls(out_idx, out_val, n, check=False)
+
+    @classmethod
+    def from_dense(cls, arr) -> "SparseVector":
+        a = np.asarray(arr, dtype=VALUE_DTYPE).ravel()
+        nz = np.flatnonzero(a)
+        return cls(nz.astype(INDEX_DTYPE), a[nz], a.size, check=False)
+
+    @classmethod
+    def empty(cls, n) -> "SparseVector":
+        return cls(np.empty(0, dtype=INDEX_DTYPE), np.empty(0), n, check=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.n, dtype=self.data.dtype)
+        out[self.indices] = self.data
+        return out
+
+    def copy(self) -> "SparseVector":
+        return SparseVector(self.indices.copy(), self.data.copy(), self.n,
+                            check=False)
+
+    # ------------------------------------------------------------------ #
+    def as_row_matrix(self) -> CSRMatrix:
+        """View as a 1×n CSR matrix (the kernels' native shape)."""
+        indptr = np.array([0, self.nnz], dtype=INDEX_DTYPE)
+        return CSRMatrix(indptr, self.indices, self.data, (1, self.n),
+                         check=False)
+
+    @classmethod
+    def from_row_matrix(cls, m: CSRMatrix) -> "SparseVector":
+        if m.nrows != 1:
+            raise FormatError(f"expected a 1-row matrix, got {m.nrows} rows")
+        return cls(m.indices.copy(), m.data.copy(), m.ncols, check=False)
+
+    def equals(self, other: "SparseVector", *, rtol=1e-10, atol=1e-12) -> bool:
+        return (self.n == other.n
+                and np.array_equal(self.indices, other.indices)
+                and np.allclose(self.data, other.data, rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SparseVector n={self.n} nnz={self.nnz}>"

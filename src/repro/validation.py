@@ -1,0 +1,103 @@
+"""Lightweight argument/invariant validation helpers.
+
+Kernels validate *once* at the API boundary (``repro.core.api``) and then
+trust their inputs; these helpers centralize the checks so error messages stay
+consistent. All helpers raise subclasses of :class:`repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import FormatError, ShapeError
+
+#: Index dtype used throughout the library. int64 avoids overflow when
+#: computing flops on large synthetic inputs and matches numpy's default
+#: on Linux.
+INDEX_DTYPE = np.int64
+
+#: Default value dtype (the arithmetic semiring's natural carrier).
+VALUE_DTYPE = np.float64
+
+
+def as_index_array(a, name: str = "indices") -> np.ndarray:
+    """Coerce ``a`` to a contiguous int64 numpy array (copying only if needed)."""
+    arr = np.ascontiguousarray(a, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def as_value_array(a, name: str = "data", dtype=None) -> np.ndarray:
+    """Coerce ``a`` to a contiguous 1-D value array."""
+    arr = np.ascontiguousarray(a, dtype=dtype if dtype is not None else VALUE_DTYPE)
+    if arr.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_shape(shape, name: str = "shape") -> tuple[int, int]:
+    """Validate a 2-tuple matrix shape with non-negative dimensions."""
+    try:
+        m, n = shape
+    except (TypeError, ValueError) as exc:  # not a 2-sequence
+        raise ShapeError(f"{name} must be a (rows, cols) pair, got {shape!r}") from exc
+    m, n = int(m), int(n)
+    if m < 0 or n < 0:
+        raise ShapeError(f"{name} dimensions must be non-negative, got {(m, n)}")
+    return m, n
+
+
+def check_multiplicable(a_shape, b_shape) -> tuple[int, int]:
+    """Return the output shape of ``A @ B`` or raise :class:`ShapeError`."""
+    if a_shape[1] != b_shape[0]:
+        raise ShapeError(
+            f"inner dimensions do not match: A is {a_shape[0]}x{a_shape[1]}, "
+            f"B is {b_shape[0]}x{b_shape[1]}"
+        )
+    return (a_shape[0], b_shape[1])
+
+
+def check_same_shape(a_shape, b_shape, what: str = "operands") -> None:
+    if tuple(a_shape) != tuple(b_shape):
+        raise ShapeError(f"{what} must have identical shapes: {a_shape} vs {b_shape}")
+
+
+def check_indptr(indptr: np.ndarray, nrows: int, nnz: int) -> None:
+    """Validate a CSR/CSC row-pointer array."""
+    if indptr.shape != (nrows + 1,):
+        raise FormatError(
+            f"indptr must have length nrows+1={nrows + 1}, got {indptr.shape[0]}"
+        )
+    if indptr[0] != 0:
+        raise FormatError(f"indptr[0] must be 0, got {indptr[0]}")
+    if indptr[-1] != nnz:
+        raise FormatError(f"indptr[-1] must equal nnz={nnz}, got {indptr[-1]}")
+    if np.any(np.diff(indptr) < 0):
+        raise FormatError("indptr must be non-decreasing")
+
+
+def check_indices_in_range(indices: np.ndarray, upper: int, name: str = "indices") -> None:
+    if indices.size and (indices.min() < 0 or indices.max() >= upper):
+        raise FormatError(
+            f"{name} out of range: expected [0, {upper}), "
+            f"got [{indices.min()}, {indices.max()}]"
+        )
+
+
+def rows_sorted_unique(indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """True when every compressed row has strictly increasing indices."""
+    if indices.size == 0:
+        return True
+    d = np.diff(indices)
+    # Positions where a new row starts (these diffs may legitimately decrease).
+    row_starts = indptr[1:-1]
+    ok = d > 0
+    if row_starts.size:
+        # diff positions are between consecutive nnz; a diff at position p
+        # crosses a row boundary iff p+1 is a row start.
+        boundary = np.zeros(indices.size - 1, dtype=bool)
+        starts = row_starts[(row_starts > 0) & (row_starts < indices.size)]
+        boundary[starts - 1] = True
+        ok = ok | boundary
+    return bool(np.all(ok))

@@ -1,0 +1,228 @@
+"""Unit tests for the reference accumulators (paper §5 state machines).
+
+These tests pin the exact automaton behaviour of Figs. 3 and 5, the lazy
+thunk contract of the insert procedure, and the open-addressing details of
+the hash accumulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accumulators import (
+    HashAccumulator,
+    HashComplementAccumulator,
+    MCAAccumulator,
+    MSAAccumulator,
+    MSAComplementAccumulator,
+    SPAAccumulator,
+)
+from repro.accumulators.hash_acc import table_capacity
+from repro.errors import AccumulatorError
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+
+
+# --------------------------------------------------------------------- #
+# MSA
+# --------------------------------------------------------------------- #
+class TestMSA:
+    def test_insert_without_allow_is_discarded(self):
+        acc = MSAAccumulator(8)
+        acc.insert(3, 5.0)
+        assert acc.remove(3) is None
+
+    def test_allow_insert_remove_cycle(self):
+        acc = MSAAccumulator(8)
+        acc.set_allowed(3)
+        acc.insert(3, 5.0)
+        acc.insert(3, 2.0)
+        assert acc.remove(3) == 7.0
+        # removed: state reset to NOTALLOWED, second remove gives None
+        assert acc.remove(3) is None
+
+    def test_remove_allowed_but_never_inserted_returns_none(self):
+        acc = MSAAccumulator(8)
+        acc.set_allowed(2)
+        assert acc.remove(2) is None
+        # and the mark was cleaned up
+        acc.insert(2, 1.0)
+        assert acc.remove(2) is None
+
+    def test_thunk_not_evaluated_when_discarded(self):
+        acc = MSAAccumulator(4)
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return 1.0
+
+        acc.insert(1, thunk)          # not allowed -> must not evaluate
+        assert calls == []
+        acc.set_allowed(1)
+        acc.insert(1, thunk)          # allowed -> evaluates
+        assert calls == [1]
+
+    def test_reuse_across_rows(self):
+        acc = MSAAccumulator(4)
+        acc.set_allowed(0)
+        acc.insert(0, 1.0)
+        assert acc.remove(0) == 1.0
+        # second "row": fresh marks
+        acc.set_allowed(1)
+        acc.insert(1, 3.0)
+        acc.insert(0, 9.0)  # no longer allowed
+        assert acc.remove(1) == 3.0
+        assert acc.remove(0) is None
+
+    def test_key_range_checked(self):
+        acc = MSAAccumulator(4)
+        with pytest.raises(AccumulatorError):
+            acc.set_allowed(4)
+        with pytest.raises(AccumulatorError):
+            acc.insert(-1, 1.0)
+
+    def test_min_plus_accumulation(self):
+        acc = MSAAccumulator(4, semiring=MIN_PLUS)
+        acc.set_allowed(0)
+        acc.insert(0, 5.0)
+        acc.insert(0, 3.0)
+        acc.insert(0, 7.0)
+        assert acc.remove(0) == 3.0
+
+
+class TestMSAComplement:
+    def test_mask_entries_blocked(self):
+        acc = MSAComplementAccumulator(8)
+        acc.set_not_allowed(3)
+        acc.insert(3, 5.0)
+        acc.insert(4, 2.0)
+        keys, vals = acc.drain([3])
+        assert keys == [4] and vals == [2.0]
+
+    def test_drain_sorted_and_resets(self):
+        acc = MSAComplementAccumulator(8)
+        for k, v in [(5, 1.0), (1, 2.0), (7, 3.0), (1, 0.5)]:
+            acc.insert(k, v)
+        keys, vals = acc.drain([])
+        assert keys == [1, 5, 7]
+        assert vals == [2.5, 1.0, 3.0]
+        # after drain the accumulator is clean
+        keys2, vals2 = acc.drain([])
+        assert keys2 == []
+
+    def test_set_allowed_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            MSAComplementAccumulator(4).set_allowed(0)
+
+
+# --------------------------------------------------------------------- #
+# Hash
+# --------------------------------------------------------------------- #
+class TestHash:
+    def test_capacity_power_of_two_lf25(self):
+        for nkeys, want_min in [(1, 4), (4, 16), (5, 32), (16, 64)]:
+            cap = table_capacity(nkeys)
+            assert cap >= want_min and (cap & (cap - 1)) == 0
+            assert nkeys / cap <= 0.25
+
+    def test_basic_cycle(self):
+        acc = HashAccumulator(3)
+        for k in (10, 20, 30):
+            acc.set_allowed(k)
+        acc.insert(20, 1.5)
+        acc.insert(20, 2.5)
+        acc.insert(99, 100.0)  # not in mask -> dropped
+        assert acc.remove(20) == 4.0
+        assert acc.remove(10) is None
+        assert acc.remove(99) is None
+
+    def test_collision_chains_survive_removal(self):
+        # regression: removing a key must not break probe chains (this was a
+        # real bug — open addressing cannot punch holes mid-gather)
+        acc = HashAccumulator(64)
+        keys = list(range(0, 640, 10))
+        for k in keys:
+            acc.set_allowed(k)
+        for k in keys:
+            acc.insert(k, float(k))
+        got = {k: acc.remove(k) for k in keys}
+        assert all(got[k] == float(k) for k in keys)
+
+    def test_overflow_guard(self):
+        acc = HashAccumulator(1)  # capacity 4, max 1 distinct allowed key
+        acc.set_allowed(7)
+        acc.set_allowed(7)  # idempotent re-allow is fine
+        with pytest.raises(AccumulatorError):
+            acc.set_allowed(8)
+
+    def test_thunk_laziness(self):
+        acc = HashAccumulator(1)
+        calls = []
+        acc.insert(5, lambda: calls.append(1) or 1.0)
+        assert calls == []  # dropped without evaluation
+
+
+class TestHashComplement:
+    def test_mask_keys_banned_products_kept(self):
+        acc = HashComplementAccumulator([2, 4], products_bound=8)
+        acc.insert(2, 10.0)   # banned
+        acc.insert(3, 1.0)
+        acc.insert(3, 2.0)
+        acc.insert(5, 7.0)
+        keys, vals = acc.drain()
+        assert keys == [3, 5]
+        assert vals == [3.0, 7.0]
+
+    def test_remove_consumes(self):
+        acc = HashComplementAccumulator([], products_bound=4)
+        acc.insert(1, 2.0)
+        assert acc.remove(1) == 2.0
+        assert acc.remove(1) is None
+
+
+# --------------------------------------------------------------------- #
+# MCA
+# --------------------------------------------------------------------- #
+class TestMCA:
+    def test_two_state_automaton(self):
+        acc = MCAAccumulator(3)
+        acc.insert(1, 2.0)
+        acc.insert(1, 3.0)
+        assert acc.remove(1) == 5.0
+        assert acc.remove(1) is None  # back to ALLOWED
+        acc.insert(1, 4.0)            # reusable
+        assert acc.remove(1) == 4.0
+
+    def test_rank_range_enforced(self):
+        acc = MCAAccumulator(3)
+        with pytest.raises(AccumulatorError):
+            acc.insert(3, 1.0)
+        with pytest.raises(AccumulatorError):
+            acc.remove(-1)
+
+    def test_set_allowed_validates_only(self):
+        acc = MCAAccumulator(2)
+        acc.set_allowed(1)
+        with pytest.raises(AccumulatorError):
+            acc.set_allowed(2)
+
+    def test_complement_unsupported_error(self):
+        err = MCAAccumulator.complement_unsupported()
+        assert "complemented" in str(err)
+
+
+# --------------------------------------------------------------------- #
+# SPA (plain, unmasked)
+# --------------------------------------------------------------------- #
+class TestSPA:
+    def test_accumulate_and_drain_sorted(self):
+        acc = SPAAccumulator(10)
+        for k, v in [(7, 1.0), (2, 2.0), (7, 3.0)]:
+            acc.insert(k, v)
+        assert acc.get(7) == 4.0
+        assert acc.get(3) is None
+        keys, vals = acc.drain()
+        assert keys == [2, 7]
+        assert vals == [2.0, 4.0]
+        # drained clean
+        assert acc.get(7) is None
+        assert acc.drain() == ([], [])

@@ -1,0 +1,101 @@
+"""Betweenness centrality vs the networkx oracle (directed and undirected,
+full and batched sources, across complement-capable kernels)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import betweenness_centrality
+from repro.errors import MaskError
+from repro.graphs import erdos_renyi, rmat
+from repro.graphs.prep import to_undirected_simple
+from repro.sparse import csr_from_dense
+from repro.sparse.convert import to_scipy
+
+
+def nx_bc(g, directed):
+    G = nx.from_scipy_sparse_array(
+        to_scipy(g), create_using=nx.DiGraph if directed else nx.Graph)
+    d = nx.betweenness_centrality(G, normalized=False)
+    return np.array([d[i] for i in range(g.nrows)])
+
+
+@pytest.mark.parametrize("alg", ["msa", "hash", "heap", "heapdot"])
+def test_directed_all_sources(alg):
+    g = erdos_renyi(50, 3, rng=21)
+    res = betweenness_centrality(g, algorithm=alg)
+    assert np.allclose(res.centrality, nx_bc(g, directed=True), atol=1e-8)
+
+
+def test_undirected_halves_scores():
+    g = to_undirected_simple(erdos_renyi(40, 3, rng=22, symmetrize=True))
+    res = betweenness_centrality(g)
+    assert np.allclose(res.centrality, nx_bc(g, directed=False), atol=1e-8)
+
+
+def test_rmat_graph():
+    g = to_undirected_simple(rmat(6, 6, rng=23))
+    res = betweenness_centrality(g, algorithm="hash")
+    assert np.allclose(res.centrality, nx_bc(g, directed=False), atol=1e-8)
+
+
+def test_path_graph_known_values():
+    # path a-b-c-d: unnormalized undirected BC = [0, 2, 2, 0]
+    p = np.zeros((4, 4))
+    for i in range(3):
+        p[i, i + 1] = p[i + 1, i] = 1
+    res = betweenness_centrality(csr_from_dense(p))
+    assert np.allclose(res.centrality, [0, 2, 2, 0])
+
+
+def test_star_graph_center_dominates():
+    n = 7
+    star = np.zeros((n, n))
+    star[0, 1:] = star[1:, 0] = 1
+    res = betweenness_centrality(csr_from_dense(star))
+    want = (n - 1) * (n - 2) / 2  # center lies on every leaf pair
+    assert np.isclose(res.centrality[0], want)
+    assert np.allclose(res.centrality[1:], 0)
+
+
+def test_batched_sources_sum_to_full():
+    g = erdos_renyi(36, 3, rng=24)
+    full = betweenness_centrality(g).centrality
+    part1 = betweenness_centrality(g, sources=range(18)).centrality
+    part2 = betweenness_centrality(g, sources=range(18, 36)).centrality
+    assert np.allclose(part1 + part2, full, atol=1e-8)
+
+
+def test_batch_telemetry():
+    g = to_undirected_simple(erdos_renyi(64, 3, rng=25, symmetrize=True))
+    res = betweenness_centrality(g, sources=[0, 1, 2, 3])
+    assert res.batch_size == 4
+    assert res.depth == len(res.frontier_nnz)
+    assert all(f > 0 for f in res.frontier_nnz)
+
+
+def test_mca_rejected():
+    g = erdos_renyi(20, 2, rng=26)
+    with pytest.raises(MaskError):
+        betweenness_centrality(g, algorithm="mca")
+
+
+def test_empty_sources_and_graph():
+    from repro.sparse import CSRMatrix
+
+    g = erdos_renyi(10, 2, rng=27)
+    res = betweenness_centrality(g, sources=[])
+    assert np.allclose(res.centrality, 0)
+    res = betweenness_centrality(CSRMatrix.empty((5, 5)))
+    assert np.allclose(res.centrality, 0)
+
+
+def test_disconnected_components():
+    # two disjoint paths; scores must not leak across components
+    p = np.zeros((6, 6))
+    for i in (0, 1):
+        p[i, i + 1] = p[i + 1, i] = 1
+    for i in (3, 4):
+        p[i, i + 1] = p[i + 1, i] = 1
+    res = betweenness_centrality(csr_from_dense(p))
+    assert np.allclose(res.centrality, [0, 1, 0, 0, 1, 0])

@@ -1,0 +1,59 @@
+"""Multi-source BFS vs networkx shortest-path lengths."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms import multi_source_bfs
+from repro.graphs import erdos_renyi, grid_graph
+from repro.graphs.prep import to_undirected_simple
+from repro.sparse.convert import to_scipy
+
+
+def test_levels_match_networkx():
+    g = to_undirected_simple(erdos_renyi(70, 3, rng=31, symmetrize=True))
+    G = nx.from_scipy_sparse_array(to_scipy(g))
+    sources = [0, 7, 13]
+    lv = multi_source_bfs(g, sources)
+    for si, s in enumerate(sources):
+        want = nx.single_source_shortest_path_length(G, s)
+        for v in range(70):
+            assert lv[si, v] == want.get(v, -1)
+
+
+def test_directed_graph():
+    g = erdos_renyi(40, 2, rng=32)  # directed
+    G = nx.from_scipy_sparse_array(to_scipy(g), create_using=nx.DiGraph)
+    lv = multi_source_bfs(g, [3])
+    want = nx.single_source_shortest_path_length(G, 3)
+    for v in range(40):
+        assert lv[0, v] == want.get(v, -1)
+
+
+def test_grid_distances():
+    g = grid_graph(5)  # 5x5 mesh, manhattan distances from corner
+    lv = multi_source_bfs(g, [0])
+    for r in range(5):
+        for c in range(5):
+            assert lv[0, r * 5 + c] == r + c
+
+
+def test_source_level_zero_and_unreachable():
+    from repro.sparse import CSRMatrix
+
+    g = CSRMatrix.empty((4, 4))
+    lv = multi_source_bfs(g, [2])
+    assert lv[0, 2] == 0
+    assert (lv[0] == -1).sum() == 3
+
+
+def test_empty_sources():
+    g = erdos_renyi(10, 2, rng=33)
+    lv = multi_source_bfs(g, [])
+    assert lv.shape == (0, 10)
+
+
+def test_all_kernels_agree():
+    g = to_undirected_simple(erdos_renyi(60, 3, rng=34, symmetrize=True))
+    base = multi_source_bfs(g, [0, 5], algorithm="msa")
+    for alg in ("hash", "heap", "heapdot"):
+        assert np.array_equal(multi_source_bfs(g, [0, 5], algorithm=alg), base)

@@ -1,0 +1,90 @@
+"""CLI (`python -m repro`) tests — in-process via main(argv)."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.sparse import csr_random, read_matrix_market, write_matrix_market
+
+
+def run(argv, capsys):
+    rc = main(argv)
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_info(capsys):
+    rc, out = run(["info"], capsys)
+    assert rc == 0
+    assert "MSA-1P" in out and "Hybrid-1P" in out
+    assert "plus_pair" in out
+
+
+def test_suite_listing(capsys):
+    rc, out = run(["suite"], capsys)
+    assert rc == 0
+    assert "rmat-s8-e4" in out and "grid-24" in out
+
+
+def test_tc_on_generated(capsys):
+    rc, out = run(["tc", "--rmat", "7", "--seed", "3", "-a", "msa"], capsys)
+    assert rc == 0
+    assert "triangles:" in out
+
+
+def test_tc_on_mtx_file(tmp_path, capsys):
+    rng = np.random.default_rng(0)
+    g = csr_random(60, 60, density=0.1, rng=rng)
+    p = tmp_path / "g.mtx"
+    write_matrix_market(g, p)
+    rc, out = run(["tc", str(p)], capsys)
+    assert rc == 0
+    assert "triangles:" in out
+
+
+def test_ktruss_with_output(tmp_path, capsys):
+    out_path = tmp_path / "truss.mtx"
+    rc, out = run(["ktruss", "--rmat", "7", "--k", "4", "-o", str(out_path)],
+                  capsys)
+    assert rc == 0
+    assert out_path.exists()
+    truss = read_matrix_market(out_path)
+    assert truss.shape == (128, 128)
+
+
+def test_bc(capsys):
+    rc, out = run(["bc", "--er", "80", "--batch", "8", "--top", "2"], capsys)
+    assert rc == 0
+    assert "betweenness centrality" in out
+    assert out.count("vertex") == 2
+
+
+def test_spgemm_files(tmp_path, capsys):
+    rng = np.random.default_rng(1)
+    A = csr_random(20, 25, density=0.2, rng=rng)
+    B = csr_random(25, 30, density=0.2, rng=rng)
+    M = csr_random(20, 30, density=0.3, rng=rng)
+    pa, pb, pm = tmp_path / "a.mtx", tmp_path / "b.mtx", tmp_path / "m.mtx"
+    po = tmp_path / "c.mtx"
+    write_matrix_market(A, pa)
+    write_matrix_market(B, pb)
+    write_matrix_market(M, pm)
+    rc, out = run(["spgemm", str(pa), str(pb), "--mask", str(pm),
+                   "-a", "hash", "-o", str(po)], capsys)
+    assert rc == 0
+    C = read_matrix_market(po)
+    from repro import Mask, masked_spgemm
+
+    want = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="msa")
+    assert C.allclose_values(want)
+
+
+def test_missing_input_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["tc"])  # no path, no generator
+
+
+def test_parser_subcommands_exist():
+    p = build_parser()
+    for cmd in ("tc", "ktruss", "bc", "spgemm", "suite", "info"):
+        assert cmd in p.format_help()

@@ -1,0 +1,66 @@
+"""Clustering-coefficient application tests (vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    average_clustering,
+    clustering_coefficients,
+    triangles_per_vertex,
+)
+from repro.graphs import erdos_renyi, watts_strogatz
+from repro.graphs.prep import to_undirected_simple
+from repro.sparse import csr_from_dense
+from repro.sparse.convert import to_scipy
+
+
+def to_nx(g):
+    return nx.from_scipy_sparse_array(to_scipy(g))
+
+
+@pytest.mark.parametrize("alg", ["msa", "hash", "inner"])
+def test_matches_networkx(alg):
+    g = to_undirected_simple(erdos_renyi(120, 6, rng=61, symmetrize=True))
+    want = nx.clustering(to_nx(g))
+    got = clustering_coefficients(g, algorithm=alg)
+    assert np.allclose(got, [want[i] for i in range(120)])
+
+
+def test_triangles_per_vertex_matches_networkx():
+    g = to_undirected_simple(watts_strogatz(150, 4, 0.1, rng=62))
+    want = nx.triangles(to_nx(g))
+    got = triangles_per_vertex(g)
+    assert np.allclose(got, [want[i] for i in range(150)])
+
+
+def test_average_clustering():
+    g = to_undirected_simple(watts_strogatz(100, 4, 0.0, rng=63))
+    assert np.isclose(average_clustering(g), nx.average_clustering(to_nx(g)))
+
+
+def test_complete_graph_is_fully_clustered():
+    k5 = csr_from_dense(1.0 - np.eye(5))
+    assert np.allclose(clustering_coefficients(k5), 1.0)
+    assert average_clustering(k5) == 1.0
+
+
+def test_triangle_free_graph_is_zero():
+    c6 = np.zeros((6, 6))
+    for i in range(6):
+        c6[i, (i + 1) % 6] = c6[(i + 1) % 6, i] = 1
+    assert np.allclose(clustering_coefficients(csr_from_dense(c6)), 0.0)
+
+
+def test_low_degree_vertices_get_zero():
+    # path graph: endpoints have degree 1 -> cc 0 by convention
+    p = np.zeros((3, 3))
+    p[0, 1] = p[1, 0] = p[1, 2] = p[2, 1] = 1
+    cc = clustering_coefficients(csr_from_dense(p))
+    assert np.allclose(cc, 0.0)
+
+
+def test_empty_graph():
+    from repro.sparse import CSRMatrix
+
+    assert average_clustering(CSRMatrix.empty((4, 4))) == 0.0

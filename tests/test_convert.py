@@ -1,0 +1,63 @@
+"""Conversion tests: COO<->CSR<->CSC, plus the scipy oracle bridge."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse import (
+    COOMatrix,
+    coo_to_csr,
+    csr_random,
+    csr_to_coo,
+    csr_to_csc,
+    from_scipy,
+    to_scipy,
+)
+
+
+def test_coo_to_csr_canonicalizes():
+    coo = COOMatrix([1, 0, 1], [0, 2, 0], [1.0, 2.0, 3.0], (2, 3))
+    m = coo_to_csr(coo)
+    assert m.nnz == 2  # duplicates summed
+    assert m.to_dense()[1, 0] == 4.0
+
+
+def test_csr_to_coo_is_sorted(rng):
+    m = csr_random(10, 10, density=0.3, rng=rng)
+    coo = csr_to_coo(m)
+    keys = coo.rows * 10 + coo.cols
+    assert np.all(np.diff(keys) > 0)
+
+
+def test_matches_scipy_conversions(rng):
+    m = csr_random(25, 31, density=0.15, rng=rng)
+    s = to_scipy(m)
+    assert isinstance(s, sp.csr_matrix)
+    assert np.allclose(s.toarray(), m.to_dense())
+    # scipy CSC vs our CSC hold the same dense content
+    ours = csr_to_csc(m)
+    theirs = s.tocsc()
+    assert np.array_equal(ours.indptr, theirs.indptr)
+    assert np.array_equal(ours.indices, theirs.indices)
+    assert np.allclose(ours.data, theirs.data)
+
+
+def test_from_scipy_handles_unsorted_input(rng):
+    d = rng.random((8, 8))
+    d[d < 0.7] = 0
+    s = sp.coo_matrix(d)  # unsorted triplets
+    m = from_scipy(s)
+    assert np.allclose(m.to_dense(), d)
+
+
+def test_from_scipy_sums_duplicates():
+    s = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+    m = from_scipy(s)
+    assert m.nnz == 1
+    assert m.to_dense()[0, 1] == 3.0
+
+
+def test_empty_conversions():
+    m = coo_to_csr(COOMatrix.empty((3, 4)))
+    assert m.nnz == 0
+    assert csr_to_csc(m).nnz == 0
+    assert csr_to_coo(m).nnz == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the COO format (builder/interchange substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import COOMatrix
+
+
+def test_basic_construction():
+    m = COOMatrix([0, 1], [2, 0], [1.5, -2.0], (3, 4))
+    assert m.nnz == 2
+    assert m.shape == (3, 4)
+    assert m.dtype == np.float64
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix([0, 1], [0], [1.0, 2.0], (2, 2))
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix([0, 5], [0, 0], [1.0, 1.0], (3, 3))
+    with pytest.raises(FormatError):
+        COOMatrix([0, 1], [0, -1], [1.0, 1.0], (3, 3))
+
+
+def test_canonicalize_sorts_row_major():
+    m = COOMatrix([2, 0, 1, 0], [1, 3, 0, 1], [1, 2, 3, 4], (3, 4)).canonicalize()
+    assert list(m.rows) == [0, 0, 1, 2]
+    assert list(m.cols) == [1, 3, 0, 1]
+    assert list(m.data) == [4, 2, 3, 1]
+
+
+def test_canonicalize_sums_duplicates():
+    m = COOMatrix([1, 1, 1], [2, 2, 2], [1.0, 2.0, 4.0], (3, 3)).canonicalize()
+    assert m.nnz == 1
+    assert m.data[0] == 7.0
+
+
+def test_canonicalize_keeps_explicit_zeros():
+    # structural semantics: a stored zero is part of the pattern
+    m = COOMatrix([0, 0], [1, 1], [1.0, -1.0], (2, 2)).canonicalize()
+    assert m.nnz == 1
+    assert m.data[0] == 0.0
+
+
+def test_prune_drops_zeros():
+    m = COOMatrix([0, 1], [1, 1], [0.0, 2.0], (2, 2)).prune()
+    assert m.nnz == 1
+    assert m.data[0] == 2.0
+
+
+def test_to_dense_sums_duplicates():
+    m = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+    assert m.to_dense()[0, 0] == 3.0
+
+
+def test_transpose_swaps_shape_and_coords():
+    m = COOMatrix([0, 1], [2, 0], [1.0, 2.0], (2, 3)).transpose()
+    assert m.shape == (3, 2)
+    assert list(m.rows) == [2, 0]
+    assert list(m.cols) == [0, 1]
+
+
+def test_empty():
+    m = COOMatrix.empty((5, 7))
+    assert m.nnz == 0
+    assert m.to_dense().shape == (5, 7)
+    assert m.canonicalize().nnz == 0
+
+
+def test_roundtrip_csr(rng):
+    from repro.sparse import csr_random
+
+    a = csr_random(20, 30, density=0.2, rng=rng)
+    back = a.to_coo().to_csr()
+    assert back.equals(a)

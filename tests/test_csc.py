@@ -1,0 +1,56 @@
+"""Unit tests for the CSC format (used by the pull-based Inner kernel)."""
+
+import numpy as np
+
+from repro.sparse import CSCMatrix, csr_random, csr_to_csc
+
+
+def test_col_views_match_dense(rng):
+    a = csr_random(20, 15, density=0.2, rng=rng)
+    c = csr_to_csc(a)
+    d = a.to_dense()
+    for j in range(15):
+        rows, vals = c.col(j)
+        assert np.array_equal(np.flatnonzero(d[:, j]), rows)
+        assert np.allclose(d[rows, j], vals)
+
+
+def test_col_nnz(rng):
+    a = csr_random(20, 15, density=0.2, rng=rng)
+    c = csr_to_csc(a)
+    assert np.array_equal(c.col_nnz(), (a.to_dense() != 0).sum(axis=0))
+
+
+def test_round_trip_csr_csc_csr(rng):
+    a = csr_random(13, 17, density=0.25, rng=rng)
+    assert a.to_csc().to_csr().equals(a)
+
+
+def test_to_dense(rng):
+    a = csr_random(10, 12, density=0.3, rng=rng)
+    assert np.allclose(a.to_csc().to_dense(), a.to_dense())
+
+
+def test_transpose_view_is_zero_copy(rng):
+    a = csr_random(10, 12, density=0.3, rng=rng)
+    c = a.to_csc()
+    t = c.transpose_view_csr()
+    assert t.shape == (12, 10)
+    assert np.allclose(t.to_dense(), a.to_dense().T)
+    assert t.indices is c.indices  # same buffers
+
+
+def test_empty():
+    c = CSCMatrix.empty((4, 7))
+    assert c.nnz == 0
+    assert c.shape == (4, 7)
+    assert c.col(3)[0].size == 0
+    assert c.to_csr().shape == (4, 7)
+
+
+def test_properties(rng):
+    a = csr_random(5, 9, density=0.4, rng=rng)
+    c = a.to_csc()
+    assert c.nrows == 5 and c.ncols == 9
+    assert c.nnz == a.nnz
+    assert c.copy().to_dense().tolist() == c.to_dense().tolist()

@@ -1,0 +1,85 @@
+"""DCSR (hypersparse) format tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import CSRMatrix, csr_random
+from repro.sparse.dcsr import DCSRMatrix
+
+
+def hypersparse_matrix(rng, nrows=1000, active=7, per_row=4):
+    """A matrix with only a few non-empty rows (BC-frontier shaped)."""
+    from repro.sparse import COOMatrix
+
+    act = rng.choice(nrows, size=active, replace=False)
+    rows = np.repeat(act, per_row)
+    cols = rng.integers(0, nrows, size=rows.size)
+    return COOMatrix(rows, cols, np.ones(rows.size), (nrows, nrows)).to_csr()
+
+
+def test_round_trip(rng):
+    m = csr_random(30, 40, density=0.1, rng=rng)
+    d = DCSRMatrix.from_csr(m)
+    assert d.to_csr().equals(m)
+    assert np.allclose(d.to_dense(), m.to_dense())
+
+
+def test_row_access_matches_csr(rng):
+    m = hypersparse_matrix(rng)
+    d = DCSRMatrix.from_csr(m)
+    for i in range(0, 1000, 97):
+        cm, vm = m.row(i)
+        cd, vd = d.row(i)
+        assert np.array_equal(cm, cd)
+        assert np.array_equal(vm, vd)
+
+
+def test_iter_rows_skips_empties(rng):
+    m = hypersparse_matrix(rng, active=5)
+    d = DCSRMatrix.from_csr(m)
+    visited = [rid for rid, _, _ in d.iter_rows()]
+    assert len(visited) == d.nzr <= 5  # duplicate picks collapse
+    assert visited == sorted(visited)
+    assert all(m.row(r)[0].size > 0 for r in visited)
+
+
+def test_storage_savings_on_hypersparse(rng):
+    m = hypersparse_matrix(rng, nrows=5000, active=6)
+    d = DCSRMatrix.from_csr(m)
+    csr_words = m.indptr.size + m.indices.size
+    assert d.storage_words() < csr_words / 50  # 5001 pointers vs ~13 words
+
+
+def test_nzr_property(rng):
+    m = hypersparse_matrix(rng, active=8)
+    d = DCSRMatrix.from_csr(m)
+    assert d.nzr == int((m.row_nnz() > 0).sum())
+    assert d.nnz == m.nnz
+
+
+def test_format_invariants():
+    # empty "non-empty" row forbidden
+    with pytest.raises(FormatError):
+        DCSRMatrix([2], [0, 0], [], [], (4, 4))
+    # unsorted row_ids forbidden
+    with pytest.raises(FormatError):
+        DCSRMatrix([3, 1], [0, 1, 2], [0, 0], [1.0, 1.0], (4, 4))
+    # row id out of range
+    with pytest.raises(FormatError):
+        DCSRMatrix([9], [0, 1], [0], [1.0], (4, 4))
+
+
+def test_empty_matrix():
+    d = DCSRMatrix.empty((6, 7))
+    assert d.nnz == 0 and d.nzr == 0
+    assert d.to_csr().equals(CSRMatrix.empty((6, 7)))
+    cols, vals = d.row(3)
+    assert cols.size == 0
+
+
+def test_fully_dense_rows_round_trip(rng):
+    m = csr_random(10, 10, density=0.9, rng=rng)
+    d = DCSRMatrix.from_csr(m)
+    assert d.nzr == int((m.row_nnz() > 0).sum())
+    assert d.to_csr().equals(m)

@@ -1,0 +1,72 @@
+"""Tests for the row-expansion helpers shared by push kernels."""
+
+import numpy as np
+
+from repro.core.expand import (
+    concat_ranges,
+    expand_row,
+    expand_row_pattern,
+    per_row_flops,
+    total_flops,
+)
+from repro.semiring import PLUS_PAIR, PLUS_TIMES
+from repro.sparse import csr_random
+
+
+def test_concat_ranges_basic():
+    starts = np.array([5, 0, 10])
+    lens = np.array([2, 3, 1])
+    assert concat_ranges(starts, lens).tolist() == [5, 6, 0, 1, 2, 10]
+
+
+def test_concat_ranges_with_empties():
+    starts = np.array([3, 7, 1])
+    lens = np.array([0, 2, 0])
+    assert concat_ranges(starts, lens).tolist() == [7, 8]
+    assert concat_ranges(np.array([1]), np.array([0])).size == 0
+    assert concat_ranges(np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64)).size == 0
+
+
+def test_expand_row_matches_manual(rng):
+    A = csr_random(8, 6, density=0.4, rng=rng, values="randint")
+    B = csr_random(6, 9, density=0.4, rng=rng, values="randint")
+    Ad, Bd = A.to_dense(), B.to_dense()
+    for i in range(8):
+        bj, prod = expand_row(A, B, i, PLUS_TIMES)
+        want = []
+        for k in np.flatnonzero(Ad[i]):
+            for j in np.flatnonzero(Bd[k]):
+                want.append((j, Ad[i, k] * Bd[k, j]))
+        assert bj.tolist() == [j for j, _ in want]
+        assert np.allclose(prod, [v for _, v in want])
+        assert expand_row_pattern(A, B, i).tolist() == [j for j, _ in want]
+
+
+def test_expand_row_semiring_awareness(rng):
+    A = csr_random(5, 5, density=0.5, rng=rng, values="randint")
+    B = csr_random(5, 5, density=0.5, rng=rng, values="randint")
+    for i in range(5):
+        _, prod = expand_row(A, B, i, PLUS_PAIR)
+        assert np.all(prod == 1.0)
+
+
+def test_per_row_flops_and_total(rng):
+    A = csr_random(10, 7, density=0.3, rng=rng)
+    B = csr_random(7, 11, density=0.3, rng=rng)
+    Ad, Bd = A.to_dense() != 0, B.to_dense() != 0
+    want = np.array([sum(Bd[k].sum() for k in np.flatnonzero(Ad[i]))
+                     for i in range(10)])
+    assert np.array_equal(per_row_flops(A, B), want)
+    assert total_flops(A, B) == want.sum()
+
+
+def test_empty_matrices():
+    from repro.sparse import CSRMatrix
+
+    A = CSRMatrix.empty((4, 5))
+    B = CSRMatrix.empty((5, 6))
+    assert total_flops(A, B) == 0
+    assert per_row_flops(A, B).tolist() == [0, 0, 0, 0]
+    bj, prod = expand_row(A, B, 0, PLUS_TIMES)
+    assert bj.size == 0 and prod.size == 0

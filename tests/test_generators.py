@@ -1,0 +1,111 @@
+"""Graph generator tests: structure, determinism, parameter behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    banded_matrix,
+    chung_lu,
+    erdos_renyi,
+    grid_graph,
+    rmat,
+    watts_strogatz,
+)
+from repro.graphs.generators import GRAPH500_PARAMS
+
+
+def pattern_symmetric(g):
+    d = g.to_dense() != 0
+    return np.array_equal(d, d.T)
+
+
+def no_self_loops(g):
+    return np.all(g.diagonal() == 0)
+
+
+class TestErdosRenyi:
+    def test_size_and_degree(self):
+        g = erdos_renyi(500, 4, rng=0)
+        assert g.shape == (500, 500)
+        # duplicates collapse: realized degree <= requested, but close
+        assert 2.5 <= g.nnz / 500 <= 4.0
+
+    def test_deterministic_by_seed(self):
+        assert erdos_renyi(100, 3, rng=42).equals(erdos_renyi(100, 3, rng=42))
+        assert not erdos_renyi(100, 3, rng=1).equals(erdos_renyi(100, 3, rng=2))
+
+    def test_symmetrize(self):
+        g = erdos_renyi(120, 3, rng=7, symmetrize=True)
+        assert pattern_symmetric(g)
+        assert no_self_loops(g)
+
+    def test_zero_degree(self):
+        assert erdos_renyi(10, 0, rng=0).nnz == 0
+
+
+class TestRMAT:
+    def test_shape_is_power_of_two(self):
+        g = rmat(7, 8, rng=0)
+        assert g.shape == (128, 128)
+
+    def test_params_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            rmat(5, 8, params=(0.5, 0.5, 0.5, 0.5), rng=0)
+
+    def test_graph500_defaults_are_skewed(self):
+        g = rmat(9, 16, rng=3)
+        deg = np.sort(g.row_nnz())[::-1]
+        # heavy head: top 10% of vertices hold well over 10% of edges
+        top = deg[: len(deg) // 10].sum()
+        assert top / max(deg.sum(), 1) > 0.25
+        assert GRAPH500_PARAMS == (0.57, 0.19, 0.19, 0.05)
+
+    def test_symmetric_simple_by_default(self):
+        g = rmat(6, 8, rng=5)
+        assert pattern_symmetric(g)
+        assert no_self_loops(g)
+
+    def test_uniform_params_approach_er(self):
+        g = rmat(8, 8, params=(0.25, 0.25, 0.25, 0.25), rng=1)
+        deg = g.row_nnz()
+        # ER-like: no extreme hubs
+        assert deg.max() < 12 * max(deg.mean(), 1)
+
+
+class TestOthers:
+    def test_watts_strogatz_degree(self):
+        g = watts_strogatz(200, 4, 0.0, rng=0)  # no rewiring: pure ring
+        assert pattern_symmetric(g)
+        deg = g.row_nnz()
+        assert np.all(deg == 8)  # k neighbours each side
+
+    def test_watts_strogatz_rewiring_changes_graph(self):
+        a = watts_strogatz(100, 3, 0.0, rng=1)
+        b = watts_strogatz(100, 3, 0.5, rng=1)
+        assert not a.equals(b)
+
+    def test_grid_graph_structure(self):
+        g = grid_graph(4)
+        assert g.shape == (16, 16)
+        assert pattern_symmetric(g)
+        deg = g.row_nnz()
+        # corners 2, edges 3, interior 4
+        assert sorted(np.unique(deg)) == [2, 3, 4]
+        assert g.nnz == 2 * (2 * 4 * 3)  # 24 undirected mesh edges
+
+    def test_banded_respects_bandwidth(self):
+        bw = 5
+        g = banded_matrix(100, bw, rng=2)
+        rows = np.repeat(np.arange(100), g.row_nnz())
+        assert np.all(np.abs(rows - g.indices) <= bw)
+        assert pattern_symmetric(g)
+
+    def test_chung_lu_power_law_head(self):
+        g = chung_lu(400, 8, 2.2, rng=4)
+        deg = np.sort(g.row_nnz())[::-1]
+        assert deg[0] > 4 * max(np.median(deg), 1)
+        assert pattern_symmetric(g)
+
+    def test_empty_graphs(self):
+        assert watts_strogatz(0, 3, 0.1).nnz == 0
+        assert chung_lu(0, 4).nnz == 0

@@ -1,0 +1,94 @@
+"""Tests for graph preparation helpers and the stand-in input suite."""
+
+import numpy as np
+
+from repro.graphs import (
+    erdos_renyi,
+    load_graph,
+    relabel_by_degree,
+    suite_names,
+    suite_graphs,
+    to_undirected_simple,
+)
+from repro.graphs.prep import triangle_prep, tril_lower
+from repro.graphs.suite import LARGEST, SUITE_SPECS
+
+
+class TestPrep:
+    def test_to_undirected_simple(self, rng):
+        g = erdos_renyi(80, 4, rng=rng)
+        u = to_undirected_simple(g)
+        d = u.to_dense()
+        assert np.array_equal(d != 0, (d != 0).T)
+        assert np.all(np.diag(d) == 0)
+        assert np.all(u.data == 1.0)
+
+    def test_relabel_by_degree_sorts(self, rng):
+        g = to_undirected_simple(erdos_renyi(100, 5, rng=rng, symmetrize=True))
+        r = relabel_by_degree(g)
+        deg = r.row_nnz()
+        assert np.all(np.diff(deg) <= 0)  # non-increasing
+
+    def test_relabel_preserves_structure(self, rng):
+        # degree *multiset* and triangle count are isomorphism invariants
+        g = to_undirected_simple(erdos_renyi(60, 4, rng=rng, symmetrize=True))
+        r = relabel_by_degree(g)
+        assert sorted(g.row_nnz()) == sorted(r.row_nnz())
+        assert g.nnz == r.nnz
+
+    def test_relabel_ascending(self, rng):
+        g = to_undirected_simple(erdos_renyi(50, 4, rng=rng, symmetrize=True))
+        r = relabel_by_degree(g, ascending=True)
+        assert np.all(np.diff(r.row_nnz()) >= 0)
+
+    def test_tril_lower_strict(self, rng):
+        g = to_undirected_simple(erdos_renyi(40, 4, rng=rng, symmetrize=True))
+        L = tril_lower(g)
+        rows = np.repeat(np.arange(40), L.row_nnz())
+        assert np.all(L.indices < rows)
+        assert L.nnz == g.nnz // 2  # each undirected edge once
+
+    def test_triangle_prep_pipeline(self, rng):
+        g = erdos_renyi(60, 5, rng=rng)
+        L = triangle_prep(g)
+        rows = np.repeat(np.arange(60), L.row_nnz())
+        assert np.all(L.indices < rows)
+
+
+class TestSuite:
+    def test_suite_has_26_graphs(self):
+        assert len(SUITE_SPECS) == 26
+        assert len(suite_names()) == 26
+
+    def test_exclusion_mechanism(self):
+        names = suite_names(exclude_largest=True)
+        assert len(names) == 26 - len(LARGEST)
+        assert all(n not in names for n in LARGEST)
+
+    def test_load_graph_caches(self):
+        a = load_graph("grid-24")
+        b = load_graph("grid-24")
+        assert a is b  # lru_cache
+
+    def test_load_unknown_raises(self):
+        import pytest
+
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            load_graph("facebook-2010")
+
+    def test_all_graphs_are_simple_undirected(self):
+        # load the small half of the suite and verify invariants
+        for name, g in suite_graphs(limit=8):
+            d = g.to_dense() != 0
+            assert np.array_equal(d, d.T), name
+            assert np.all(g.diagonal() == 0), name
+            assert g.nnz > 0, name
+
+    def test_suite_spans_sizes(self):
+        sizes = {load_graph(n).nrows for n in suite_names()[:6]}
+        assert len(sizes) >= 2
+
+    def test_limit_iteration(self):
+        assert len(list(suite_graphs(limit=3))) == 3

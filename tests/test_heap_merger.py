@@ -1,0 +1,94 @@
+"""Tests for the heap-based masked merger (paper Algorithms 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.accumulators import HeapMerger, RowIterator
+from repro.accumulators.heap_acc import INSPECT_ALL
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+
+
+def iters_from(rows):
+    """rows: list of (cols, vals, scale) triples."""
+    return [RowIterator(np.array(c, dtype=np.int64), np.array(v, dtype=float),
+                        s, i)
+            for i, (c, v, s) in enumerate(rows)]
+
+
+def test_row_iterator_walk():
+    it = RowIterator(np.array([1, 4]), np.array([2.0, 3.0]), 10.0, 0)
+    assert it.is_valid() and it.col_id == 1
+    assert it.value(PLUS_TIMES) == 20.0
+    it.advance()
+    assert it.col_id == 4 and it.value(PLUS_TIMES) == 30.0
+    it.advance()
+    assert not it.is_valid()
+
+
+@pytest.mark.parametrize("ninspect", [0, 1, 3, INSPECT_ALL])
+def test_merge_matches_brute_force(ninspect, rng):
+    for _ in range(20):
+        nrows = rng.integers(0, 5)
+        rows = []
+        for _ in range(nrows):
+            ncols = rng.integers(0, 6)
+            cols = np.sort(rng.choice(20, size=ncols, replace=False))
+            vals = rng.integers(1, 5, size=ncols).astype(float)
+            rows.append((cols, vals, float(rng.integers(1, 4))))
+        m_cols = np.sort(rng.choice(20, size=rng.integers(0, 8), replace=False))
+        merger = HeapMerger(PLUS_TIMES, ninspect=ninspect)
+        got_c, got_v = merger.merge(m_cols, iters_from(rows))
+        # brute force
+        acc = {}
+        for c, v, s in rows:
+            for j, x in zip(c, v):
+                if j in set(m_cols.tolist()):
+                    acc[j] = acc.get(j, 0.0) + s * x
+        want = sorted(acc.items())
+        assert got_c == [k for k, _ in want]
+        assert np.allclose(got_v, [v for _, v in want])
+
+
+def test_merge_complement_matches_brute_force(rng):
+    for _ in range(20):
+        rows = []
+        for _ in range(int(rng.integers(0, 5))):
+            ncols = rng.integers(0, 6)
+            cols = np.sort(rng.choice(15, size=ncols, replace=False))
+            vals = rng.integers(1, 5, size=ncols).astype(float)
+            rows.append((cols, vals, float(rng.integers(1, 4))))
+        m_cols = np.sort(rng.choice(15, size=rng.integers(0, 6), replace=False))
+        got_c, got_v = HeapMerger(PLUS_TIMES, ninspect=0).merge_complement(
+            m_cols, iters_from(rows))
+        acc = {}
+        banned = set(m_cols.tolist())
+        for c, v, s in rows:
+            for j, x in zip(c, v):
+                if j not in banned:
+                    acc[j] = acc.get(j, 0.0) + s * x
+        want = sorted(acc.items())
+        assert got_c == [k for k, _ in want]
+        assert np.allclose(got_v, [v for _, v in want])
+
+
+def test_min_plus_merge():
+    rows = [([2], [5.0], 1.0), ([2], [1.0], 2.0)]
+    got_c, got_v = HeapMerger(MIN_PLUS).merge(np.array([2]), iters_from(rows))
+    assert got_c == [2]
+    assert got_v == [min(1 + 5, 2 + 1)]
+
+
+def test_ninspect_validation():
+    with pytest.raises(ValueError):
+        HeapMerger(PLUS_TIMES, ninspect=-1)
+    with pytest.raises(ValueError):
+        HeapMerger(PLUS_TIMES, ninspect=1.5)
+
+
+def test_empty_inputs():
+    merger = HeapMerger(PLUS_TIMES)
+    assert merger.merge(np.array([1, 2]), []) == ([], [])
+    assert merger.merge(np.array([], dtype=np.int64),
+                        iters_from([([1], [1.0], 1.0)])) == ([], [])
+    assert merger.merge_complement(np.array([], dtype=np.int64),
+                                   iters_from([([1], [2.0], 3.0)])) == ([1], [6.0])

@@ -1,0 +1,136 @@
+"""Tests for the hybrid per-row kernel (the paper's §9 future work)."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_masked_product_correct, make_triple
+from repro.core import masked_spgemm
+from repro.core.hybrid_kernel import _CLASSES, classify_rows
+from repro.mask import Mask
+from repro.semiring import MIN_PLUS, PLUS_PAIR, PLUS_TIMES
+from repro.sparse import COOMatrix, CSRMatrix, csr_random
+from repro.validation import INDEX_DTYPE
+
+
+def heterogeneous_problem(rng, n=60):
+    """Rows engineered to hit all three classes: dense-mask rows with few
+    products (heap), sparse-mask hub rows (inner), balanced rows (msa)."""
+    k = n
+    # A: first third sparse rows, middle third hubs, last third moderate
+    rows, cols = [], []
+    for i in range(n // 3):
+        rows += [i]
+        cols += [int(rng.integers(0, k))]
+    for i in range(n // 3, 2 * n // 3):
+        cs = rng.choice(k, size=20, replace=False)
+        rows += [i] * 20
+        cols += cs.tolist()
+    for i in range(2 * n // 3, n):
+        cs = rng.choice(k, size=4, replace=False)
+        rows += [i] * 4
+        cols += cs.tolist()
+    A = COOMatrix(np.array(rows), np.array(cols),
+                  np.ones(len(rows)), (n, k)).to_csr()
+    B = csr_random(k, n, density=0.15, rng=rng, values="randint")
+    # mask: dense rows for the sparse-A block, sparse rows for the hub block
+    mrows, mcols = [], []
+    for i in range(n // 3):
+        cs = rng.choice(n, size=30, replace=False)
+        mrows += [i] * 30
+        mcols += cs.tolist()
+    for i in range(n // 3, 2 * n // 3):
+        mrows += [i]
+        mcols += [int(rng.integers(0, n))]
+    for i in range(2 * n // 3, n):
+        cs = rng.choice(n, size=6, replace=False)
+        mrows += [i] * 6
+        mcols += cs.tolist()
+    M = COOMatrix(np.array(mrows), np.array(mcols),
+                  np.ones(len(mrows)), (n, n)).to_csr()
+    return A, B, M
+
+
+def test_classifier_uses_multiple_classes(rng):
+    A, B, M = heterogeneous_problem(rng)
+    cls = classify_rows(A, B, Mask.from_matrix(M),
+                        np.arange(A.nrows, dtype=INDEX_DTYPE))
+    used = {int(c) for c in np.unique(cls)}
+    assert len(used) >= 2, f"expected a mixed dispatch, got classes {used}"
+
+
+def test_complement_routes_everything_to_msa(rng):
+    A, B, M = make_triple(rng)
+    cls = classify_rows(A, B, Mask.from_matrix(M, complemented=True),
+                        np.arange(A.nrows, dtype=INDEX_DTYPE))
+    assert np.all(cls == 0)
+    assert _CLASSES[0] == "msa"
+
+
+@pytest.mark.parametrize("semiring", [PLUS_TIMES, PLUS_PAIR, MIN_PLUS],
+                         ids=lambda s: s.name)
+def test_hybrid_matches_oracle(rng, semiring):
+    A, B, M = heterogeneous_problem(rng)
+    C = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="hybrid",
+                      semiring=semiring)
+    assert_masked_product_correct(C, A, B, M, semiring)
+
+
+def test_hybrid_equals_msa_on_random(rng):
+    for _ in range(5):
+        A, B, M = make_triple(rng)
+        want = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="msa")
+        got = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="hybrid")
+        assert got.equals(want)
+
+
+def test_hybrid_complement(rng):
+    A, B, M = make_triple(rng, dm=0.1)
+    mask = Mask.from_matrix(M, complemented=True)
+    want = masked_spgemm(A, B, mask, algorithm="msa")
+    got = masked_spgemm(A, B, mask, algorithm="hybrid")
+    assert got.equals(want)
+
+
+def test_hybrid_two_phase(rng):
+    A, B, M = heterogeneous_problem(rng)
+    mask = Mask.from_matrix(M)
+    c1 = masked_spgemm(A, B, mask, algorithm="hybrid", phases=1)
+    c2 = masked_spgemm(A, B, mask, algorithm="hybrid", phases=2)
+    assert c1.equals(c2)
+
+
+def test_hybrid_parallel(rng):
+    from repro.parallel import SimulatedExecutor
+
+    A, B, M = heterogeneous_problem(rng)
+    mask = Mask.from_matrix(M)
+    want = masked_spgemm(A, B, mask, algorithm="hybrid")
+    got = masked_spgemm(A, B, mask, algorithm="hybrid",
+                        executor=SimulatedExecutor(3))
+    assert got.equals(want)
+
+
+def test_hybrid_empty_inputs():
+    A = CSRMatrix.empty((5, 4))
+    B = CSRMatrix.empty((4, 6))
+    M = CSRMatrix.empty((5, 6))
+    C = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="hybrid")
+    assert C.nnz == 0 and C.shape == (5, 6)
+
+
+def test_hybrid_row_subset(rng):
+    """The parallel layer hands the kernel arbitrary row chunks."""
+    from repro.core.hybrid_kernel import numeric_rows
+
+    A, B, M = heterogeneous_problem(rng)
+    mask = Mask.from_matrix(M)
+    full = masked_spgemm(A, B, mask, algorithm="hybrid")
+    rows = np.array([2, 25, 45], dtype=INDEX_DTYPE)
+    block = numeric_rows(A, B, mask, PLUS_TIMES, rows)
+    pos = 0
+    for t, i in enumerate(rows):
+        k = int(block.sizes[t])
+        lo, hi = full.indptr[i], full.indptr[i + 1]
+        assert k == hi - lo
+        assert np.array_equal(block.cols[pos:pos + k], full.indices[lo:hi])
+        pos += k

@@ -1,0 +1,103 @@
+"""Matrix Market I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.sparse import csr_random, read_matrix_market, write_matrix_market
+
+
+def roundtrip(m):
+    buf = io.StringIO()
+    write_matrix_market(m, buf)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+def test_roundtrip_real(rng):
+    m = csr_random(20, 30, density=0.15, rng=rng)
+    assert roundtrip(m).equals(m)
+
+
+def test_roundtrip_empty():
+    from repro.sparse import CSRMatrix
+
+    m = CSRMatrix.empty((5, 5))
+    assert roundtrip(m).equals(m)
+
+
+def test_pattern_field_roundtrip(rng):
+    m = csr_random(10, 10, density=0.2, rng=rng).pattern()
+    buf = io.StringIO()
+    write_matrix_market(m, buf, field="pattern")
+    buf.seek(0)
+    got = read_matrix_market(buf)
+    assert got.same_pattern(m)
+    assert np.all(got.data == 1.0)
+
+
+def test_reads_symmetric_storage():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% comment line
+3 3 3
+2 1 5.0
+3 2 7.0
+1 1 2.0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    d = m.to_dense()
+    assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+    assert d[2, 1] == 7.0 and d[1, 2] == 7.0
+    assert d[0, 0] == 2.0  # diagonal not duplicated
+    assert m.nnz == 5
+
+
+def test_reads_integer_and_pattern_fields():
+    text_int = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 4\n"
+    m = read_matrix_market(io.StringIO(text_int))
+    assert m.to_dense()[0, 1] == 4.0
+    text_pat = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+    m = read_matrix_market(io.StringIO(text_pat))
+    assert m.nnz == 2
+    assert np.all(m.data == 1.0)
+
+
+def test_rejects_bad_header():
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n"))
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"))
+
+
+def test_rejects_wrong_entry_count():
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"))
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n"))
+
+
+def test_rejects_garbage_entries():
+    with pytest.raises(IOFormatError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n"))
+
+
+def test_file_path_roundtrip(tmp_path, rng):
+    m = csr_random(8, 8, density=0.3, rng=rng)
+    p = tmp_path / "m.mtx"
+    write_matrix_market(m, p)
+    assert read_matrix_market(p).equals(m)
+
+
+def test_duplicates_summed():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n1 1 2.5\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.nnz == 1
+    assert m.to_dense()[0, 0] == 4.0

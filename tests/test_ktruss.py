@@ -1,0 +1,87 @@
+"""k-truss vs the networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import ktruss
+from repro.graphs import erdos_renyi, rmat, watts_strogatz
+from repro.graphs.prep import to_undirected_simple
+from repro.sparse import csr_from_dense
+from repro.sparse.convert import to_scipy
+
+
+def nx_truss_edges(g, k):
+    G = nx.from_scipy_sparse_array(to_scipy(g))
+    return nx.k_truss(G, k).number_of_edges()
+
+
+@pytest.mark.parametrize("alg", ["msa", "hash", "mca", "inner"])
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_matches_networkx(alg, k):
+    g = to_undirected_simple(rmat(7, 10, rng=11))
+    res = ktruss(g, k, algorithm=alg)
+    assert res.subgraph.nnz // 2 == nx_truss_edges(g, k)
+
+
+def test_result_is_symmetric_pattern():
+    g = to_undirected_simple(watts_strogatz(100, 4, 0.05, rng=2))
+    res = ktruss(g, 4)
+    d = res.subgraph.to_dense() != 0
+    assert np.array_equal(d, d.T)
+
+
+def test_k2_returns_input_without_multiplying():
+    g = to_undirected_simple(erdos_renyi(50, 3, rng=3, symmetrize=True))
+    res = ktruss(g, 2)
+    assert res.subgraph.same_pattern(g.pattern())
+    assert res.iterations == 0
+    assert res.flops_per_iteration == []
+
+
+def test_k_below_2_rejected():
+    g = to_undirected_simple(erdos_renyi(20, 2, rng=4, symmetrize=True))
+    with pytest.raises(ValueError):
+        ktruss(g, 1)
+
+
+def test_telemetry_consistency():
+    g = to_undirected_simple(rmat(6, 12, rng=5))
+    res = ktruss(g, 5, algorithm="hash")
+    assert res.iterations == len(res.flops_per_iteration)
+    assert res.iterations == len(res.nnz_per_iteration)
+    assert res.total_flops == 2 * sum(res.flops_per_iteration)
+    # nnz must be non-increasing over iterations
+    assert all(a >= b for a, b in zip(res.nnz_per_iteration,
+                                      res.nnz_per_iteration[1:]))
+
+
+def test_k4_of_k4_graph_is_itself():
+    # K4: every edge supported by 2 triangles -> 4-truss == K4, 5-truss empty
+    k4 = csr_from_dense(1 - np.eye(4))
+    assert ktruss(k4, 4).subgraph.nnz == 12
+    assert ktruss(k4, 5).subgraph.nnz == 0
+
+
+def test_triangle_free_graph_empties_at_k3():
+    c6 = np.zeros((6, 6))
+    for i in range(6):
+        c6[i, (i + 1) % 6] = c6[(i + 1) % 6, i] = 1
+    res = ktruss(csr_from_dense(c6), 3)
+    assert res.subgraph.nnz == 0
+
+
+def test_iterative_pruning_happens():
+    # a triangle chained to a pendant triangle: k=4 needs >1 iteration on
+    # suitable shapes; here we at least verify convergence & telemetry
+    g = to_undirected_simple(watts_strogatz(64, 3, 0.0, rng=1))
+    res = ktruss(g, 4, algorithm="msa")
+    assert res.iterations >= 1
+
+
+def test_empty_graph():
+    from repro.sparse import CSRMatrix
+
+    res = ktruss(CSRMatrix.empty((10, 10)), 5)
+    assert res.subgraph.nnz == 0
+    assert res.iterations == 0

@@ -1,0 +1,114 @@
+"""Tests for structural/element-wise ops (the GraphBLAS-ish helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix, csr_random, ops
+
+
+def test_ewise_mult_intersection(rng):
+    a = csr_random(12, 14, density=0.3, rng=rng)
+    b = csr_random(12, 14, density=0.3, rng=rng)
+    c = ops.ewise_mult(a, b)
+    assert np.allclose(c.to_dense(), a.to_dense() * b.to_dense())
+
+
+def test_ewise_mult_custom_op(rng):
+    a = csr_random(10, 10, density=0.3, rng=rng, values="ones")
+    b = csr_random(10, 10, density=0.3, rng=rng, values="ones")
+    c = ops.ewise_mult(a, b, op=np.minimum)
+    # both store 1.0 at intersections
+    assert np.all(c.data == 1.0)
+
+
+def test_ewise_add_union(rng):
+    a = csr_random(12, 14, density=0.2, rng=rng)
+    b = csr_random(12, 14, density=0.2, rng=rng)
+    c = ops.ewise_add(a, b)
+    assert np.allclose(c.to_dense(), a.to_dense() + b.to_dense())
+    # union semantics: pattern is the union of stored patterns
+    ka = set(zip(*np.nonzero(a.to_dense() != 0)))
+    assert c.nnz >= max(a.nnz, b.nnz)
+
+
+def test_ewise_add_passthrough_values():
+    a = CSRMatrix([0, 1], [0], [5.0], (1, 2))
+    b = CSRMatrix([0, 1], [1], [7.0], (1, 2))
+    c = ops.ewise_add(a, b)
+    assert c.nnz == 2
+    assert np.allclose(c.to_dense(), [[5.0, 7.0]])
+
+
+def test_ewise_div_restricted_to_divisor_pattern():
+    a = CSRMatrix([0, 2], [0, 1], [6.0, 9.0], (1, 2))
+    b = CSRMatrix([0, 1], [0], [2.0], (1, 2))
+    c = ops.ewise_div(a, b)
+    assert c.nnz == 1
+    assert c.to_dense()[0, 0] == 3.0
+
+
+def test_shape_mismatch_raises(rng):
+    a = csr_random(3, 4, density=0.5, rng=rng)
+    b = csr_random(4, 3, density=0.5, rng=rng)
+    with pytest.raises(ShapeError):
+        ops.ewise_mult(a, b)
+    with pytest.raises(ShapeError):
+        ops.ewise_add(a, b)
+
+
+def test_apply_mask_plain_and_complement(rng):
+    c = csr_random(10, 10, density=0.4, rng=rng)
+    m = csr_random(10, 10, density=0.3, rng=rng)
+    kept = ops.apply_mask(c, m)
+    dropped = ops.apply_mask(c, m, complemented=True)
+    md = m.to_dense() != 0
+    assert np.allclose(kept.to_dense(), c.to_dense() * md)
+    assert np.allclose(dropped.to_dense(), c.to_dense() * ~md)
+    # partition: every stored entry lands in exactly one side
+    assert kept.nnz + dropped.nnz == c.nnz
+
+
+def test_pattern_union_and_difference(rng):
+    a = csr_random(8, 8, density=0.3, rng=rng)
+    b = csr_random(8, 8, density=0.3, rng=rng)
+    u = ops.pattern_union(a, b)
+    assert np.array_equal(u.to_dense() != 0,
+                          (a.to_dense() != 0) | (b.to_dense() != 0))
+    d = ops.pattern_difference(a, b)
+    assert np.array_equal(d.to_dense() != 0,
+                          (a.to_dense() != 0) & ~(b.to_dense() != 0))
+
+
+def test_symmetrize(rng):
+    a = csr_random(9, 9, density=0.2, rng=rng)
+    s = ops.symmetrize(a)
+    ds = s.to_dense() != 0
+    assert np.array_equal(ds, ds.T)
+    assert np.all(ds[a.to_dense() != 0])
+
+
+def test_symmetrize_requires_square(rng):
+    with pytest.raises(ShapeError):
+        ops.symmetrize(csr_random(3, 4, density=0.5, rng=rng))
+
+
+def test_remove_diagonal():
+    # stored: (0,0) diag, (0,1) off-diag, (1,1) diag -> one survivor
+    m = CSRMatrix([0, 2, 3], [0, 1, 1], [1.0, 2.0, 3.0], (2, 2))
+    r = ops.remove_diagonal(m)
+    assert r.nnz == 1
+    assert r.to_dense()[0, 1] == 2.0
+    assert np.all(r.diagonal() == 0)
+
+
+def test_scale_values(rng):
+    a = csr_random(6, 6, density=0.4, rng=rng)
+    s = ops.scale_values(a, lambda v: v * 2.0)
+    assert s.same_pattern(a)
+    assert np.allclose(s.data, a.data * 2.0)
+
+
+def test_transpose_csr_matches_dense(rng):
+    a = csr_random(7, 13, density=0.3, rng=rng)
+    assert np.allclose(ops.transpose_csr(a).to_dense(), a.to_dense().T)

@@ -1,0 +1,167 @@
+"""Performance-model tests: §4 traffic formulas, cache simulator, traces."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.mask import Mask
+from repro.perfmodel import (
+    LRUCache,
+    predicted_best,
+    pull_traffic,
+    push_traffic,
+    row_trace,
+    simulate_row_misses,
+)
+from repro.perfmodel.traffic import accumulator_traffic, total_traffic
+from repro.sparse import csr_random
+
+
+# --------------------------------------------------------------------- #
+# analytic traffic
+# --------------------------------------------------------------------- #
+class TestTraffic:
+    def test_pull_formula_literal(self, rng):
+        A = csr_random(50, 50, density=0.1, rng=rng)
+        B = csr_random(50, 50, density=0.1, rng=rng)
+        M = csr_random(50, 50, density=0.1, rng=rng)
+        got = pull_traffic(A, B, Mask.from_matrix(M))
+        want = A.nnz + M.nnz * (1 + B.nnz / 50)
+        assert np.isclose(got, want)
+
+    def test_push_formula_literal(self, rng):
+        from repro.core.expand import total_flops
+
+        A = csr_random(40, 40, density=0.1, rng=rng)
+        B = csr_random(40, 40, density=0.1, rng=rng)
+        M = csr_random(40, 40, density=0.1, rng=rng)
+        got = push_traffic(A, B, Mask.from_matrix(M), L=8)
+        want = A.nnz + A.nnz * 8 + total_flops(A, B) + M.nnz
+        assert np.isclose(got, want)
+
+    def test_pull_wins_for_sparse_masks(self):
+        A = erdos_renyi(256, 16, rng=1)
+        B = erdos_renyi(256, 16, rng=2)
+        sparse = Mask.from_matrix(erdos_renyi(256, 1, rng=3))
+        assert predicted_best(A, B, sparse) == "inner"
+
+    def test_push_wins_for_dense_masks(self):
+        A = erdos_renyi(256, 2, rng=4)
+        B = erdos_renyi(256, 2, rng=5)
+        dense = Mask.from_matrix(erdos_renyi(256, 64, rng=6))
+        assert predicted_best(A, B, dense) != "inner"
+
+    def test_msa_penalized_when_working_set_exceeds_cache(self, rng):
+        A = csr_random(64, 64, density=0.1, rng=rng)
+        B = csr_random(64, 64, density=0.1, rng=rng)
+        M = csr_random(64, 64, density=0.1, rng=rng)
+        mask = Mask.from_matrix(M)
+        small_cache = accumulator_traffic("msa", A, B, mask, Z=64)
+        big_cache = accumulator_traffic("msa", A, B, mask, Z=1 << 20)
+        assert small_cache > big_cache
+
+    def test_heap_has_no_scatter_table_cost(self, rng):
+        A = csr_random(64, 64, density=0.05, rng=rng)
+        B = csr_random(64, 64, density=0.05, rng=rng)
+        mask = Mask.from_matrix(csr_random(64, 64, density=0.05, rng=rng))
+        # tiny cache: MSA pays full touches, heap stays cheap
+        assert (accumulator_traffic("heap", A, B, mask, Z=64)
+                < accumulator_traffic("msa", A, B, mask, Z=64))
+
+    def test_unknown_algorithm_rejected(self, rng):
+        A = csr_random(8, 8, density=0.3, rng=rng)
+        mask = Mask.from_matrix(A)
+        with pytest.raises(ValueError):
+            accumulator_traffic("fft", A, A, mask)
+
+    def test_total_traffic_bytes(self, rng):
+        A = csr_random(16, 16, density=0.3, rng=rng)
+        mask = Mask.from_matrix(A)
+        t = total_traffic("msa", A, A, mask)
+        assert t.bytes == t.words * 8
+
+
+# --------------------------------------------------------------------- #
+# cache simulator
+# --------------------------------------------------------------------- #
+class TestLRUCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(1000, 64, 8)  # not divisible
+
+    def test_cold_misses_then_hits(self):
+        c = LRUCache(1024, 64, 2)
+        assert not c.access(0)     # cold miss
+        assert c.access(8)         # same line -> hit
+        assert c.access(0)
+        assert c.misses == 1 and c.hits == 2
+
+    def test_capacity_eviction(self):
+        # direct-mapped-ish: 1 set x 2 ways of 64B lines = 128B cache
+        c = LRUCache(128, 64, 2)
+        c.access(0)        # line 0
+        c.access(64)       # line 1
+        c.access(128)      # line 2 evicts line 0 (LRU)
+        assert not c.access(0)   # miss: was evicted
+        assert c.access(128)     # hit: most recent survives
+
+    def test_lru_order_updates_on_hit(self):
+        c = LRUCache(128, 64, 2)
+        c.access(0)
+        c.access(64)
+        c.access(0)        # touch line 0 -> 64 becomes LRU
+        c.access(128)      # evicts 64
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_miss_rate_and_reset(self):
+        c = LRUCache(1024, 64, 2)
+        c.access_many(np.arange(0, 4096, 64))
+        assert c.miss_rate == 1.0
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_flush(self):
+        c = LRUCache(1024, 64, 2)
+        c.access(0)
+        c.flush()
+        assert not c.access(0)  # cold again
+
+
+# --------------------------------------------------------------------- #
+# address traces
+# --------------------------------------------------------------------- #
+class TestTraces:
+    @pytest.fixture
+    def problem(self, rng):
+        A = csr_random(48, 48, density=0.15, rng=rng)
+        B = csr_random(48, 48, density=0.15, rng=rng)
+        M = csr_random(48, 48, density=0.2, rng=rng)
+        return A, B, Mask.from_matrix(M)
+
+    @pytest.mark.parametrize("alg", ["msa", "hash", "mca", "heap"])
+    def test_traces_nonempty_for_active_rows(self, problem, alg):
+        A, B, mask = problem
+        total = sum(row_trace(alg, A, B, mask, i).size for i in range(10))
+        assert total > 0
+
+    def test_unknown_algorithm(self, problem):
+        A, B, mask = problem
+        with pytest.raises(ValueError):
+            row_trace("fft", A, B, mask, 0)
+
+    def test_msa_misses_grow_with_matrix_width(self, rng):
+        """The paper's §5.3 motivation: MSA's dense arrays outgrow cache as
+        ncols grows, while the hash table tracks nnz(m) and stays cached."""
+        def miss_rate(alg, n):
+            A = csr_random(64, n, density=8 / n, rng=np.random.default_rng(5))
+            B = csr_random(n, n, density=8 / n, rng=np.random.default_rng(6))
+            M = csr_random(64, n, density=8 / n, rng=np.random.default_rng(7))
+            m, a = simulate_row_misses(alg, A, B, Mask.from_matrix(M),
+                                       range(64), size_bytes=8 * 1024)
+            return m / max(a, 1)
+
+        small, large = miss_rate("msa", 256), miss_rate("msa", 1 << 15)
+        assert large > small * 1.5
+        # hash stays low even at large n
+        assert miss_rate("hash", 1 << 15) < large

@@ -1,0 +1,149 @@
+"""Model-based property tests for the accumulator state machines.
+
+A python-dict "model accumulator" defines the correct semantics; random
+operation sequences (hypothesis-generated) are replayed against both model
+and implementation, and the observable outputs (remove results) must match.
+This pins the NOTALLOWED/ALLOWED/SET automata of Figs. 3 and 5 far more
+thoroughly than example-based tests.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accumulators import (
+    HashAccumulator,
+    MCAAccumulator,
+    MSAAccumulator,
+    MSAComplementAccumulator,
+)
+
+NCOLS = 16
+
+
+class ModelMasked:
+    """Dict-based specification of the masked accumulator semantics."""
+
+    def __init__(self):
+        self.allowed: set[int] = set()
+        self.values: dict[int, float] = {}
+
+    def set_allowed(self, k):
+        self.allowed.add(k)
+
+    def insert(self, k, v):
+        if k in self.allowed:
+            self.values[k] = self.values.get(k, 0.0) + v
+
+    def remove(self, k):
+        self.allowed.discard(k)
+        return self.values.pop(k, None)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("allow"), st.integers(0, NCOLS - 1)),
+        st.tuples(st.just("insert"), st.integers(0, NCOLS - 1),
+                  st.integers(-3, 3)),
+        st.tuples(st.just("remove"), st.integers(0, NCOLS - 1)),
+    ),
+    max_size=60,
+)
+
+
+def replay(acc, model, ops):
+    """Replay an op sequence; remove() outputs must match the model's.
+
+    Only keys currently allowed may be inserted in the implementation-
+    agnostic way (hash accumulators cannot allow more than their capacity,
+    so 'allow' ops beyond capacity are filtered by the caller)."""
+    for op in ops:
+        if op[0] == "allow":
+            acc.set_allowed(op[1])
+            model.set_allowed(op[1])
+        elif op[0] == "insert":
+            acc.insert(op[1], float(op[2]))
+            model.insert(op[1], float(op[2]))
+        else:
+            got = acc.remove(op[1])
+            want = model.remove(op[1])
+            assert (got is None) == (want is None), op
+            if got is not None:
+                assert np.isclose(got, want), op
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_msa_matches_model(ops):
+    replay(MSAAccumulator(NCOLS), ModelMasked(), ops)
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_hash_matches_model(ops):
+    # capacity for all possible keys so 'allow' never overflows
+    replay(HashAccumulator(NCOLS), ModelMasked(), ops)
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, NCOLS - 1), st.integers(-3, 3)),
+    st.tuples(st.just("remove"), st.integers(0, NCOLS - 1)),
+), max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_mca_matches_model(ops):
+    """MCA: every rank implicitly allowed, remove resets to ALLOWED (so a
+    key can be re-accumulated, unlike MSA where remove de-allows)."""
+    acc = MCAAccumulator(NCOLS)
+    values: dict[int, float] = {}
+    for op in ops:
+        if op[0] == "insert":
+            values[op[1]] = values.get(op[1], 0.0) + float(op[2])
+            acc.insert(op[1], float(op[2]))
+        else:
+            want = values.pop(op[1], None)
+            got = acc.remove(op[1])
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert np.isclose(got, want)
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("ban"), st.integers(0, NCOLS - 1)),
+    st.tuples(st.just("insert"), st.integers(0, NCOLS - 1), st.integers(-3, 3)),
+), max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_msa_complement_matches_model(ops):
+    acc = MSAComplementAccumulator(NCOLS)
+    banned: set[int] = set()
+    values: dict[int, float] = {}
+    for op in ops:
+        if op[0] == "ban":
+            # paper semantics: banning only transitions ALLOWED keys; a key
+            # already inserted (SET) stays collectable
+            if op[1] not in values:
+                banned.add(op[1])
+            acc.set_not_allowed(op[1])
+        else:
+            if op[1] not in banned:
+                values[op[1]] = values.get(op[1], 0.0) + float(op[2])
+            acc.insert(op[1], float(op[2]))
+    keys, vals = acc.drain(banned)
+    want = sorted(values.items())
+    assert keys == [k for k, _ in want]
+    assert np.allclose(vals, [v for _, v in want])
+
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 20), st.integers(-3, 3)),
+                max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_hash_huge_key_space(pairs):
+    """Key magnitudes far beyond capacity stress hashing & probing."""
+    distinct = {k for k, _ in pairs}
+    acc = HashAccumulator(max(len(distinct), 1))
+    model: dict[int, float] = {}
+    for k, v in pairs:
+        acc.set_allowed(k)
+        acc.insert(k, float(v))
+        model[k] = model.get(k, 0.0) + float(v)
+    for k in sorted(distinct):
+        assert np.isclose(acc.remove(k), model[k])

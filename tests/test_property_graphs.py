@@ -1,0 +1,93 @@
+"""Property-based tests for graph algorithms and generators.
+
+Cross-validation strategy: networkx implements every oracle, hypothesis
+picks the graph family and parameters.
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import betweenness_centrality, ktruss, triangle_count
+from repro.graphs import chung_lu, erdos_renyi, watts_strogatz
+from repro.graphs.prep import relabel_by_degree, to_undirected_simple
+from repro.sparse.convert import to_scipy
+
+
+@st.composite
+def small_graphs(draw):
+    family = draw(st.sampled_from(["er", "ws", "cl"]))
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(8, 60))
+    if family == "er":
+        g = erdos_renyi(n, draw(st.floats(0.5, 4.0)), rng=seed, symmetrize=True)
+    elif family == "ws":
+        g = watts_strogatz(n, draw(st.integers(1, 4)),
+                           draw(st.floats(0, 0.5)), rng=seed)
+    else:
+        g = chung_lu(n, draw(st.floats(1.0, 6.0)), rng=seed)
+    return to_undirected_simple(g)
+
+
+def to_nx(g):
+    return nx.from_scipy_sparse_array(to_scipy(g))
+
+
+@given(small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_triangle_count_matches_networkx(g):
+    want = sum(nx.triangles(to_nx(g)).values()) // 3
+    assert triangle_count(g) == want
+
+
+@given(small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_triangle_count_invariant_under_relabeling(g):
+    assert triangle_count(g) == triangle_count(relabel_by_degree(g, ascending=True))
+
+
+@given(small_graphs(), st.integers(3, 6))
+@settings(max_examples=20, deadline=None)
+def test_ktruss_matches_networkx(g, k):
+    res = ktruss(g, k)
+    assert res.subgraph.nnz // 2 == nx.k_truss(to_nx(g), k).number_of_edges()
+
+
+@given(small_graphs(), st.integers(3, 5))
+@settings(max_examples=15, deadline=None)
+def test_ktruss_nested(g, k):
+    """(k+1)-truss ⊆ k-truss (trusses are nested by definition)."""
+    from repro.sparse import ops
+
+    inner = ktruss(g, k + 1).subgraph
+    outer = ktruss(g, k).subgraph
+    assert ops.pattern_difference(inner, outer).nnz == 0
+
+
+@given(small_graphs())
+@settings(max_examples=12, deadline=None)
+def test_betweenness_matches_networkx(g):
+    if g.nrows > 40:  # keep the all-pairs oracle cheap
+        return
+    want = nx.betweenness_centrality(to_nx(g), normalized=False)
+    got = betweenness_centrality(g).centrality
+    assert np.allclose(got, [want[i] for i in range(g.nrows)], atol=1e-8)
+
+
+@given(st.integers(0, 1000), st.integers(16, 128))
+@settings(max_examples=20, deadline=None)
+def test_generators_produce_simple_symmetric(seed, n):
+    g = to_undirected_simple(erdos_renyi(n, 3.0, rng=seed, symmetrize=True))
+    d = g.to_dense() != 0
+    assert np.array_equal(d, d.T)
+    assert not d.diagonal().any()
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_degree_relabel_idempotent_on_degrees(seed):
+    g = to_undirected_simple(chung_lu(64, 4, rng=seed))
+    r1 = relabel_by_degree(g)
+    r2 = relabel_by_degree(r1)
+    assert np.array_equal(r1.row_nnz(), r2.row_nnz())

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the sparse substrate.
+
+Strategies generate arbitrary COO triplets (duplicates, unsorted, explicit
+zeros included) and the properties assert format invariants, roundtrips and
+algebraic identities against dense numpy.
+"""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    COOMatrix,
+    csr_to_csc,
+    ops,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12, max_nnz=40, integral=True):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz))
+    if integral:
+        vals = draw(st.lists(st.integers(-5, 5), min_size=nnz, max_size=nnz))
+        vals = [float(v) for v in vals]
+    else:
+        vals = draw(st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz))
+    return COOMatrix(np.array(rows, dtype=np.int64),
+                     np.array(cols, dtype=np.int64),
+                     np.array(vals, dtype=np.float64), (nrows, ncols))
+
+
+@st.composite
+def csr_matrices(draw, max_dim=12, max_nnz=40):
+    return draw(coo_matrices(max_dim, max_nnz)).to_csr()
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_to_csr_preserves_dense(coo):
+    assert np.allclose(coo.to_csr().to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants_always_hold(coo):
+    m = coo.to_csr()
+    assert m.indptr[0] == 0
+    assert m.indptr[-1] == m.nnz
+    assert np.all(np.diff(m.indptr) >= 0)
+    for i in range(m.nrows):
+        cols, _ = m.row(i)
+        assert np.all(np.diff(cols) > 0)  # strictly increasing
+
+
+@given(csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution_and_dense(m):
+    t = m.transpose()
+    assert np.allclose(t.to_dense(), m.to_dense().T)
+    assert t.transpose().equals(m)
+
+
+@given(csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csc_roundtrip(m):
+    assert csr_to_csc(m).to_csr().equals(m)
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_coo_roundtrip(m):
+    assert m.to_coo().to_csr().equals(m)
+
+
+@given(csr_matrices())
+@settings(max_examples=30, deadline=None)
+def test_matrix_market_roundtrip(m):
+    buf = io.StringIO()
+    write_matrix_market(m, buf)
+    buf.seek(0)
+    assert read_matrix_market(buf).equals(m)
+
+
+@given(coo_matrices(), coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_ewise_ops_match_dense(ca, cb):
+    # reshape second operand onto the first's shape by rebuilding
+    a = ca.to_csr()
+    b = COOMatrix(cb.rows % a.shape[0], cb.cols % a.shape[1], cb.data,
+                  a.shape).to_csr()
+    assert np.allclose(ops.ewise_add(a, b).to_dense(),
+                       a.to_dense() + b.to_dense())
+    assert np.allclose(ops.ewise_mult(a, b).to_dense(),
+                       a.to_dense() * b.to_dense())
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_tril_triu_diag_partition(m):
+    if m.nrows != m.ncols:
+        return
+    full = (ops.tril(m, -1).to_dense() + ops.triu(m, 1).to_dense()
+            + np.diag(m.diagonal()))
+    assert np.allclose(full, m.to_dense())
+
+
+@given(csr_matrices(), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_apply_mask_partition(m, seed):
+    rng = np.random.default_rng(seed)
+    from repro.sparse import csr_random
+
+    mask = csr_random(m.nrows, m.ncols, density=0.4, rng=rng)
+    kept = ops.apply_mask(m, mask)
+    dropped = ops.apply_mask(m, mask, complemented=True)
+    assert kept.nnz + dropped.nnz == m.nnz
+    assert np.allclose(kept.to_dense() + dropped.to_dense(), m.to_dense())
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_symmetrize_idempotent(m):
+    if m.nrows != m.ncols:
+        return
+    s1 = ops.symmetrize(m)
+    s2 = ops.symmetrize(s1)
+    assert s1.same_pattern(s2)

@@ -1,0 +1,109 @@
+"""Tests of the reference (pure-Python, pseudocode-faithful) tier against
+the dense oracle, across algorithms, semirings and mask polarities."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    ALL_SEMIRINGS,
+    COMPLEMENT_ALGOS,
+    PLAIN_ALGOS,
+    assert_masked_product_correct,
+    make_triple,
+)
+from repro.core.reference import reference_masked_spgemm
+from repro.errors import AlgorithmError, MaskError
+from repro.mask import Mask
+from repro.semiring import PLUS_TIMES
+from repro.sparse import CSRMatrix, csr_random
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_plain_mask_all_algorithms(rng, alg, semiring):
+    A, B, M = make_triple(rng)
+    C = reference_masked_spgemm(A, B, Mask.from_matrix(M), alg, semiring)
+    assert_masked_product_correct(C, A, B, M, semiring)
+
+
+@pytest.mark.parametrize("alg", COMPLEMENT_ALGOS)
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_complemented_mask(rng, alg, semiring):
+    A, B, M = make_triple(rng, dm=0.1)
+    C = reference_masked_spgemm(A, B, Mask.from_matrix(M, complemented=True),
+                                alg, semiring)
+    assert_masked_product_correct(C, A, B, M, semiring, complemented=True)
+
+
+def test_mca_rejects_complement(rng):
+    A, B, M = make_triple(rng)
+    with pytest.raises(MaskError):
+        reference_masked_spgemm(A, B, Mask.from_matrix(M, complemented=True), "mca")
+
+
+def test_inner_rejects_complement(rng):
+    A, B, M = make_triple(rng)
+    with pytest.raises(MaskError):
+        reference_masked_spgemm(A, B, Mask.from_matrix(M, complemented=True), "inner")
+
+
+def test_unknown_algorithm(rng):
+    A, B, M = make_triple(rng)
+    with pytest.raises(AlgorithmError):
+        reference_masked_spgemm(A, B, Mask.from_matrix(M), "quantum")
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+def test_empty_mask_gives_empty_output(rng, alg):
+    A, B, _ = make_triple(rng)
+    empty = Mask.from_matrix(CSRMatrix.empty((A.nrows, B.ncols)))
+    C = reference_masked_spgemm(A, B, empty, alg)
+    assert C.nnz == 0
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+def test_empty_operands(rng, alg):
+    A = CSRMatrix.empty((6, 5))
+    B = CSRMatrix.empty((5, 7))
+    M = csr_random(6, 7, density=0.3, rng=rng)
+    C = reference_masked_spgemm(A, B, Mask.from_matrix(M), alg)
+    assert C.nnz == 0
+    assert C.shape == (6, 7)
+
+
+def test_output_rows_sorted(rng):
+    # the mask-ordered gather must give canonical (sorted) CSR rows
+    A, B, M = make_triple(rng, m=20, n=25, dm=0.4)
+    for alg in PLAIN_ALGOS:
+        C = reference_masked_spgemm(A, B, Mask.from_matrix(M), alg)
+        CSRMatrix(C.indptr, C.indices, C.data, C.shape, check=True)
+
+
+def test_shape_mismatch(rng):
+    from repro.errors import ShapeError
+
+    A = csr_random(4, 5, density=0.5, rng=rng)
+    B = csr_random(6, 4, density=0.5, rng=rng)
+    M = csr_random(4, 4, density=0.5, rng=rng)
+    with pytest.raises(ShapeError):
+        reference_masked_spgemm(A, B, Mask.from_matrix(M), "msa")
+
+
+def test_mask_shape_mismatch(rng):
+    from repro.errors import MaskError
+
+    A = csr_random(4, 5, density=0.5, rng=rng)
+    B = csr_random(5, 6, density=0.5, rng=rng)
+    M = csr_random(4, 5, density=0.5, rng=rng)
+    with pytest.raises(MaskError):
+        reference_masked_spgemm(A, B, Mask.from_matrix(M), "msa")
+
+
+def test_identity_mask_recovers_plain_product(rng):
+    # mask = full pattern of AB: masked result == plain product
+    A, B, _ = make_triple(rng)
+    from repro.core.plain import plain_spgemm
+
+    full = plain_spgemm(A, B, PLUS_TIMES)
+    C = reference_masked_spgemm(A, B, Mask.from_matrix(full), "msa")
+    assert C.allclose_values(full)

@@ -1,0 +1,91 @@
+"""Semiring and monoid behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_FIRST,
+    PLUS_PAIR,
+    PLUS_SECOND,
+    PLUS_TIMES,
+    Monoid,
+    Semiring,
+    by_name,
+)
+
+
+def test_monoid_requires_ufunc():
+    with pytest.raises(TypeError):
+        Monoid(lambda a, b: a + b, 0.0, "bogus")
+
+
+def test_monoid_reduce_identity_on_empty():
+    assert Monoid(np.add, 0.0, "plus").reduce(np.array([])) == 0.0
+    assert Monoid(np.minimum, np.inf, "min").reduce(np.array([])) == np.inf
+
+
+def test_plus_times_multiply():
+    a, b = np.array([2.0, 3.0]), np.array([5.0, 7.0])
+    assert np.array_equal(PLUS_TIMES.multiply(a, b), [10.0, 21.0])
+    assert PLUS_TIMES.mul_scalar(2.0, 5.0) == 10.0
+    assert PLUS_TIMES.identity == 0.0
+
+
+def test_plus_pair_ignores_values():
+    a, b = np.array([2.0, -3.0]), np.array([5.0, 0.5])
+    assert np.array_equal(PLUS_PAIR.multiply(a, b), [1.0, 1.0])
+    assert PLUS_PAIR.mul_scalar(99.0, -1.0) == 1.0
+
+
+def test_first_second():
+    a, b = np.array([2.0, 3.0]), np.array([5.0, 7.0])
+    assert np.array_equal(PLUS_FIRST.multiply(a, b), a)
+    assert np.array_equal(PLUS_SECOND.multiply(a, b), b)
+    assert PLUS_FIRST.mul_scalar(2.0, 5.0) == 2.0
+    assert PLUS_SECOND.mul_scalar(2.0, 5.0) == 5.0
+
+
+def test_min_plus_tropical():
+    a, b = np.array([2.0, 3.0]), np.array([5.0, 7.0])
+    assert np.array_equal(MIN_PLUS.multiply(a, b), [7.0, 10.0])
+    assert MIN_PLUS.identity == np.inf
+    assert MIN_PLUS.add.reduce(np.array([4.0, 2.0, 9.0])) == 2.0
+
+
+def test_max_times():
+    assert MAX_TIMES.identity == -np.inf
+    assert MAX_TIMES.add.reduce(np.array([1.0, 5.0, 3.0])) == 5.0
+
+
+def test_or_and_boolean():
+    a, b = np.array([1.0, 0.0, 2.0]), np.array([1.0, 1.0, 0.0])
+    assert np.array_equal(OR_AND.multiply(a, b), [1.0, 0.0, 0.0])
+    assert OR_AND.mul_scalar(1.0, 1.0) == 1.0
+    assert OR_AND.mul_scalar(0.0, 1.0) == 0.0
+    # OR via max over {0, 1}
+    assert OR_AND.add.ufunc(0.0, 1.0) == 1.0
+
+
+def test_by_name_lookup():
+    assert by_name("plus_pair") is PLUS_PAIR
+    assert by_name("ARITHMETIC") is PLUS_TIMES
+    with pytest.raises(AlgorithmError):
+        by_name("nope")
+
+
+def test_default_mul_scalar_derived_from_mul():
+    s = Semiring(Monoid(np.add, 0.0, "plus"), lambda a, b: a * b + 1, "weird")
+    assert s.mul_scalar(2.0, 3.0) == 7.0
+
+
+def test_ufunc_at_reduceat_compatibility():
+    # the vectorized kernels depend on these ufunc capabilities
+    for sem in (PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND):
+        arr = np.full(4, sem.identity)
+        sem.add.ufunc.at(arr, np.array([1, 1, 2]), np.array([3.0, 4.0, 5.0]))
+        out = sem.add.ufunc.reduceat(np.array([1.0, 2.0, 3.0]), np.array([0, 2]))
+        assert out.shape == (2,)

@@ -1,0 +1,59 @@
+"""SparseVector format tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import SparseVector
+
+
+def test_basic_construction():
+    v = SparseVector([1, 4], [2.0, 3.0], 6)
+    assert v.n == 6 and v.nnz == 2
+    assert np.array_equal(v.to_dense(), [0, 2, 0, 0, 3, 0])
+
+
+def test_invariants_enforced():
+    with pytest.raises(FormatError):
+        SparseVector([4, 1], [1.0, 2.0], 6)       # unsorted
+    with pytest.raises(FormatError):
+        SparseVector([1, 1], [1.0, 2.0], 6)       # duplicate
+    with pytest.raises(FormatError):
+        SparseVector([7], [1.0], 6)               # out of range
+    with pytest.raises(FormatError):
+        SparseVector([1], [1.0, 2.0], 6)          # length mismatch
+
+
+def test_from_pairs_sorts_and_sums():
+    v = SparseVector.from_pairs([4, 1, 4], [1.0, 2.0, 3.0], 6)
+    assert v.indices.tolist() == [1, 4]
+    assert v.data.tolist() == [2.0, 4.0]
+
+
+def test_from_dense_roundtrip(rng):
+    d = rng.random(20)
+    d[d < 0.5] = 0.0
+    v = SparseVector.from_dense(d)
+    assert np.allclose(v.to_dense(), d)
+
+
+def test_row_matrix_roundtrip(rng):
+    v = SparseVector.from_dense((rng.random(15) > 0.6).astype(float))
+    m = v.as_row_matrix()
+    assert m.shape == (1, 15)
+    back = SparseVector.from_row_matrix(m)
+    assert back.equals(v)
+
+
+def test_from_row_matrix_rejects_multirow(rng):
+    from repro.sparse import csr_random
+
+    with pytest.raises(FormatError):
+        SparseVector.from_row_matrix(csr_random(2, 5, density=0.5, rng=rng))
+
+
+def test_empty_and_copy():
+    v = SparseVector.empty(9)
+    assert v.nnz == 0 and v.n == 9
+    c = v.copy()
+    assert c.equals(v)

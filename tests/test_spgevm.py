@@ -1,0 +1,88 @@
+"""Masked SpGEVM (vector-level API) tests."""
+
+import numpy as np
+import pytest
+
+from repro import Mask, SparseVector, masked_spgevm
+from repro.errors import ShapeError
+from repro.semiring import MIN_PLUS, PLUS_PAIR
+from repro.sparse import csr_random
+
+
+def make_problem(rng, k=30, n=40):
+    B = csr_random(k, n, density=0.2, rng=rng, values="randint")
+    u = SparseVector.from_dense(
+        rng.integers(0, 3, size=k).astype(float))
+    m = SparseVector.from_dense((rng.random(n) < 0.3).astype(float))
+    return u, B, m
+
+
+@pytest.mark.parametrize("alg", ["msa", "hash", "mca", "heap", "inner", "auto"])
+def test_matches_dense(rng, alg):
+    u, B, m = make_problem(rng)
+    v = masked_spgevm(u, B, m, algorithm=alg)
+    want = (u.to_dense() @ B.to_dense()) * (m.to_dense() != 0)
+    assert np.allclose(v.to_dense(), want)
+
+
+def test_complemented(rng):
+    u, B, m = make_problem(rng)
+    v = masked_spgevm(u, B, m, complemented=True, algorithm="msa")
+    want = (u.to_dense() @ B.to_dense()) * (m.to_dense() == 0)
+    assert np.allclose(v.to_dense(), want)
+
+
+def test_no_mask_is_plain_product(rng):
+    u, B, _ = make_problem(rng)
+    v = masked_spgevm(u, B, None)
+    assert np.allclose(v.to_dense(), u.to_dense() @ B.to_dense())
+
+
+def test_semirings(rng):
+    u, B, m = make_problem(rng)
+    v = masked_spgevm(u, B, m, semiring=PLUS_PAIR, algorithm="hash")
+    want = ((u.to_dense() != 0).astype(float)
+            @ (B.to_dense() != 0).astype(float)) * (m.to_dense() != 0)
+    assert np.allclose(v.to_dense(), want)
+
+
+def test_min_plus_relaxation(rng):
+    # one tropical SpGEVM step == one round of Bellman-Ford relaxation
+    u, B, m = make_problem(rng)
+    v = masked_spgevm(u, B, None, semiring=MIN_PLUS)
+    ud, Bd = u.to_dense(), B.to_dense()
+    want = np.full(B.ncols, np.inf)
+    for k in u.indices:
+        for p in range(B.indptr[k], B.indptr[k + 1]):
+            j = B.indices[p]
+            want[j] = min(want[j], ud[k] + B.data[p])
+    got = np.full(B.ncols, np.inf)
+    got[v.indices] = v.data
+    assert np.array_equal(np.isfinite(got), np.isfinite(want))
+    assert np.allclose(got[np.isfinite(got)], want[np.isfinite(want)])
+
+
+def test_mask_object_accepted(rng):
+    u, B, m = make_problem(rng)
+    mask = Mask(np.array([0, m.nnz]), m.indices, (1, B.ncols))
+    v1 = masked_spgevm(u, B, mask)
+    v2 = masked_spgevm(u, B, m)
+    assert v1.equals(v2)
+
+
+def test_shape_errors(rng):
+    u, B, m = make_problem(rng)
+    bad_u = SparseVector.empty(B.nrows + 1)
+    with pytest.raises(ShapeError):
+        masked_spgevm(bad_u, B, m)
+    bad_mask = Mask(np.array([0, 0]), np.empty(0, dtype=np.int64),
+                    (1, B.ncols + 1))
+    with pytest.raises(ShapeError):
+        masked_spgevm(u, B, bad_mask)
+
+
+def test_reference_tier(rng):
+    u, B, m = make_problem(rng)
+    v = masked_spgevm(u, B, m, algorithm="msa", tier="reference")
+    w = masked_spgevm(u, B, m, algorithm="msa")
+    assert v.equals(w)

@@ -1,0 +1,142 @@
+"""Masked SpMV (push/pull) and direction-optimized BFS tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import SparseVector, masked_spmv
+from repro.algorithms import direction_optimized_bfs, multi_source_bfs
+from repro.core.spmv import pull_work_estimate, push_work_estimate
+from repro.errors import ShapeError
+from repro.graphs import erdos_renyi, grid_graph, rmat
+from repro.graphs.prep import to_undirected_simple
+from repro.semiring import MIN_PLUS, PLUS_PAIR
+from repro.sparse import csr_random
+from repro.sparse.convert import to_scipy
+
+
+def make_problem(rng, k=25, n=35):
+    A = csr_random(k, n, density=0.2, rng=rng, values="randint")
+    x = SparseVector.from_dense(rng.integers(0, 3, k).astype(float))
+    m = SparseVector.from_dense((rng.random(n) < 0.4).astype(float))
+    return x, A, m
+
+
+class TestMaskedSpMV:
+    @pytest.mark.parametrize("direction", ["push", "pull", "auto"])
+    def test_matches_dense(self, rng, direction):
+        x, A, m = make_problem(rng)
+        y = masked_spmv(x, A, m, direction=direction)
+        want = (x.to_dense() @ A.to_dense()) * (m.to_dense() != 0)
+        assert np.allclose(y.to_dense(), want)
+
+    def test_push_equals_pull_exactly(self, rng):
+        for _ in range(5):
+            x, A, m = make_problem(rng)
+            a = masked_spmv(x, A, m, direction="push")
+            b = masked_spmv(x, A, m, direction="pull")
+            assert a.equals(b)
+
+    def test_complemented_mask(self, rng):
+        x, A, m = make_problem(rng)
+        y = masked_spmv(x, A, m, complemented=True)
+        want = (x.to_dense() @ A.to_dense()) * (m.to_dense() == 0)
+        assert np.allclose(y.to_dense(), want)
+
+    def test_pull_rejects_complement(self, rng):
+        x, A, m = make_problem(rng)
+        with pytest.raises(ValueError):
+            masked_spmv(x, A, m, complemented=True, direction="pull")
+
+    def test_no_mask(self, rng):
+        x, A, _ = make_problem(rng)
+        y = masked_spmv(x, A, None)
+        assert np.allclose(y.to_dense(), x.to_dense() @ A.to_dense())
+
+    def test_semirings(self, rng):
+        x, A, m = make_problem(rng)
+        y = masked_spmv(x, A, m, semiring=PLUS_PAIR, direction="pull")
+        want = ((x.to_dense() != 0).astype(float)
+                @ (A.to_dense() != 0).astype(float)) * (m.to_dense() != 0)
+        assert np.allclose(y.to_dense(), want)
+
+    def test_min_plus_both_directions(self, rng):
+        x, A, m = make_problem(rng)
+        a = masked_spmv(x, A, m, semiring=MIN_PLUS, direction="push")
+        b = masked_spmv(x, A, m, semiring=MIN_PLUS, direction="pull")
+        assert a.equals(b)
+
+    def test_shape_validation(self, rng):
+        x, A, m = make_problem(rng)
+        with pytest.raises(ShapeError):
+            masked_spmv(SparseVector.empty(A.nrows + 1), A, m)
+        with pytest.raises(ShapeError):
+            masked_spmv(x, A, SparseVector.empty(A.ncols + 1))
+        with pytest.raises(ValueError):
+            masked_spmv(x, A, m, direction="sideways")
+
+    def test_empty_frontier(self, rng):
+        _, A, m = make_problem(rng)
+        y = masked_spmv(SparseVector.empty(A.nrows), A, m)
+        assert y.nnz == 0
+
+    def test_work_estimates(self, rng):
+        x, A, m = make_problem(rng)
+        Ad = A.to_dense() != 0
+        want_push = sum(int(Ad[k].sum()) for k in x.indices)
+        assert push_work_estimate(x, A) == want_push
+        csc = A.to_csc()
+        want_pull = sum(int(Ad[:, j].sum()) for j in m.indices)
+        assert pull_work_estimate(m.indices, csc) == want_pull
+
+
+class TestDirectionOptimizedBFS:
+    def test_matches_networkx(self):
+        g = to_undirected_simple(rmat(8, 8, rng=71))
+        G = nx.from_scipy_sparse_array(to_scipy(g))
+        res = direction_optimized_bfs(g, 0)
+        want = nx.single_source_shortest_path_length(G, 0)
+        for v in range(g.nrows):
+            assert res.levels[v] == want.get(v, -1)
+
+    def test_matches_masked_spgemm_bfs(self):
+        g = to_undirected_simple(erdos_renyi(150, 4, rng=72, symmetrize=True))
+        res = direction_optimized_bfs(g, 3)
+        lv = multi_source_bfs(g, [3])
+        assert np.array_equal(res.levels, lv[0])
+
+    def test_forced_directions_agree(self):
+        g = to_undirected_simple(rmat(7, 8, rng=73))
+        a = direction_optimized_bfs(g, 0, force="push").levels
+        b = direction_optimized_bfs(g, 0, force="pull").levels
+        assert np.array_equal(a, b)
+
+    def test_skewed_graph_switches_to_pull(self):
+        g = to_undirected_simple(rmat(9, 16, rng=74))
+        res = direction_optimized_bfs(g, 0)
+        assert "pull" in res.directions  # hub explosion triggers bottom-up
+
+    def test_high_diameter_graph_mostly_push(self):
+        # grids have narrow frontiers: push should dominate, with pull only
+        # legitimate in the last levels once few unvisited vertices remain
+        g = grid_graph(16)
+        res = direction_optimized_bfs(g, 0)
+        frac_push = res.directions.count("push") / len(res.directions)
+        assert frac_push > 0.7
+        assert res.directions[0] == "push"
+        # any pull levels must come after the push phase (a single switch
+        # point, as in Beamer's original heuristic behaviour on meshes)
+        if "pull" in res.directions:
+            first_pull = res.directions.index("pull")
+            assert all(d == "push" for d in res.directions[:first_pull])
+
+    def test_telemetry_shapes(self):
+        g = to_undirected_simple(erdos_renyi(100, 3, rng=75, symmetrize=True))
+        res = direction_optimized_bfs(g, 0)
+        assert len(res.directions) == len(res.frontier_sizes)
+        assert res.levels[0] == 0
+
+    def test_source_validation(self):
+        g = grid_graph(4)
+        with pytest.raises(ValueError):
+            direction_optimized_bfs(g, 99)

@@ -1,0 +1,85 @@
+"""Unit tests for the validation helpers (error paths and edge cases)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.validation import (
+    as_index_array,
+    as_value_array,
+    check_indices_in_range,
+    check_indptr,
+    check_multiplicable,
+    check_same_shape,
+    check_shape,
+    rows_sorted_unique,
+)
+
+
+def test_as_index_array_coerces():
+    a = as_index_array([1, 2, 3])
+    assert a.dtype == np.int64
+    with pytest.raises(FormatError):
+        as_index_array([[1, 2]])
+
+
+def test_as_value_array_dtype_passthrough():
+    a = as_value_array(np.array([1, 2], dtype=np.int32), dtype=np.int32)
+    assert a.dtype == np.int32
+    with pytest.raises(FormatError):
+        as_value_array(np.zeros((2, 2)))
+
+
+def test_check_shape():
+    assert check_shape((3, 4)) == (3, 4)
+    assert check_shape((0, 0)) == (0, 0)
+    with pytest.raises(ShapeError):
+        check_shape((3,))
+    with pytest.raises(ShapeError):
+        check_shape((-1, 2))
+    with pytest.raises(ShapeError):
+        check_shape("nope")
+
+
+def test_check_multiplicable():
+    assert check_multiplicable((3, 4), (4, 5)) == (3, 5)
+    with pytest.raises(ShapeError):
+        check_multiplicable((3, 4), (5, 4))
+
+
+def test_check_same_shape():
+    check_same_shape((2, 3), (2, 3))
+    with pytest.raises(ShapeError):
+        check_same_shape((2, 3), (3, 2))
+
+
+def test_check_indptr():
+    check_indptr(np.array([0, 1, 3]), 2, 3)
+    with pytest.raises(FormatError):
+        check_indptr(np.array([0, 1]), 2, 1)       # wrong length
+    with pytest.raises(FormatError):
+        check_indptr(np.array([1, 1, 3]), 2, 3)    # head not 0
+    with pytest.raises(FormatError):
+        check_indptr(np.array([0, 1, 2]), 2, 3)    # tail != nnz
+    with pytest.raises(FormatError):
+        check_indptr(np.array([0, 2, 1]), 2, 1)    # decreasing
+
+
+def test_check_indices_in_range():
+    check_indices_in_range(np.array([0, 4]), 5)
+    check_indices_in_range(np.array([], dtype=np.int64), 0)
+    with pytest.raises(FormatError):
+        check_indices_in_range(np.array([5]), 5)
+    with pytest.raises(FormatError):
+        check_indices_in_range(np.array([-1]), 5)
+
+
+def test_rows_sorted_unique():
+    # sorted rows
+    assert rows_sorted_unique(np.array([0, 2, 3]), np.array([1, 5, 0]))
+    # duplicate inside a row
+    assert not rows_sorted_unique(np.array([0, 2]), np.array([1, 1]))
+    # descending inside a row
+    assert not rows_sorted_unique(np.array([0, 2]), np.array([5, 1]))
+    # empty
+    assert rows_sorted_unique(np.array([0, 0]), np.array([], dtype=np.int64))

@@ -1,0 +1,160 @@
+"""Vectorized-tier kernel tests: every kernel against the dense oracle and
+against the reference tier, plus symbolic-phase exactness."""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    ALL_SEMIRINGS,
+    COMPLEMENT_ALGOS,
+    PLAIN_ALGOS,
+    assert_masked_product_correct,
+    make_triple,
+)
+from repro.core import masked_spgemm, registry
+from repro.core.reference import reference_masked_spgemm
+from repro.errors import MaskError
+from repro.mask import Mask
+from repro.semiring import PLUS_TIMES
+from repro.sparse import CSRMatrix, csr_random
+from repro.validation import INDEX_DTYPE
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_against_oracle_plain(rng, alg, semiring):
+    A, B, M = make_triple(rng)
+    C = masked_spgemm(A, B, Mask.from_matrix(M), algorithm=alg, semiring=semiring)
+    assert_masked_product_correct(C, A, B, M, semiring)
+
+
+@pytest.mark.parametrize("alg", COMPLEMENT_ALGOS)
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_against_oracle_complement(rng, alg, semiring):
+    A, B, M = make_triple(rng, dm=0.1)
+    C = masked_spgemm(A, B, Mask.from_matrix(M, complemented=True),
+                      algorithm=alg, semiring=semiring)
+    assert_masked_product_correct(C, A, B, M, semiring, complemented=True)
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+def test_vectorized_equals_reference(rng, alg):
+    """The two tiers must agree bit-for-bit on pattern and values."""
+    for _ in range(3):
+        A, B, M = make_triple(rng, m=25, k=20, n=30)
+        mask = Mask.from_matrix(M)
+        v = masked_spgemm(A, B, mask, algorithm=alg)
+        r = reference_masked_spgemm(A, B, mask, alg)
+        assert v.same_pattern(r)
+        assert np.allclose(v.data, r.data)
+
+
+@pytest.mark.parametrize("alg", COMPLEMENT_ALGOS)
+def test_vectorized_equals_reference_complement(rng, alg):
+    A, B, M = make_triple(rng, dm=0.08)
+    mask = Mask.from_matrix(M, complemented=True)
+    v = masked_spgemm(A, B, mask, algorithm=alg)
+    r = reference_masked_spgemm(A, B, mask, alg)
+    assert v.same_pattern(r)
+    assert np.allclose(v.data, r.data)
+
+
+@pytest.mark.parametrize("alg", PLAIN_ALGOS)
+def test_symbolic_matches_numeric(rng, alg):
+    """Two-phase symbolic row sizes must equal the numeric result's —
+    masked_spgemm verifies this internally (verify_symbolic=True)."""
+    A, B, M = make_triple(rng)
+    C1 = masked_spgemm(A, B, Mask.from_matrix(M), algorithm=alg, phases=1)
+    C2 = masked_spgemm(A, B, Mask.from_matrix(M), algorithm=alg, phases=2)
+    assert C1.equals(C2)
+
+
+@pytest.mark.parametrize("alg", COMPLEMENT_ALGOS)
+def test_symbolic_matches_numeric_complement(rng, alg):
+    A, B, M = make_triple(rng, dm=0.08)
+    mask = Mask.from_matrix(M, complemented=True)
+    C1 = masked_spgemm(A, B, mask, algorithm=alg, phases=1)
+    C2 = masked_spgemm(A, B, mask, algorithm=alg, phases=2)
+    assert C1.equals(C2)
+
+
+def test_kernels_accept_row_subsets(rng):
+    """numeric_rows must be usable on arbitrary row chunks (the parallel
+    layer's contract)."""
+    A, B, M = make_triple(rng, m=20)
+    mask = Mask.from_matrix(M)
+    full = masked_spgemm(A, B, mask, algorithm="msa")
+    for alg in PLAIN_ALGOS:
+        spec = registry.get_spec(alg)
+        rows = np.array([3, 4, 10], dtype=INDEX_DTYPE)
+        block = spec.numeric(A, B, mask, PLUS_TIMES, rows)
+        # each row's slice must match the full result
+        pos = 0
+        for t, i in enumerate(rows):
+            k = int(block.sizes[t])
+            lo, hi = full.indptr[i], full.indptr[i + 1]
+            assert k == hi - lo, (alg, i)
+            assert np.array_equal(block.cols[pos:pos + k], full.indices[lo:hi])
+            assert np.allclose(block.vals[pos:pos + k], full.data[lo:hi])
+            pos += k
+
+
+def test_mca_complement_raises(rng):
+    A, B, M = make_triple(rng)
+    with pytest.raises(MaskError):
+        masked_spgemm(A, B, Mask.from_matrix(M, complemented=True),
+                      algorithm="mca")
+
+
+def test_inner_complement_raises(rng):
+    A, B, M = make_triple(rng)
+    with pytest.raises(MaskError):
+        masked_spgemm(A, B, Mask.from_matrix(M, complemented=True),
+                      algorithm="inner")
+
+
+def test_heap_vs_heapdot_same_result(rng):
+    A, B, M = make_triple(rng)
+    mask = Mask.from_matrix(M)
+    h = masked_spgemm(A, B, mask, algorithm="heap")
+    hd = masked_spgemm(A, B, mask, algorithm="heapdot")
+    assert h.equals(hd)
+
+
+def test_hash_kernel_on_adversarial_collisions(rng):
+    """Mask columns that are multiples of a power of two stress the
+    multiplicative hash's low bits."""
+    n = 256
+    cols = np.arange(0, n, 8, dtype=np.int64)
+    indptr = np.array([0, cols.size], dtype=np.int64)
+    M = CSRMatrix(indptr, cols, np.ones(cols.size), (1, n))
+    A = csr_random(1, 64, density=0.5, rng=rng, values="randint")
+    B = csr_random(64, n, density=0.3, rng=rng, values="randint")
+    got = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="hash")
+    want = masked_spgemm(A, B, Mask.from_matrix(M), algorithm="msa")
+    assert got.equals(want)
+
+
+def test_wide_rows_and_hub_columns(rng):
+    """A hub row in A (touches every B row) exercises big expansions."""
+    k, n = 40, 50
+    A = CSRMatrix(np.array([0, k]), np.arange(k), np.ones(k), (1, k))
+    B = csr_random(k, n, density=0.4, rng=rng, values="randint")
+    M = csr_random(1, n, density=0.5, rng=rng)
+    for alg in PLAIN_ALGOS:
+        C = masked_spgemm(A, B, Mask.from_matrix(M), algorithm=alg)
+        assert_masked_product_correct(C, A, B, M, PLUS_TIMES)
+
+
+def test_cancellation_keeps_explicit_zero(rng):
+    """1 + (-1) accumulates to 0.0 — the entry stays stored (GraphBLAS
+    semantics: the accumulator was touched)."""
+    A = CSRMatrix(np.array([0, 2]), np.array([0, 1]), np.array([1.0, -1.0]),
+                  (1, 2))
+    B = CSRMatrix(np.array([0, 1, 2]), np.array([0, 0]), np.array([1.0, 1.0]),
+                  (2, 1))
+    M = CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (1, 1))
+    for alg in PLAIN_ALGOS:
+        C = masked_spgemm(A, B, Mask.from_matrix(M), algorithm=alg)
+        assert C.nnz == 1, alg
+        assert C.data[0] == 0.0, alg
