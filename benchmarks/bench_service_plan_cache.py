@@ -1,0 +1,115 @@
+"""Service layer — cold vs warm request latency under plan caching.
+
+The serving claim (ISSUE 1 / ROADMAP): workloads that repeatedly multiply
+under the *same mask pattern* should pay the pattern-only work (algorithm
+auto-selection + the paper's §6 symbolic pass) once. This bench measures it
+directly on repeated-mask TC workloads:
+
+* **cold** — first request on a fresh engine: plan build (auto-select +
+  symbolic) + numeric pass;
+* **warm** — same request replayed: plan-cache hit, numeric pass only.
+
+The warm/cold gap is the symbolic phase plus dispatch overhead, so it is
+widest for two-phase schemes on symbolic-heavy kernels. A second table
+replays iterative k-truss through a shared engine, where the *entire second
+run* streams plan hits.
+"""
+
+from __future__ import annotations
+
+from common import emit, tc_workload
+from repro.bench import render_table, time_callable
+from repro.core import display_name
+from repro.graphs import load_graph
+from repro.service import Engine, Request
+
+ALGOS = ("msa", "hash", "inner", "auto")
+GRAPHS = ("rmat-s8-e4", "rmat-s9-e8", "er-s10-d16")
+
+
+def _engine_for(L, mask):
+    eng = Engine()
+    eng.register("L", L)
+    eng.register("M", mask)
+    return eng
+
+
+def _request(alg):
+    return Request(a="L", b="L", mask="M", algorithm=alg, phases=2,
+                   semiring="plus_pair", tag=alg)
+
+
+def main() -> None:
+    emit("[Service] plan-cache cold vs warm request latency (phases=2, "
+         "repeated-mask TC workload)")
+    emit("cold = plan build + numeric; warm = cached plan, numeric only\n")
+    rows = []
+    for gname in GRAPHS:
+        L, mask = tc_workload(load_graph(gname))
+        for alg in ALGOS:
+            eng = _engine_for(L, mask)
+            req = _request(alg)
+            cold = eng.submit(req)          # populates the cache
+            warm_s = time_callable(lambda: eng.submit(req), repeats=3,
+                                   warmup=1)
+            cold_s = cold.stats.total_seconds
+            rows.append([gname,
+                         display_name(cold.stats.algorithm, 2)
+                         + (" (auto)" if alg == "auto" else ""),
+                         cold_s * 1e3, warm_s * 1e3, cold_s / warm_s,
+                         cold.stats.plan_seconds * 1e3])
+    emit(render_table(
+        ["graph", "scheme", "cold (ms)", "warm (ms)", "cold/warm",
+         "plan (ms)"], rows))
+    wins = sum(1 for r in rows if r[4] > 1.0)
+    emit(f"\nwarm beats cold in {wins}/{len(rows)} (graph, scheme) pairs")
+
+    emit("\n[Service] k-truss served twice from one engine (k=5, hash-2P)")
+    from repro.algorithms import ktruss
+
+    rows = []
+    for gname in GRAPHS[:2]:
+        g = load_graph(gname)
+        eng = Engine()
+        t1 = time_callable(lambda: ktruss(g, 5, engine=Engine(),
+                                          algorithm="hash", phases=2),
+                           repeats=2, warmup=0)
+        first = ktruss(g, 5, engine=eng, algorithm="hash", phases=2)
+        t2 = time_callable(lambda: ktruss(g, 5, engine=eng,
+                                          algorithm="hash", phases=2),
+                           repeats=2, warmup=0)
+        replay = ktruss(g, 5, engine=eng, algorithm="hash", phases=2)
+        rows.append([gname, first.iterations, t1 * 1e3, t2 * 1e3, t1 / t2,
+                     replay.plan_hits])
+    emit(render_table(
+        ["graph", "iters", "cold run (ms)", "warm run (ms)", "speedup",
+         "plan hits"], rows))
+    emit("\nevery warm-run iteration reuses its cached plan "
+         "(skipping auto-select + the symbolic pass)")
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark faces (collected via `pytest benchmarks/ --benchmark-only`)
+# ----------------------------------------------------------------------- #
+def test_service_cold_request(benchmark, tc_small):
+    L, mask = tc_small
+
+    def cold():
+        eng = _engine_for(L, mask)
+        return eng.submit(_request("hash"))
+
+    benchmark.pedantic(cold, rounds=3, warmup_rounds=1)
+
+
+def test_service_warm_request(benchmark, tc_small):
+    L, mask = tc_small
+    eng = _engine_for(L, mask)
+    req = _request("hash")
+    eng.submit(req)  # populate the plan cache
+    resp = benchmark.pedantic(lambda: eng.submit(req), rounds=3,
+                              warmup_rounds=1)
+    assert resp.stats.plan_cache_hit and resp.stats.symbolic_skipped
+
+
+if __name__ == "__main__":
+    main()

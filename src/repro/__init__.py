@@ -24,6 +24,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.accumulators` — the paper's §5 data structures (reference tier)
 * :mod:`repro.core` — Masked SpGEMM kernels, 1P/2P, baselines, dispatcher
 * :mod:`repro.parallel` — row partitioning and executors
+* :mod:`repro.service` — serving layer: engine, plan cache, batch execution
 * :mod:`repro.graphs` — generators (ER, Graph500 R-MAT, …) and input suite
 * :mod:`repro.algorithms` — triangle counting, k-truss, betweenness, BFS
 * :mod:`repro.perfmodel` — §4 traffic model + LRU cache simulator
@@ -50,6 +51,8 @@ from .sparse import (
     csr_from_dense,
     csr_from_edges,
     csr_random,
+    matrix_fingerprint,
+    pattern_fingerprint,
     read_matrix_market,
     write_matrix_market,
 )
@@ -67,8 +70,10 @@ from .semiring import (
     Semiring,
 )
 from .core import (
+    SymbolicPlan,
     algorithm_info,
     available_algorithms,
+    build_plan,
     display_name,
     masked_spgemm,
     masked_spgevm,
@@ -80,6 +85,14 @@ from .parallel import (
     SerialExecutor,
     SimulatedExecutor,
     ThreadExecutor,
+)
+from .service import (
+    BatchExecutor,
+    Engine,
+    MatrixStore,
+    PlanCache,
+    Request,
+    Response,
 )
 from .algorithms import (
     average_clustering,
@@ -107,9 +120,14 @@ __all__ = [
     "MIN_PLUS", "MAX_TIMES", "OR_AND",
     # core
     "masked_spgemm", "masked_spgevm", "masked_spmv", "spgemm",
+    "SymbolicPlan", "build_plan",
     "available_algorithms", "algorithm_info", "display_name",
+    "matrix_fingerprint", "pattern_fingerprint",
     # parallel
     "SerialExecutor", "ThreadExecutor", "ProcessExecutor", "SimulatedExecutor",
+    # service
+    "Engine", "MatrixStore", "PlanCache", "BatchExecutor",
+    "Request", "Response",
     # applications
     "triangle_count", "ktruss", "betweenness_centrality", "multi_source_bfs",
     "clustering_coefficients", "average_clustering", "direction_optimized_bfs",

@@ -9,6 +9,7 @@ Examples
     python -m repro ktruss --rmat 10 --k 5 --algorithm inner
     python -m repro bc graph.mtx --batch 64
     python -m repro spgemm A.mtx B.mtx --mask M.mtx --algorithm auto -o C.mtx
+    python -m repro batch workload.json  # replay a service workload spec
     python -m repro suite                # list the built-in input suite
     python -m repro info                 # algorithms and semirings
 
@@ -124,6 +125,36 @@ def cmd_spgemm(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import json
+
+    from .service import load_workload, render_report, replay
+
+    try:
+        spec = load_workload(args.workload)
+    except FileNotFoundError:
+        raise SystemExit(f"workload file not found: {args.workload}")
+    except (json.JSONDecodeError, ValueError) as e:
+        raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    from .service import StoreError
+
+    executor = None
+    if args.threads:
+        from .parallel import ThreadExecutor
+
+        executor = ThreadExecutor(args.threads)
+    try:
+        engine, result = replay(spec, executor=executor)
+    except (ValueError, StoreError) as e:
+        # malformed spec contents (unknown request field / matrix key / prep)
+        raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    finally:
+        if executor is not None:
+            executor.close()
+    print(render_report(engine, result))
+    return 0
+
+
 def cmd_suite(args) -> int:
     from .graphs import SUITE_SPECS, load_graph
 
@@ -184,6 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--phases", type=int, choices=(1, 2), default=1)
     sp.add_argument("--output", "-o")
     sp.set_defaults(fn=cmd_spgemm)
+
+    ba = sub.add_parser(
+        "batch",
+        help="replay a JSON workload through the service engine "
+             "(plan-cache + batching stats)")
+    ba.add_argument("workload", help="JSON workload spec "
+                                     "(see repro.service.workload)")
+    ba.add_argument("--threads", type=int, default=0,
+                    help="fan requests across N threads (0 = serial)")
+    ba.set_defaults(fn=cmd_batch)
 
     su = sub.add_parser("suite", help="list the built-in input suite")
     su.set_defaults(fn=cmd_suite)

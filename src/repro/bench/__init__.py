@@ -11,10 +11,14 @@ rows/series a paper figure plots, as text.
 
 from .metrics import (
     gflops,
+    hit_rate,
+    latency_percentiles,
     masked_flops,
     mteps,
     spgemm_flops,
+    summarize_latencies,
     compression_factor,
+    warm_cold_speedup,
 )
 from .perfprof import PerformanceProfile, performance_profile
 from .harness import GridResult, run_grid, time_callable
@@ -26,6 +30,10 @@ __all__ = [
     "gflops",
     "mteps",
     "compression_factor",
+    "hit_rate",
+    "latency_percentiles",
+    "summarize_latencies",
+    "warm_cold_speedup",
     "performance_profile",
     "PerformanceProfile",
     "time_callable",

@@ -66,3 +66,42 @@ def compression_factor(A: CSRMatrix, B: CSRMatrix, C: CSRMatrix) -> float:
     quantity plain-SpGEMM lore uses to justify two-phase execution."""
     nnz = max(C.nnz, 1)
     return total_flops(A, B) / nnz
+
+
+# ---------------------------------------------------------------------- #
+# service-layer metrics (repro.service request telemetry)
+# ---------------------------------------------------------------------- #
+def hit_rate(hits: int, misses: int) -> float:
+    """Cache hit fraction; 0.0 for an untouched cache."""
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def latency_percentiles(latencies, *, percentiles=(50, 95, 99)) -> dict[int, float]:
+    """Request-latency percentiles in seconds (the serving-side view of the
+    paper's wall-clock numbers). Empty input → empty dict."""
+    arr = np.asarray(list(latencies), dtype=np.float64)
+    if arr.size == 0:
+        return {}
+    return {int(p): float(np.percentile(arr, p)) for p in percentiles}
+
+
+def summarize_latencies(latencies) -> str:
+    """One-line latency summary (count / mean / p50 / p95), empty string for
+    no samples. Used by engine reports and ``bench_service_plan_cache``."""
+    arr = np.asarray(list(latencies), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    pct = latency_percentiles(arr, percentiles=(50, 95))
+    return (f"n={arr.size}  mean={arr.mean() * 1e3:.2f} ms  "
+            f"p50={pct[50] * 1e3:.2f} ms  p95={pct[95] * 1e3:.2f} ms")
+
+
+def warm_cold_speedup(cold_latencies, warm_latencies) -> float:
+    """mean(cold) / mean(warm) — how much a plan-cache hit saves. Returns
+    1.0 when either side has no samples (no claim either way)."""
+    cold = np.asarray(list(cold_latencies), dtype=np.float64)
+    warm = np.asarray(list(warm_latencies), dtype=np.float64)
+    if cold.size == 0 or warm.size == 0 or warm.mean() <= 0:
+        return 1.0
+    return float(cold.mean() / warm.mean())

@@ -13,6 +13,7 @@ Entry point: :func:`repro.core.api.masked_spgemm`.
 """
 
 from .api import masked_spgemm, spgemm
+from .plan import SymbolicPlan, build_plan
 from .registry import available_algorithms, algorithm_info, display_name
 from .spgevm import masked_spgevm
 from .spmv import masked_spmv
@@ -22,6 +23,8 @@ __all__ = [
     "masked_spgevm",
     "masked_spmv",
     "spgemm",
+    "SymbolicPlan",
+    "build_plan",
     "available_algorithms",
     "algorithm_info",
     "display_name",

@@ -43,6 +43,7 @@ def masked_spgemm(
     tier: str = "vectorized",
     executor=None,
     verify_symbolic: bool = True,
+    plan=None,
 ) -> CSRMatrix:
     """Compute ``C = M ⊙ (A·B)`` (or ``¬M ⊙ (A·B)`` for complemented masks).
 
@@ -70,6 +71,14 @@ def masked_spgemm(
         In two-phase mode, cross-check the symbolic row sizes against the
         numeric result (cheap; catches kernel divergence). Disable for
         benchmarking.
+    plan : SymbolicPlan, optional
+        A precomputed plan from :func:`repro.core.plan.build_plan` (usually
+        via :class:`repro.service.Engine`). Supplying one skips algorithm
+        auto-selection and — in two-phase mode — the symbolic pass, using the
+        plan's cached row sizes instead. The plan must have been built for
+        operands with the *same patterns* (values may differ); with
+        ``verify_symbolic`` the numeric result is still cross-checked against
+        the planned sizes, so a stale plan fails loudly.
 
     Returns
     -------
@@ -86,7 +95,15 @@ def masked_spgemm(
     mask.check_output_shape(out_shape)
 
     algorithm = algorithm.lower()
-    if algorithm == "auto":
+    if plan is not None:
+        plan.check_output_shape(out_shape)
+        if algorithm not in ("auto", plan.algorithm):
+            raise AlgorithmError(
+                f"plan was built for algorithm {plan.algorithm!r}, "
+                f"got algorithm={algorithm!r}"
+            )
+        algorithm = plan.algorithm
+    elif algorithm == "auto":
         algorithm = registry.auto_select(A, B, mask)
 
     if phases not in (1, 2):
@@ -115,21 +132,35 @@ def masked_spgemm(
     if executor is not None:
         from ..parallel.runner import parallel_masked_spgemm
 
-        return parallel_masked_spgemm(
+        C = parallel_masked_spgemm(
             A, B, mask, algorithm=algorithm, semiring=semiring,
-            phases=phases, executor=executor,
+            phases=phases, executor=executor, plan=plan,
         )
+        if (phases == 2 and verify_symbolic and plan is not None
+                and plan.row_sizes is not None
+                and not np.array_equal(plan.row_sizes, np.diff(C.indptr))):
+            raise AlgorithmError(
+                f"{algorithm}: planned row sizes differ from the numeric "
+                f"result — stale plan (operand patterns changed since it "
+                f"was built)"
+            )
+        return C
 
     # ----- serial vectorized path ---------------------------------------- #
     rows = np.arange(out_shape[0], dtype=INDEX_DTYPE)
     symbolic_sizes = None
     if phases == 2:
-        symbolic_sizes = spec.symbolic(A, B, mask, rows)
+        if plan is not None and plan.row_sizes is not None:
+            symbolic_sizes = plan.row_sizes  # cached symbolic pass
+        else:
+            symbolic_sizes = spec.symbolic(A, B, mask, rows)
     block = spec.numeric(A, B, mask, semiring, rows)
     if symbolic_sizes is not None and verify_symbolic:
         if not np.array_equal(symbolic_sizes, block.sizes):
             raise AlgorithmError(
                 f"{algorithm}: symbolic phase predicted row sizes that differ "
-                f"from the numeric result — kernel bug"
+                f"from the numeric result — "
+                + ("stale plan (operand patterns changed since it was built)"
+                   if plan is not None else "kernel bug")
             )
     return stitch_blocks([block], out_shape[0], out_shape[1])

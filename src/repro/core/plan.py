@@ -1,0 +1,89 @@
+"""Symbolic execution plans for Masked SpGEMM.
+
+The paper's two-phase formulation (§6) splits a masked product into a
+*symbolic* pass (exact output-row sizes from the patterns alone) and a
+*numeric* pass. Both passes depend only on the **patterns** of A, B and the
+mask — not on the stored values — so a plan computed once stays valid for
+every later product whose operand patterns are unchanged. That invariance is
+what :mod:`repro.service` amortizes: iterative algorithms (k-truss, MCL) and
+serving workloads repeatedly multiply under the same or slowly-changing
+structure, and a cached :class:`SymbolicPlan` lets every warm call skip both
+``registry.auto_select`` and the symbolic pass.
+
+:func:`build_plan` is the single place plans are created; consumers hand the
+result back to :func:`repro.core.api.masked_spgemm` via its ``plan=``
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..mask import Mask
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_multiplicable
+from . import registry
+
+
+@dataclass(frozen=True)
+class SymbolicPlan:
+    """Everything the numeric pass needs that pure pattern analysis provides.
+
+    Attributes
+    ----------
+    algorithm : str
+        Resolved kernel key (never ``"auto"`` — resolution happened at plan
+        time, so replaying the plan skips the density heuristic).
+    phases : int
+        The phase mode the plan was built for. ``row_sizes`` is only
+        populated for two-phase plans.
+    row_sizes : np.ndarray | None
+        Exact per-output-row nnz from the symbolic pass (paper §6), or None
+        for one-phase plans (nothing symbolic to reuse, but algorithm
+        resolution still amortizes).
+    shape : (nrows, ncols) of the output the plan describes.
+    """
+
+    algorithm: str
+    phases: int
+    shape: tuple[int, int]
+    row_sizes: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def nnz(self) -> int | None:
+        """Planned output nnz (two-phase plans only)."""
+        return None if self.row_sizes is None else int(self.row_sizes.sum())
+
+    def check_output_shape(self, out_shape) -> None:
+        if tuple(out_shape) != self.shape:
+            raise AlgorithmError(
+                f"plan was built for output shape {self.shape}, "
+                f"got {tuple(out_shape)}"
+            )
+
+
+def build_plan(A: CSRMatrix, B: CSRMatrix, mask: Mask, *,
+               algorithm: str = "auto", phases: int = 1) -> SymbolicPlan:
+    """Resolve the algorithm and (for two-phase) run the symbolic pass.
+
+    The returned plan is valid for any (A', B', mask') whose *patterns*
+    equal those of (A, B, mask) — callers are responsible for that keying;
+    :class:`repro.service.PlanCache` does it with pattern fingerprints.
+    """
+    if phases not in (1, 2):
+        raise AlgorithmError(f"phases must be 1 or 2, got {phases!r}")
+    out_shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(out_shape)
+    algorithm = algorithm.lower()
+    if algorithm == "auto":
+        algorithm = registry.auto_select(A, B, mask)
+    spec = registry.get_spec(algorithm)  # validates kernel name
+    row_sizes = None
+    if phases == 2:
+        rows = np.arange(out_shape[0], dtype=INDEX_DTYPE)
+        row_sizes = spec.symbolic(A, B, mask, rows)
+    return SymbolicPlan(algorithm=algorithm, phases=phases,
+                        shape=out_shape, row_sizes=row_sizes)

@@ -59,8 +59,14 @@ def parallel_masked_spgemm(
     phases: int = 1,
     executor=None,
     nchunks: Optional[int] = None,
+    plan=None,
 ) -> CSRMatrix:
-    """Row-parallel ``C = M ⊙ (A·B)`` on the given executor."""
+    """Row-parallel ``C = M ⊙ (A·B)`` on the given executor.
+
+    ``plan`` (a :class:`repro.core.plan.SymbolicPlan` with cached row sizes)
+    makes the two-phase symbolic map a no-op: the sizes are already known, so
+    only the numeric chunks are dispatched.
+    """
     out_shape = check_multiplicable(A.shape, B.shape)
     mask.check_output_shape(out_shape)
     spec = registry.get_spec(algorithm)
@@ -75,6 +81,7 @@ def parallel_masked_spgemm(
     if not chunks:
         return CSRMatrix.empty(out_shape)
 
+    run_symbolic = phases == 2 and (plan is None or plan.row_sizes is None)
     if isinstance(executor, ProcessExecutor):
         if semiring.name not in _SEMIRING_REGISTRY:
             raise AlgorithmError(
@@ -85,7 +92,7 @@ def parallel_masked_spgemm(
         token = next(_TOKENS)
         _CONTEXTS[token] = (A, B, mask, algorithm, semiring.name)
         try:
-            if phases == 2:
+            if run_symbolic:
                 executor.map(_chunk_task,
                              [(token, c, "symbolic") for c in chunks])
             blocks = executor.map(_chunk_task,
@@ -93,7 +100,7 @@ def parallel_masked_spgemm(
         finally:
             del _CONTEXTS[token]
     else:
-        if phases == 2:
+        if run_symbolic:
             executor.map(lambda c: spec.symbolic(A, B, mask, c), chunks)
         blocks = executor.map(lambda c: spec.numeric(A, B, mask, semiring, c),
                               chunks)

@@ -1,0 +1,60 @@
+"""Serving layer: a batched masked-SpGEMM execution engine with symbolic
+plan caching.
+
+The one-shot :func:`repro.core.masked_spgemm` recomputes everything per
+call. Real deployments don't look like that: iterative graph algorithms
+(k-truss, MCL, betweenness) and high-traffic services repeatedly multiply
+under the *same or slowly-changing mask pattern*, so the pattern-only work —
+algorithm auto-selection and the paper's §6 symbolic phase — can be computed
+once and amortized. This package is that amortization layer:
+
+* :class:`MatrixStore` — named operand registry with pattern-fingerprint
+  memoization, memory accounting and LRU eviction;
+* :class:`PlanCache` — fingerprint-keyed LRU of
+  :class:`~repro.core.plan.SymbolicPlan` objects;
+* :class:`Engine` — resolves requests against the store, serves plans from
+  the cache (warm requests skip auto-select *and* the symbolic pass), and
+  records per-request/aggregate stats;
+* :class:`BatchExecutor` — groups compatible requests and fans a batch out
+  across a :mod:`repro.parallel` executor;
+* :mod:`~repro.service.workload` — JSON workload specs and replay, the
+  ``python -m repro batch`` entry point.
+
+Quickstart::
+
+    from repro import CSRMatrix, csr_random
+    from repro.service import Engine, Request
+
+    eng = Engine()
+    eng.register("A", csr_random(500, 500, density=0.02, rng=0))
+    eng.register("M", csr_random(500, 500, density=0.05, rng=1))
+    cold = eng.submit(Request(a="A", b="A", mask="M", phases=2))
+    warm = eng.submit(Request(a="A", b="A", mask="M", phases=2))
+    assert warm.stats.plan_cache_hit and warm.stats.symbolic_skipped
+"""
+
+from .batch import BatchExecutor, BatchResult
+from .engine import Engine, EngineStats
+from .plan import PlanCache, plan_key
+from .requests import Request, RequestStats, Response
+from .store import MatrixStore, StoreError, matrix_nbytes
+from .workload import expand_requests, load_workload, render_report, replay
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "MatrixStore",
+    "StoreError",
+    "matrix_nbytes",
+    "PlanCache",
+    "plan_key",
+    "BatchExecutor",
+    "BatchResult",
+    "Request",
+    "RequestStats",
+    "Response",
+    "load_workload",
+    "expand_requests",
+    "replay",
+    "render_report",
+]

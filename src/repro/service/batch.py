@@ -1,0 +1,93 @@
+"""Batch execution: group compatible requests and fan them out.
+
+``BatchExecutor`` is the across-products axis of parallelism (the engine's
+own ``executor`` is the within-product, row-parallel axis). A batch is
+
+1. **grouped** by :meth:`Request.group_key` — identical (algorithm, phases,
+   semiring, complement) configs run back-to-back, so a repeated-mask group
+   pays one cold plan and streams warm hits; then
+2. **fanned out** through an existing :mod:`repro.parallel` executor
+   (serial / thread / simulated). Process pools are rejected: engine state
+   (store, plan cache) is shared memory, and shipping it across a pipe per
+   request would cost more than the products themselves.
+
+Responses come back in the order of the input list regardless of grouping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import AlgorithmError
+from ..parallel.executor import ProcessExecutor, SerialExecutor
+from .engine import Engine
+from .requests import Request, Response
+
+
+@dataclass
+class BatchResult:
+    """Ordered responses plus batch-level telemetry."""
+
+    responses: list[Response]
+    seconds: float
+    groups: int
+    plan_hits: int
+    plan_misses: int
+
+    @property
+    def plan_hit_rate(self) -> float:
+        from ..bench.metrics import hit_rate
+
+        return hit_rate(self.plan_hits, self.plan_misses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+
+@dataclass
+class BatchExecutor:
+    """Run request batches against one engine.
+
+    Parameters
+    ----------
+    engine : the (thread-safe) engine owning operands and plans.
+    executor : a :mod:`repro.parallel` executor for the fan-out; None means
+        serial. :class:`ProcessExecutor` is not supported (see module doc).
+    """
+
+    engine: Engine
+    executor: object = field(default=None)
+
+    def __post_init__(self):
+        if isinstance(self.executor, ProcessExecutor):
+            raise AlgorithmError(
+                "BatchExecutor cannot use a process pool: the engine's store "
+                "and plan cache are shared in-memory state; use a thread, "
+                "serial or simulated executor"
+            )
+
+    def run(self, requests: list[Request]) -> BatchResult:
+        """Execute every request; responses align with the input order."""
+        executor = self.executor or SerialExecutor()
+        hits0 = self.engine.plans.hits
+        misses0 = self.engine.plans.misses
+        t0 = time.perf_counter()
+
+        # stable grouping: order of first appearance, original index kept
+        groups: dict[tuple, list[int]] = {}
+        for idx, req in enumerate(requests):
+            groups.setdefault(req.group_key(), []).append(idx)
+        order = [idx for members in groups.values() for idx in members]
+
+        fanned = executor.map(lambda i: (i, self.engine.submit(requests[i])),
+                              order)
+        responses: list[Response | None] = [None] * len(requests)
+        for idx, resp in fanned:
+            responses[idx] = resp
+        seconds = time.perf_counter() - t0
+        return BatchResult(
+            responses=responses, seconds=seconds, groups=len(groups),
+            plan_hits=self.engine.plans.hits - hits0,
+            plan_misses=self.engine.plans.misses - misses0,
+        )

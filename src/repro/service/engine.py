@@ -1,0 +1,249 @@
+"""The execution engine: stateful masked-SpGEMM with plan caching.
+
+``Engine`` turns the one-shot :func:`repro.core.masked_spgemm` call into a
+service: operands live in a :class:`~repro.service.store.MatrixStore`,
+symbolic plans live in a :class:`~repro.service.plan.PlanCache`, and every
+product goes through :meth:`Engine.submit` (store-keyed requests) or
+:meth:`Engine.multiply` (ad-hoc operands, used by the iterative algorithms).
+
+Execution of one request:
+
+1. resolve operands and fingerprint their patterns (store entries memoize
+   the hash; ad-hoc operands pay it per call — O(nnz), far below a product);
+2. look up the plan under the full structural key. Warm hit → skip both
+   ``auto_select`` and (for two-phase) the entire symbolic pass by handing
+   the cached plan to ``masked_spgemm(plan=...)``. Miss →
+   :func:`repro.core.plan.build_plan` once, cache, proceed;
+3. numeric pass (optionally row-parallel via the engine's executor), with
+   the plan's row sizes cross-checking the numeric result so a stale plan
+   fails loudly instead of silently corrupting output.
+
+The engine is thread-safe (one lock around store/cache metadata; numeric
+work runs outside it), which is what lets
+:class:`~repro.service.batch.BatchExecutor` fan requests across a thread
+pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core import masked_spgemm
+from ..core.plan import SymbolicPlan, build_plan
+from ..errors import AlgorithmError
+from ..core.registry import BASELINE_KEYS
+from ..mask import Mask
+from ..semiring import Semiring
+from ..semiring.standard import by_name as semiring_by_name
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import pattern_fingerprint
+from .plan import PlanCache, plan_key
+from .requests import Request, RequestStats, Response
+from .store import MatrixStore
+
+
+@dataclass
+class EngineStats:
+    """Aggregate engine telemetry (per-request stats live on Responses)."""
+
+    requests: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    #: baseline requests — never planned, excluded from hit/miss accounting
+    unplanned: int = 0
+    symbolic_skipped: int = 0
+    plan_seconds: float = 0.0
+    numeric_seconds: float = 0.0
+    #: bounded windows (a long-lived service must not grow telemetry without
+    #: limit); counters above cover the full lifetime
+    cold_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    warm_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    @property
+    def plan_hit_rate(self) -> float:
+        from ..bench.metrics import hit_rate
+
+        return hit_rate(self.plan_hits, self.plan_misses)
+
+    def record(self, stats: RequestStats) -> None:
+        self.requests += 1
+        if not stats.planned:
+            self.unplanned += 1  # baselines can never warm; keep them out
+        elif stats.plan_cache_hit:
+            self.plan_hits += 1
+            self.warm_latencies.append(stats.total_seconds)
+        else:
+            self.plan_misses += 1
+            self.cold_latencies.append(stats.total_seconds)
+        if stats.symbolic_skipped:
+            self.symbolic_skipped += 1
+        self.plan_seconds += stats.plan_seconds
+        self.numeric_seconds += stats.numeric_seconds
+
+
+class Engine:
+    """Batched masked-SpGEMM execution engine with symbolic plan caching.
+
+    Parameters
+    ----------
+    store, plan_cache : pre-built components (defaults constructed from the
+        keyword knobs below).
+    budget_bytes : operand-memory budget for the default store (LRU evicted).
+    plan_capacity : max cached plans for the default cache.
+    executor : optional :mod:`repro.parallel` executor used for the numeric
+        pass of every request (row parallelism *within* a product;
+        :class:`BatchExecutor` adds parallelism *across* products).
+    """
+
+    def __init__(self, store: MatrixStore | None = None,
+                 plan_cache: PlanCache | None = None, *,
+                 budget_bytes: int | None = None,
+                 plan_capacity: int = 256,
+                 executor=None):
+        self.store = store if store is not None else MatrixStore(budget_bytes)
+        self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
+        self.executor = executor
+        self.stats = EngineStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # store facade
+    # ------------------------------------------------------------------ #
+    def register(self, key: str, value: CSRMatrix | Mask, *,
+                 pin: bool = False) -> None:
+        """Register (or replace) an operand/mask under ``key``.
+
+        Plans need no explicit invalidation: they are keyed by pattern
+        fingerprint, so a replacement with the same pattern keeps hitting
+        and a pattern change misses by construction.
+        """
+        with self._lock:
+            self.store.register(key, value, pin=pin)
+
+    def evict(self, key: str) -> bool:
+        with self._lock:
+            return self.store.evict(key)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> Response:
+        """Execute one store-keyed request."""
+        with self._lock:
+            a_entry = self.store.entry(request.a)
+            b_entry = self.store.entry(request.b)
+            mask_entry = (self.store.entry(request.mask)
+                          if request.mask is not None else None)
+            a_fp = a_entry.fingerprint
+            b_fp = b_entry.fingerprint
+        A, B = a_entry.value, b_entry.value
+        if not isinstance(A, CSRMatrix) or not isinstance(B, CSRMatrix):
+            from .store import StoreError
+
+            raise StoreError(
+                f"operands {request.a!r}/{request.b!r} must be CSR matrices "
+                f"(masks can only appear in the mask slot)"
+            )
+        mask = self._resolve_mask(mask_entry.value if mask_entry else None,
+                                  (A.nrows, B.ncols), request.complemented)
+        mask_fp = (mask_entry.fingerprint if mask_entry
+                   else pattern_fingerprint(mask.indptr, mask.indices, mask.shape))
+        return self._execute(A, B, mask, a_fp, b_fp, mask_fp,
+                             algorithm=request.algorithm,
+                             phases=request.phases,
+                             semiring=semiring_by_name(request.semiring),
+                             tag=request.tag, request=request)
+
+    def multiply(self, A: CSRMatrix, B: CSRMatrix,
+                 mask: Mask | CSRMatrix | None = None, *,
+                 algorithm: str = "auto", phases: int = 2,
+                 semiring: Semiring | str = "plus_times",
+                 complemented: bool = False, tag: str = "") -> Response:
+        """Execute an ad-hoc product through the plan cache (no store keys).
+
+        This is the entry point the iterative algorithms use: operands are
+        fresh objects every iteration, but iterations whose *patterns*
+        repeat (k-truss re-queried on the same graph, MCL's stabilized
+        support) still hit cached plans.
+        """
+        if isinstance(semiring, str):
+            semiring = semiring_by_name(semiring)
+        out_shape = (A.nrows, B.ncols)
+        mask_obj = mask
+        mask = self._resolve_mask(mask, out_shape, complemented)
+        a_fp = pattern_fingerprint(A.indptr, A.indices, A.shape)
+        b_fp = (a_fp if B is A
+                else pattern_fingerprint(B.indptr, B.indices, B.shape))
+        # iterative algorithms often pass the same matrix as operand and
+        # mask (k-truss: C ⊙ (C·C)) — reuse its fingerprint instead of
+        # re-hashing the pattern
+        if mask_obj is A:
+            mask_fp = a_fp
+        elif mask_obj is B:
+            mask_fp = b_fp
+        else:
+            mask_fp = pattern_fingerprint(mask.indptr, mask.indices,
+                                          mask.shape)
+        return self._execute(A, B, mask, a_fp, b_fp, mask_fp,
+                             algorithm=algorithm, phases=phases,
+                             semiring=semiring, tag=tag, request=None)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_mask(mask, out_shape, complemented: bool) -> Mask:
+        if mask is None:
+            if complemented:
+                # ¬(full mask) selects nothing — always-empty output; this
+                # is a forgotten mask key, not a meaningful request
+                raise AlgorithmError(
+                    "complemented=True without a mask would mask out every "
+                    "entry; provide the mask to complement"
+                )
+            mask = Mask.full(out_shape)
+        elif isinstance(mask, CSRMatrix):
+            mask = Mask.from_matrix(mask)
+        if complemented:
+            mask = mask.complement()
+        return mask
+
+    def _execute(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
+                 phases, semiring, tag, request) -> Response:
+        t_start = time.perf_counter()
+        stats = RequestStats(phases=phases)
+        plan: SymbolicPlan | None = None
+
+        if algorithm.lower() in BASELINE_KEYS:
+            # whole-matrix baselines have no symbolic phase to plan
+            stats.algorithm = algorithm.lower()
+            stats.planned = False
+        else:
+            key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
+                           algorithm, phases, semiring.name)
+            with self._lock:
+                plan = self.plans.get(key)
+            if plan is not None:
+                stats.plan_cache_hit = True
+                stats.plan_reused = True
+                stats.symbolic_skipped = phases == 2
+            else:
+                t0 = time.perf_counter()
+                plan = build_plan(A, B, mask, algorithm=algorithm,
+                                  phases=phases)
+                stats.plan_seconds = time.perf_counter() - t0
+                with self._lock:
+                    self.plans.put(key, plan)
+            stats.algorithm = plan.algorithm
+
+        t0 = time.perf_counter()
+        result = masked_spgemm(A, B, mask, algorithm=algorithm,
+                               semiring=semiring, phases=phases,
+                               executor=self.executor, plan=plan)
+        stats.numeric_seconds = time.perf_counter() - t0
+        stats.total_seconds = time.perf_counter() - t_start
+        stats.output_nnz = result.nnz
+        with self._lock:
+            self.stats.record(stats)
+        return Response(result=result, stats=stats, tag=tag, request=request)

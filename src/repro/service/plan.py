@@ -1,0 +1,81 @@
+"""Plan cache: fingerprint-keyed memoization of symbolic plans.
+
+The cache key is the full structural identity of a request:
+
+    (A-pattern fp, B-pattern fp, mask fp, complemented,
+     requested algorithm, phases, semiring name)
+
+keyed on the *requested* algorithm (so ``"auto"`` requests hit other
+``"auto"`` requests — the resolved kernel lives inside the cached
+:class:`~repro.core.plan.SymbolicPlan`), and on the semiring by name because
+the symbolic pattern is semiring-independent but the plan's validity contract
+is simplest when a key maps to exactly one execution configuration.
+
+Entries are LRU-evicted past ``capacity``. Hit/miss/eviction counters feed
+:class:`repro.service.engine.EngineStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..bench.metrics import hit_rate
+from ..core.plan import SymbolicPlan
+
+#: cache key tuple — see module docstring for field order
+PlanKey = tuple
+
+
+def plan_key(a_fp: str, b_fp: str, mask_fp: str, complemented: bool,
+             algorithm: str, phases: int, semiring: str) -> PlanKey:
+    return (a_fp, b_fp, mask_fp, bool(complemented),
+            algorithm.lower(), int(phases), semiring)
+
+
+class PlanCache:
+    """LRU map from :func:`plan_key` tuples to :class:`SymbolicPlan`."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[PlanKey, SymbolicPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: PlanKey) -> SymbolicPlan | None:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: SymbolicPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: PlanKey) -> bool:
+        return self._plans.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    @property
+    def hit_rate(self) -> float:
+        return hit_rate(self.hits, self.misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<PlanCache {len(self._plans)}/{self.capacity} plans, "
+                f"{self.hits} hits / {self.misses} misses>")

@@ -1,0 +1,104 @@
+"""Request / response dataclasses for the service layer.
+
+A :class:`Request` names its operands by **store key** (see
+:class:`repro.service.store.MatrixStore`) rather than carrying matrices, so
+requests are cheap to build, log, batch and replay from JSON. The engine
+resolves keys at execution time, which is what lets a long-lived service
+update a registered matrix's values between requests without touching the
+request stream.
+
+Every :class:`Response` carries a :class:`RequestStats` — the per-request
+observability (plan-cache hit/miss, which phase work was skipped, timings)
+that the ROADMAP's serving story needs and that
+``benchmarks/bench_service_plan_cache.py`` plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sparse.csr import CSRMatrix
+
+
+@dataclass
+class Request:
+    """One masked product ``C = M ⊙ (A·B)`` addressed by store keys.
+
+    Parameters
+    ----------
+    a, b : str
+        Store keys of the operands.
+    mask : str | None
+        Store key of the mask pattern; None means unmasked (full mask).
+    complemented : bool
+        Complement the mask pattern (``C = ¬M ⊙ (A·B)``).
+    algorithm : str
+        Kernel key or ``"auto"`` (resolved once, then cached in the plan)
+        or a baseline name (baselines bypass the plan cache — they have no
+        symbolic phase).
+    phases : int
+        1 or 2. Two-phase requests are where plan caching pays most: a warm
+        request skips the whole symbolic pass.
+    semiring : str
+        Registered semiring name (string, so requests stay JSON-serializable).
+    tag : str
+        Free-form label echoed into the response, for workload bookkeeping.
+    """
+
+    a: str
+    b: str
+    mask: str | None = None
+    complemented: bool = False
+    algorithm: str = "auto"
+    phases: int = 2
+    semiring: str = "plus_times"
+    tag: str = ""
+
+    def group_key(self) -> tuple:
+        """Batching key: requests with equal group keys share kernel config,
+        so executing them back-to-back maximizes plan/code locality."""
+        return (self.algorithm, self.phases, self.semiring, self.complemented)
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "Request":
+        """Build from a JSON-ish dict (the CLI workload format)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(spec) - known - {"repeat"}
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        return cls(**{k: v for k, v in spec.items() if k in known})
+
+
+@dataclass
+class RequestStats:
+    """Per-request execution telemetry."""
+
+    algorithm: str = ""            # resolved kernel (post auto-select)
+    phases: int = 1
+    planned: bool = True           # False for baselines (no symbolic phase)
+    plan_cache_hit: bool = False   # plan came from the cache
+    plan_reused: bool = False      # numeric pass consumed cached symbolic sizes
+    symbolic_skipped: bool = False # two-phase request that ran no symbolic pass
+    plan_seconds: float = 0.0      # auto-select + symbolic (0 on warm hits)
+    numeric_seconds: float = 0.0
+    total_seconds: float = 0.0
+    output_nnz: int = 0
+
+    def as_row(self) -> list:
+        """Flat rendering for tables/CSV (bench + CLI reporting)."""
+        return [self.algorithm, self.phases,
+                "-" if not self.planned
+                else "hit" if self.plan_cache_hit else "miss",
+                self.plan_seconds * 1e3, self.numeric_seconds * 1e3,
+                self.total_seconds * 1e3, self.output_nnz]
+
+
+@dataclass
+class Response:
+    """Result of one request: the output matrix plus its stats."""
+
+    result: CSRMatrix
+    stats: RequestStats
+    tag: str = ""
+    request: Request | None = field(default=None, repr=False)

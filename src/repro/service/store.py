@@ -1,0 +1,155 @@
+"""Named matrix store with memory accounting and LRU eviction.
+
+The store is the engine's operand namespace: services register CSR matrices
+and mask patterns once under string keys, then address them from requests.
+Each entry carries a lazily-computed **pattern fingerprint**
+(:func:`repro.sparse.ops.pattern_fingerprint`) — the PlanCache key primitive
+— cached per registration so repeated requests pay the O(nnz) hash only once
+per pattern, and recomputed on re-registration so value-only updates keep
+their fingerprint (plans stay hot) while pattern changes naturally invalidate
+(plans miss).
+
+An optional byte budget turns the store into an LRU cache over operand
+memory: registering past the budget evicts the least-recently-*used* entries
+(use = resolved by a request or fetched via :meth:`MatrixStore.get`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..mask import Mask
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import pattern_fingerprint
+
+
+class StoreError(ReproError):
+    """Unknown key, over-budget registration, or similar store misuse."""
+
+
+def matrix_nbytes(m: CSRMatrix | Mask) -> int:
+    """Resident bytes of a CSR matrix or mask (its numpy arrays)."""
+    n = m.indptr.nbytes + m.indices.nbytes
+    if isinstance(m, CSRMatrix):
+        n += m.data.nbytes
+    return n
+
+
+@dataclass
+class StoreEntry:
+    value: CSRMatrix | Mask
+    nbytes: int
+    pinned: bool = False
+    _fingerprint: str | None = field(default=None, repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            v = self.value
+            self._fingerprint = pattern_fingerprint(v.indptr, v.indices, v.shape)
+        return self._fingerprint
+
+
+class MatrixStore:
+    """Key → matrix/mask registry with LRU eviction under a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes : int | None
+        Soft ceiling on total resident operand bytes. None = unbounded.
+        Pinned entries never count as eviction candidates.
+    """
+
+    def __init__(self, budget_bytes: int | None = None):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise StoreError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._entries: dict[str, StoreEntry] = {}  # insertion order = LRU order
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def register(self, key: str, value: CSRMatrix | Mask, *,
+                 pin: bool = False) -> StoreEntry:
+        """Insert or replace ``key``. Replacement drops the cached
+        fingerprint, so a value-only update recomputes to the *same*
+        fingerprint (plans keep hitting) while a pattern change yields a new
+        one (plans miss, as they must)."""
+        if not isinstance(value, (CSRMatrix, Mask)):
+            raise StoreError(
+                f"store values must be CSRMatrix or Mask, got {type(value).__name__}"
+            )
+        entry = StoreEntry(value, matrix_nbytes(value), pinned=pin)
+        old = self._entries.pop(key, None)
+        if self.budget_bytes is not None:
+            # feasibility first: reject before evicting anything, and restore
+            # the replaced entry, so a failed registration leaves the store
+            # exactly as it was.
+            unevictable = sum(e.nbytes for e in self._entries.values()
+                              if e.pinned)
+            if entry.nbytes + unevictable > self.budget_bytes:
+                if old is not None:
+                    self._entries[key] = old
+                raise StoreError(
+                    f"cannot register {key!r}: {entry.nbytes} bytes plus "
+                    f"{unevictable} pinned bytes exceed the "
+                    f"{self.budget_bytes}-byte budget"
+                )
+        self._entries[key] = entry
+        self._enforce_budget(protect=key)
+        return entry
+
+    def get(self, key: str) -> CSRMatrix | Mask:
+        return self.entry(key).value
+
+    def entry(self, key: str) -> StoreEntry:
+        """Fetch the entry and mark it most-recently-used."""
+        try:
+            entry = self._entries.pop(key)
+        except KeyError:
+            raise StoreError(
+                f"no matrix registered under {key!r}; "
+                f"known keys: {sorted(self._entries)}"
+            ) from None
+        self._entries[key] = entry  # move to MRU position
+        return entry
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key``; returns whether it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    def _enforce_budget(self, *, protect: str) -> None:
+        if self.budget_bytes is None:
+            return
+        while self.total_bytes > self.budget_bytes:
+            victim = next(
+                (k for k, e in self._entries.items()
+                 if k != protect and not e.pinned), None)
+            if victim is None:
+                # unreachable: register() pre-checks feasibility. A pinned
+                # protect entry over budget would be the only way here.
+                raise StoreError(
+                    f"matrix store over budget ({self.total_bytes} > "
+                    f"{self.budget_bytes} bytes) with no evictable entries"
+                )
+            del self._entries[victim]
+            self.evictions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "∞" if self.budget_bytes is None else str(self.budget_bytes)
+        return (f"<MatrixStore {len(self._entries)} entries, "
+                f"{self.total_bytes}/{cap} bytes>")

@@ -1,0 +1,159 @@
+"""JSON workload specs: declare matrices + request streams, replay them.
+
+This is the serving layer's wire format — what ``python -m repro batch
+workload.json`` consumes. A spec is a dict with two sections::
+
+    {
+      "matrices": {
+        "G":  {"generator": "rmat", "scale": 8, "edge_factor": 8, "seed": 0,
+               "prep": "triangle"},
+        "A":  {"random": {"m": 200, "k": 150, "density": 0.05, "seed": 1}},
+        "F":  {"path": "matrix.mtx"}
+      },
+      "requests": [
+        {"a": "G", "b": "G", "mask": "G", "algorithm": "auto",
+         "phases": 2, "repeat": 8, "tag": "tc"}
+      ]
+    }
+
+``repeat`` expands a request N times — the idiom for modelling repeated
+traffic under an unchanged mask, which is exactly where the plan cache
+earns its keep (every repeat after the first is a warm hit).
+
+Matrix ``prep`` values: ``triangle`` (symmetrize + degree-sort + tril, the
+TC workload), ``undirected`` (symmetrize + simplify), ``pattern`` (values
+to 1.0), or absent for as-is.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..sparse.csr import CSRMatrix
+from .batch import BatchExecutor, BatchResult
+from .engine import Engine
+from .requests import Request
+
+
+def _check_keys(name: str, what: str, given: dict, allowed: set) -> None:
+    unknown = set(given) - allowed
+    if unknown:
+        raise ValueError(
+            f"matrix {name!r}: unknown {what} fields {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _build_matrix(name: str, spec: dict[str, Any]) -> CSRMatrix:
+    from ..graphs import erdos_renyi, rmat
+    from ..graphs.prep import to_undirected_simple, triangle_prep
+    from ..sparse import csr_random, read_matrix_market
+
+    spec = dict(spec)
+    prep = spec.pop("prep", None)
+    try:
+        if "path" in spec:
+            _check_keys(name, "path-spec", spec, {"path"})
+            try:
+                m = read_matrix_market(spec["path"])
+            except FileNotFoundError:
+                raise ValueError(
+                    f"matrix {name!r}: file not found: {spec['path']}"
+                ) from None
+        elif "random" in spec:
+            _check_keys(name, "spec", spec, {"random"})
+            r = dict(spec["random"])
+            _check_keys(name, "random", r,
+                        {"m", "k", "density", "seed", "values"})
+            m = csr_random(r["m"], r.get("k", r["m"]),
+                           density=r.get("density", 0.05),
+                           rng=r.get("seed", 0),
+                           values=r.get("values", "uniform"))
+        elif spec.get("generator") == "rmat":
+            _check_keys(name, "rmat", spec,
+                        {"generator", "scale", "edge_factor", "seed"})
+            m = rmat(spec["scale"], spec.get("edge_factor", 8),
+                     rng=spec.get("seed", 0))
+        elif spec.get("generator") == "er":
+            _check_keys(name, "er", spec,
+                        {"generator", "n", "degree", "seed"})
+            m = erdos_renyi(spec["n"], spec.get("degree", 8.0),
+                            rng=spec.get("seed", 0), symmetrize=True)
+        else:
+            raise ValueError(
+                f"matrix {name!r}: need one of path/random/generator, got {spec}"
+            )
+    except KeyError as e:
+        raise ValueError(f"matrix {name!r}: missing required field {e}") from None
+    if prep == "triangle":
+        m = triangle_prep(m)
+    elif prep == "undirected":
+        m = to_undirected_simple(m)
+    elif prep == "pattern":
+        m = m.pattern()
+    elif prep is not None:
+        raise ValueError(f"matrix {name!r}: unknown prep {prep!r}")
+    return m
+
+
+def load_workload(path: str | Path) -> dict[str, Any]:
+    spec = json.loads(Path(path).read_text())
+    if "requests" not in spec or "matrices" not in spec:
+        raise ValueError("workload spec needs 'matrices' and 'requests' sections")
+    return spec
+
+
+def expand_requests(spec: dict[str, Any]) -> list[Request]:
+    """Request list with ``repeat`` expanded in stream order."""
+    out: list[Request] = []
+    for i, rspec in enumerate(spec["requests"]):
+        repeat = int(rspec.get("repeat", 1))
+        req = Request.from_dict(rspec)
+        if not req.tag:
+            req.tag = f"req{i}"
+        out.extend([req] * repeat)
+    return out
+
+
+def replay(spec: dict[str, Any], *, engine: Engine | None = None,
+           executor=None) -> tuple[Engine, BatchResult]:
+    """Register the spec's matrices into an engine and run its requests."""
+    engine = engine or Engine()
+    for name, mspec in spec["matrices"].items():
+        engine.register(name, _build_matrix(name, mspec))
+    result = BatchExecutor(engine, executor).run(expand_requests(spec))
+    return engine, result
+
+
+def render_report(engine: Engine, result: BatchResult) -> str:
+    """Human-readable replay report (the CLI's output)."""
+    from ..bench.metrics import summarize_latencies
+    from ..bench.reporting import render_table
+
+    rows = [[r.tag] + r.stats.as_row() for r in result.responses]
+    lines = [render_table(
+        ["tag", "algorithm", "phases", "plan", "plan (ms)", "numeric (ms)",
+         "total (ms)", "nnz"], rows)]
+    lines.append("")
+    lines.append(
+        f"batch: {len(result.responses)} requests in {result.seconds * 1e3:.1f} ms "
+        f"({result.groups} groups) — plan cache: {result.plan_hits} hits / "
+        f"{result.plan_misses} misses ({100 * result.plan_hit_rate:.0f}% hit rate)"
+    )
+    # latency lines are batch-scoped (a reused engine's lifetime stats would
+    # mix earlier traffic into this replay's report)
+    batch_stats = [r.stats for r in result.responses if r.stats.planned]
+    cold = summarize_latencies(
+        [s.total_seconds for s in batch_stats if not s.plan_cache_hit])
+    warm = summarize_latencies(
+        [s.total_seconds for s in batch_stats if s.plan_cache_hit])
+    if cold:
+        lines.append(f"cold requests: {cold}")
+    if warm:
+        lines.append(f"warm requests: {warm}")
+    lines.append(f"engine: {len(engine.store)} matrices "
+                 f"({engine.store.total_bytes} bytes resident), "
+                 f"{len(engine.plans)} plans cached")
+    return "\n".join(lines)

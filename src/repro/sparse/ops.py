@@ -13,6 +13,7 @@ operations — a standard trick that keeps everything vectorized.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable
 
 import numpy as np
@@ -20,6 +21,34 @@ import numpy as np
 from ..errors import ShapeError
 from ..validation import INDEX_DTYPE, VALUE_DTYPE, check_same_shape
 from .csr import CSRMatrix
+
+
+# ---------------------------------------------------------------------- #
+# pattern fingerprinting
+# ---------------------------------------------------------------------- #
+def pattern_fingerprint(indptr: np.ndarray, indices: np.ndarray,
+                        shape: tuple[int, int]) -> str:
+    """Stable content hash of a CSR *pattern* (indptr + indices + shape).
+
+    Two patterns collide only if blake2b collides: the digest covers the
+    shape, the row pointer array and the column ids, each canonicalized to
+    little-endian int64 so the result is independent of platform byte order
+    and of the (validated-equivalent) input dtype. Values are deliberately
+    excluded — a matrix whose numbers change but whose sparsity structure
+    does not keeps its fingerprint, which is exactly the invariance the
+    service layer's :class:`~repro.service.PlanCache` needs.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray(shape, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(indptr, dtype="<i8").tobytes())
+    h.update(b"|")  # guard against indptr/indices boundary ambiguity
+    h.update(np.ascontiguousarray(indices, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def matrix_fingerprint(m: CSRMatrix) -> str:
+    """:func:`pattern_fingerprint` of a matrix's stored pattern."""
+    return pattern_fingerprint(m.indptr, m.indices, m.shape)
 
 
 # ---------------------------------------------------------------------- #

@@ -88,3 +88,47 @@ def test_parser_subcommands_exist():
     p = build_parser()
     for cmd in ("tc", "ktruss", "bc", "spgemm", "suite", "info"):
         assert cmd in p.format_help()
+
+
+def test_batch_workload(tmp_path, capsys):
+    """`python -m repro batch workload.json` on a tiny generated workload."""
+    import json
+
+    wl = {
+        "matrices": {
+            "G": {"generator": "er", "n": 50, "degree": 5, "seed": 0,
+                  "prep": "pattern"},
+        },
+        "requests": [
+            {"a": "G", "b": "G", "mask": "G", "algorithm": "msa",
+             "semiring": "plus_pair", "phases": 2, "repeat": 3, "tag": "tc"},
+        ],
+    }
+    p = tmp_path / "workload.json"
+    p.write_text(json.dumps(wl))
+    rc, out = run(["batch", str(p)], capsys)
+    assert rc == 0
+    # 3 repeats of one pattern: 1 cold miss, 2 warm hits
+    assert "2 hits / 1 misses" in out
+    assert "warm requests:" in out and "cold requests:" in out
+    assert sum(1 for line in out.splitlines()
+               if line.strip().startswith("tc")) == 3
+
+
+def test_batch_workload_threaded(tmp_path, capsys):
+    import json
+
+    wl = {
+        "matrices": {
+            "A": {"random": {"m": 40, "k": 40, "density": 0.1, "seed": 1}},
+            "M": {"random": {"m": 40, "k": 40, "density": 0.2, "seed": 2}},
+        },
+        "requests": [
+            {"a": "A", "b": "A", "mask": "M", "phases": 2, "repeat": 4},
+        ],
+    }
+    p = tmp_path / "workload.json"
+    p.write_text(json.dumps(wl))
+    rc, out = run(["batch", str(p), "--threads", "2"], capsys)
+    assert rc == 0
+    assert "4 requests" in out

@@ -112,3 +112,67 @@ def test_scale_values(rng):
 def test_transpose_csr_matches_dense(rng):
     a = csr_random(7, 13, density=0.3, rng=rng)
     assert np.allclose(ops.transpose_csr(a).to_dense(), a.to_dense().T)
+
+
+# ---------------------------------------------------------------------- #
+# pattern fingerprinting (the PlanCache key primitive)
+# ---------------------------------------------------------------------- #
+def test_fingerprint_deterministic(rng):
+    a = csr_random(20, 25, density=0.2, rng=rng)
+    assert ops.matrix_fingerprint(a) == ops.matrix_fingerprint(a)
+    assert ops.matrix_fingerprint(a) == ops.matrix_fingerprint(a.copy())
+
+
+def test_fingerprint_ignores_values(rng):
+    a = csr_random(20, 25, density=0.2, rng=rng)
+    b = CSRMatrix(a.indptr.copy(), a.indices.copy(), a.data * 3.14 + 1.0,
+                  a.shape, check=False)
+    assert ops.matrix_fingerprint(a) == ops.matrix_fingerprint(b)
+    assert ops.matrix_fingerprint(a) == ops.matrix_fingerprint(a.pattern())
+
+
+def test_fingerprint_distinguishes_patterns(rng):
+    seen = set()
+    for seed in range(40):
+        m = csr_random(15, 15, density=0.2, rng=np.random.default_rng(seed))
+        seen.add(ops.matrix_fingerprint(m))
+    assert len(seen) == 40  # 40 random patterns, 40 distinct fingerprints
+
+
+def test_fingerprint_single_entry_moves():
+    # moving one nonzero anywhere in the matrix must change the hash
+    fps = set()
+    for i in range(6):
+        for j in range(6):
+            m = CSRMatrix.empty((6, 6))
+            row = np.zeros(7, dtype=np.int64)
+            row[i + 1:] = 1
+            m = CSRMatrix(row, np.array([j]), np.array([1.0]), (6, 6))
+            fps.add(ops.matrix_fingerprint(m))
+    assert len(fps) == 36
+
+
+def test_fingerprint_shape_matters():
+    # same (empty) arrays, different shapes -> different fingerprints
+    import numpy as _np
+    empty = _np.empty(0, dtype=_np.int64)
+    fp_a = ops.pattern_fingerprint(_np.zeros(4, dtype=_np.int64), empty, (3, 5))
+    fp_b = ops.pattern_fingerprint(_np.zeros(4, dtype=_np.int64), empty, (3, 6))
+    assert fp_a != fp_b
+
+
+def test_fingerprint_indptr_indices_boundary():
+    # the indptr|indices split is part of the digest: two patterns whose
+    # concatenated arrays coincide must still hash differently
+    m1 = CSRMatrix([0, 1, 1], [0], [1.0], (2, 2))       # entry at (0,0)
+    m2 = CSRMatrix([0, 0, 1], [0], [1.0], (2, 2))       # entry at (1,0)
+    assert ops.matrix_fingerprint(m1) != ops.matrix_fingerprint(m2)
+
+
+def test_fingerprint_dtype_and_layout_invariance(rng):
+    a = csr_random(10, 12, density=0.3, rng=rng)
+    fp32 = ops.pattern_fingerprint(a.indptr.astype(np.int32),
+                                   a.indices.astype(np.int32), a.shape)
+    strided = ops.pattern_fingerprint(
+        np.repeat(a.indptr, 2)[::2], np.repeat(a.indices, 2)[::2], a.shape)
+    assert fp32 == ops.matrix_fingerprint(a) == strided
