@@ -1,0 +1,186 @@
+"""Chunk fusion — per-row loop vs fused kernels (ISSUE 2 acceptance bench).
+
+The claim: on low-degree workloads the "vectorized" per-row kernels are
+bound by interpreter overhead (~8 small-array numpy calls per row), so
+fusing whole row-chunks into flat numpy passes (fused MSA scatter, ESC
+sort/compress) should win big. Grids:
+
+* **tc** — C = L ⊙ (L·L), PLUS_PAIR, R-MAT scales 8-10 (the acceptance
+  gate reads the scale-10 point: fused ≥ 3× over the per-row loop);
+* **ktruss-support** — S = E ⊙ (E·E) on the full symmetrized adjacency,
+  the product every k-truss iteration performs;
+* **complement** — ¬M ⊙ (A·B), PLUS_TIMES, ER graphs (the complement code
+  paths fuse differently: unique-compressed key space).
+
+Schemes: ``msa-loop`` (the retained per-row loop incl. its np.bincount
+fast path), ``msa`` (chunk-fused scatter), ``esc`` (expand-sort-compress).
+Every fused result is checked bit-identical against the loop (and the
+smallest TC case against the pure-Python reference tier) before timings
+are recorded.
+
+``main()`` appends a run to ``BENCH_kernels.json`` at the repo root — the
+perf-trajectory artifact documented in ``benchmarks/common.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import emit, tc_workload
+from repro.bench import render_table, time_callable
+from repro.core import masked_spgemm
+from repro.core import msa_kernel
+from repro.core.reference import reference_masked_spgemm
+from repro.core.types import stitch_blocks
+from repro.graphs import erdos_renyi, rmat
+from repro.graphs.prep import to_undirected_simple
+from repro.mask import Mask
+from repro.semiring import PLUS_PAIR, PLUS_TIMES
+from repro.validation import INDEX_DTYPE
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+SCHEMA = "repro-perf-trajectory-v1"
+
+#: acceptance gate (ISSUE 2): fused speedup over the loop on this case
+GATE_CASE, GATE_MIN_SPEEDUP = "tc-rmat-s10-e8", 3.0
+
+
+def _loop_runner(A, B, mask, semiring):
+    """The old per-row MSA path, stitched to CSR like the dispatcher does."""
+    rows = np.arange(A.nrows, dtype=INDEX_DTYPE)
+
+    def run():
+        block = msa_kernel.numeric_rows_loop(A, B, mask, semiring, rows)
+        return stitch_blocks([block], A.nrows, B.ncols)
+
+    return run
+
+
+def _fused_runner(A, B, mask, semiring, algorithm):
+    return lambda: masked_spgemm(A, B, mask, algorithm=algorithm,
+                                 semiring=semiring)
+
+
+def _bit_identical(got, want) -> bool:
+    """Strict contract: same pattern AND the same float bits (no tolerance)."""
+    return got.same_pattern(want) and np.array_equal(got.data, want.data)
+
+
+def _cases():
+    """(case_name, workload_kind, A, B, mask, semiring) grid points."""
+    out = []
+    for s in (8, 9, 10):
+        g = rmat(s, 8, rng=7000 + s)
+        L, mask = tc_workload(g)
+        out.append((f"tc-rmat-s{s}-e8", "tc", L, L, mask, PLUS_PAIR))
+    for s in (9, 10):
+        E = to_undirected_simple(rmat(s, 8, rng=7100 + s))
+        out.append((f"ktruss-support-rmat-s{s}-e8", "ktruss-support",
+                    E, E, Mask.from_matrix(E), PLUS_PAIR))
+    for n_log in (9, 10):
+        n = 1 << n_log
+        A = erdos_renyi(n, 8, rng=7200 + n_log)
+        B = erdos_renyi(n, 8, rng=7300 + n_log)
+        M = erdos_renyi(n, 8, rng=7400 + n_log)
+        out.append((f"complement-er-s{n_log}-d8", "complement",
+                    A, B, Mask.from_matrix(M, complemented=True), PLUS_TIMES))
+    return out
+
+
+def _append_run(results: list[dict]) -> None:
+    doc = {"schema": SCHEMA, "bench": "chunk_fusion", "runs": []}
+    if ARTIFACT.exists():
+        try:
+            prev = json.loads(ARTIFACT.read_text())
+            if prev.get("schema") == SCHEMA:
+                doc = prev
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt/foreign file: start a fresh trajectory
+    doc["runs"].append({"timestamp": int(time.time()), "results": results})
+    ARTIFACT.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main() -> None:
+    emit("[Chunk fusion] per-row loop vs fused kernels")
+    emit("msa-loop = retained per-row path (np.bincount fast path); "
+         "msa = chunk-fused scatter; esc = expand-sort-compress\n")
+
+    # bit-identity spot check against the pure-Python reference tier
+    g = rmat(8, 8, rng=7008)
+    L, mask = tc_workload(g)
+    ref = reference_masked_spgemm(L, L, mask, "msa", PLUS_PAIR)
+    for alg in ("msa", "esc"):
+        got = masked_spgemm(L, L, mask, algorithm=alg, semiring=PLUS_PAIR)
+        assert _bit_identical(got, ref), alg
+    emit("reference-tier check: msa/esc bit-identical on tc-rmat-s8-e8 ✓\n")
+
+    results, rows = [], []
+    gate_speedup = None
+    for case, kind, A, B, mask, semiring in _cases():
+        runners = [("msa-loop", _loop_runner(A, B, mask, semiring))]
+        for alg in ("msa", "esc"):
+            runners.append((alg, _fused_runner(A, B, mask, semiring, alg)))
+        baseline = runners[0][1]()
+        loop_s = None
+        for scheme, fn in runners:
+            same = scheme == "msa-loop" or _bit_identical(fn(), baseline)
+            seconds = time_callable(fn, repeats=3, warmup=1)
+            if scheme == "msa-loop":
+                loop_s = seconds
+            speedup = loop_s / seconds
+            results.append({"case": case, "workload": kind, "scheme": scheme,
+                            "seconds": seconds, "speedup_vs_loop": speedup,
+                            "identical_to_loop": bool(same)})
+            rows.append([case, scheme, seconds * 1e3, speedup,
+                         "yes" if same else "NO"])
+            if case == GATE_CASE and scheme in ("msa", "esc"):
+                gate_speedup = max(gate_speedup or 0.0, speedup)
+    emit(render_table(["case", "scheme", "time (ms)", "speedup vs loop",
+                       "identical"], rows))
+
+    _append_run(results)
+    emit(f"\nappended run to {ARTIFACT.name} "
+         f"({len(results)} results, schema {SCHEMA})")
+    if gate_speedup is not None:
+        verdict = "PASS" if gate_speedup >= GATE_MIN_SPEEDUP else "FAIL"
+        emit(f"acceptance gate [{GATE_CASE}]: best fused speedup "
+             f"{gate_speedup:.1f}x (need ≥ {GATE_MIN_SPEEDUP:.0f}x) → {verdict}")
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark faces (`pytest benchmarks/ --benchmark-only -k chunk`)
+# ----------------------------------------------------------------------- #
+def test_chunk_fusion_msa_loop(benchmark, tc_small):
+    L, mask = tc_small
+    benchmark.pedantic(_loop_runner(L, L, mask, PLUS_PAIR),
+                       rounds=3, warmup_rounds=1)
+
+
+def test_chunk_fusion_msa_fused(benchmark, tc_small):
+    L, mask = tc_small
+    got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "msa"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, _loop_runner(L, L, mask, PLUS_PAIR)())
+
+
+def test_chunk_fusion_esc(benchmark, tc_small):
+    L, mask = tc_small
+    got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "esc"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, _loop_runner(L, L, mask, PLUS_PAIR)())
+
+
+def test_chunk_fusion_esc_complement(benchmark, density_problem):
+    A, B, mask = density_problem
+    cmask = mask.complement()
+    got = benchmark.pedantic(_fused_runner(A, B, cmask, PLUS_TIMES, "esc"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, _loop_runner(A, B, cmask, PLUS_TIMES)())
+
+
+if __name__ == "__main__":
+    main()

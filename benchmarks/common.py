@@ -12,6 +12,35 @@ Every ``bench_figXX_*.py`` module has two faces:
 Scaling note (DESIGN.md §2): paper grids run at R-MAT scales 8-20 on 32-68
 cores; ours run at scales 6-12 on a laptop-class box. Crossovers are driven
 by density ratios, which the scaled grids preserve.
+
+Perf-trajectory artifacts (``BENCH_kernels.json``)
+--------------------------------------------------
+``bench_chunk_fusion.py`` records kernel timings into a JSON *trajectory*
+file at the repo root so speedups can be tracked across commits rather than
+eyeballed once. Schema (``repro-perf-trajectory-v1``)::
+
+    {
+      "schema": "repro-perf-trajectory-v1",
+      "bench": "chunk_fusion",
+      "runs": [
+        {
+          "timestamp": 1722200000,        # unix seconds of the run
+          "results": [
+            {
+              "case": "tc-rmat-s10-e8",   # workload grid point
+              "workload": "tc",           # tc | ktruss-support | complement
+              "scheme": "esc",            # msa-loop | msa | esc | ...
+              "seconds": 0.0123,          # best-of-repeats wall time
+              "speedup_vs_loop": 8.1,     # msa-loop seconds / this scheme's
+              "identical_to_loop": true   # bit-identical result check
+            }, ...
+          ]
+        }, ...
+      ]
+    }
+
+Each invocation *appends* one run, preserving history; downstream tooling
+(and the ISSUE acceptance gates) read the latest run.
 """
 
 from __future__ import annotations
@@ -24,13 +53,16 @@ from repro.core import display_name, masked_spgemm
 from repro.graphs import rmat, suite_graphs
 from repro.graphs.prep import triangle_prep
 
-#: the 12 scheme variants of Fig. 8/12 (6 algorithms × {1P, 2P})
+#: the scheme variants of Fig. 8/12 (the paper's 6 algorithms plus the
+#: chunk-fused ``esc`` extension, × {1P, 2P})
 OUR_SCHEMES = [(alg, ph)
-               for alg in ("msa", "hash", "mca", "heap", "heapdot", "inner")
+               for alg in ("msa", "esc", "hash", "mca", "heap", "heapdot",
+                           "inner")
                for ph in (1, 2)]
 
-#: complement-capable schemes (Fig. 16's candidates)
-COMPLEMENT_SCHEMES = [(alg, ph) for alg in ("msa", "hash") for ph in (1, 2)]
+#: complement-capable schemes (Fig. 16's candidates + chunk-fused esc)
+COMPLEMENT_SCHEMES = [(alg, ph) for alg in ("msa", "esc", "hash")
+                      for ph in (1, 2)]
 
 #: baseline stand-ins (see DESIGN.md substitution table)
 BASELINES = ["saxpy", "saxpy-scipy", "dot"]

@@ -3,8 +3,9 @@
 ``masked_spgemm`` dispatches over
 
 * **algorithm** — ``msa | hash | mca | heap | heapdot | inner`` (the paper's
-  kernels), the baselines ``saxpy | saxpy-scipy | dot`` (SS:GB stand-ins),
-  or ``auto`` (Fig. 7-derived density heuristic);
+  kernels), ``esc`` (chunk-fused expand-sort-compress), the baselines
+  ``saxpy | saxpy-scipy | dot`` (SS:GB stand-ins), or ``auto`` (Fig.
+  7-derived density heuristic, routing short-row regimes to ``esc``);
 * **phases** — 1 (one-phase) or 2 (symbolic + numeric, paper §6);
 * **tier** — ``vectorized`` (numpy kernels) or ``reference`` (pure-Python,
   faithful to the pseudocode);

@@ -1,21 +1,37 @@
 """Vectorized MSA (Masked Sparse Accumulator) kernel — paper §5.2.
 
-Per output row the kernel performs exactly the three MSA steps of
-Algorithm 2, each as a numpy batch operation over the row's partial
-products:
+Two execution strategies share this module:
 
-1. mark the mask row ALLOWED in the dense ``states`` array,
-2. scatter-accumulate the allowed partial products into the dense
-   ``values`` array (``ufunc.at`` = the scatter/accumulate memory access
-   pattern 4 of §4.2),
-3. gather in mask order (stable, sorted output) and reset the touched
-   states.
+**Chunk-fused (default)** — :func:`numeric_rows` / :func:`symbolic_rows`
+process an entire chunk of rows with flat numpy passes and zero
+Python-per-row work. The dense per-row ``states``/``values`` workspaces are
+replaced by an accumulator indexed by *chunk-wide mask rank*: one batched
+expansion (:func:`repro.core.expand.expand_rows`), one ``searchsorted`` of
+the products' composite keys ``t * ncols + col`` against the mask's
+flattened keys (the MSA "allowed" test for the whole chunk at once), then
+one scatter-accumulate of every selected product — ``np.bincount`` when
+the additive monoid is ``+`` (``np.add.at`` is notoriously slow), generic
+``ufunc.at`` otherwise — and one gather of all mask hits. The complement
+variant scatters the surviving (non-banned) products into
+``np.unique``-compressed key space instead. Where ESC
+(:mod:`repro.core.esc_kernel`) sorts first and masks the compressed
+stream, fused MSA masks first and scatters — same flat-pass structure,
+opposite order, no sort on the plain-mask path.
 
-The dense workspaces are allocated once per call and reused across rows —
-the amortized O(ncols) init of the paper's complexity analysis. The
-complement variant flips the marking (``banned``) and discovers the touched
-column set with a sort (`np.unique`), standing in for the inserted-keys log
-of the reference implementation.
+Fused intermediates are O(partial products), so chunks are pre-split by
+:func:`repro.core.expand.fused_blocks` — composite keys must fit int64 and
+each block's product stream stays under ``FUSE_FLOPS_BUDGET``, keeping
+peak memory bounded on long-row inputs where the old dense workspaces
+were only O(ncols).
+
+**Per-row loop** — :func:`numeric_rows_loop` / :func:`symbolic_rows_loop`
+keep the original paper-shaped row loop over Algorithm 2's three MSA steps
+(dense states array, scatter, mask-order gather) as the benchmark baseline
+(``benchmarks/bench_chunk_fusion.py``) and the faithful rendering of the
+paper's pseudocode. Its accumulation also takes the ``np.bincount`` fast
+path for ``+``-monoid semirings (PLUS_TIMES, PLUS_PAIR, ...), scattering
+into mask-rank space instead of calling ``np.add.at`` on the dense values
+array.
 """
 
 from __future__ import annotations
@@ -26,21 +42,152 @@ from ..mask import Mask
 from ..semiring import Semiring
 from ..sparse.csr import CSRMatrix
 from ..validation import INDEX_DTYPE
-from .expand import expand_row, expand_row_pattern, per_row_flops
-from .types import RowBlock
+from .expand import (
+    composite_keys,
+    expand_row,
+    expand_row_pattern,
+    expand_rows,
+    expand_rows_pattern,
+    flatten_rows_pattern,
+    fused_blocks,
+    per_row_flops,
+    sorted_membership,
+)
+from .types import RowBlock, concat_blocks, empty_block
 
 _NOTALLOWED, _ALLOWED, _SET = 0, 1, 2
 
 
+# --------------------------------------------------------------------- #
+# chunk-fused passes (default)
+# --------------------------------------------------------------------- #
+def _fused_numeric(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
+                   rows: np.ndarray) -> RowBlock:
+    ncols = B.ncols
+    mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
+    if mcols.size == 0 or ncols == 0:
+        return empty_block(rows.size)
+    seg, bj, prod = expand_rows(A, B, rows, semiring)
+    if bj.size == 0:
+        return empty_block(rows.size)
+    m_prow = np.repeat(np.arange(rows.size, dtype=np.int64), np.diff(mseg))
+    mkeys = m_prow * np.int64(ncols) + mcols
+    keys = composite_keys(seg, bj, ncols)
+    # chunk-wide ALLOWED test: product key present in the mask stream?
+    allowed = sorted_membership(mkeys, keys)
+    ranks = np.searchsorted(mkeys, keys[allowed])
+    touched = np.zeros(mkeys.size, dtype=bool)
+    touched[ranks] = True
+    add = semiring.add.ufunc
+    if add is np.add:
+        acc = np.bincount(ranks, weights=prod[allowed], minlength=mkeys.size)
+    else:
+        acc = np.full(mkeys.size, semiring.identity)
+        add.at(acc, ranks, prod[allowed])
+    sizes = np.bincount(m_prow[touched],
+                        minlength=rows.size).astype(INDEX_DTYPE)
+    # mkeys ascend, so the touched gather is row-grouped and column-sorted
+    return RowBlock(sizes, mcols[touched], acc[touched])
+
+
+def _fused_numeric_complement(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                              semiring: Semiring, rows: np.ndarray) -> RowBlock:
+    ncols = B.ncols
+    if rows.size == 0 or ncols == 0:
+        return empty_block(rows.size)
+    seg, bj, prod = expand_rows(A, B, rows, semiring)
+    if bj.size == 0:
+        return empty_block(rows.size)
+    keys = composite_keys(seg, bj, ncols)
+    mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
+    if mcols.size:
+        mkeys = composite_keys(mseg, mcols, ncols)
+        sel = ~sorted_membership(mkeys, keys)  # keep products *outside* the mask
+        keys, prod = keys[sel], prod[sel]
+    if keys.size == 0:
+        return empty_block(rows.size)
+    # the inserted-keys set is discovered by compression (np.unique), then
+    # everything scatters into rank space in stream (= Gustavson) order
+    ukeys, inv = np.unique(keys, return_inverse=True)
+    add = semiring.add.ufunc
+    if add is np.add:
+        acc = np.bincount(inv, weights=prod)
+    else:
+        acc = np.full(ukeys.size, semiring.identity)
+        add.at(acc, inv, prod)
+    sizes = np.bincount(ukeys // ncols, minlength=rows.size).astype(INDEX_DTYPE)
+    return RowBlock(sizes, (ukeys % ncols).astype(INDEX_DTYPE, copy=False), acc)
+
+
+def _fused_symbolic(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                    rows: np.ndarray) -> np.ndarray:
+    ncols = B.ncols
+    sizes = np.zeros(rows.size, dtype=INDEX_DTYPE)
+    if rows.size == 0 or ncols == 0:
+        return sizes
+    if mask.complemented:
+        seg, bj = expand_rows_pattern(A, B, rows)
+        if bj.size == 0:
+            return sizes
+        keys = np.unique(composite_keys(seg, bj, ncols))
+        mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
+        if mcols.size:
+            mkeys = composite_keys(mseg, mcols, ncols)
+            keys = keys[~sorted_membership(mkeys, keys)]
+        return np.bincount(keys // ncols, minlength=rows.size).astype(INDEX_DTYPE)
+
+    mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
+    if mcols.size == 0:
+        return sizes
+    seg, bj = expand_rows_pattern(A, B, rows)
+    if bj.size == 0:
+        return sizes
+    m_prow = np.repeat(np.arange(rows.size, dtype=np.int64), np.diff(mseg))
+    mkeys = m_prow * np.int64(ncols) + mcols
+    keys = composite_keys(seg, bj, ncols)
+    allowed = sorted_membership(mkeys, keys)
+    touched = np.zeros(mkeys.size, dtype=bool)
+    touched[np.searchsorted(mkeys, keys[allowed])] = True
+    return np.bincount(m_prow[touched],
+                       minlength=rows.size).astype(INDEX_DTYPE)
+
+
 def numeric_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
                  rows: np.ndarray) -> RowBlock:
+    """Chunk-fused MSA numeric pass (per-row semantics preserved exactly)."""
+    fn = _fused_numeric_complement if mask.complemented else _fused_numeric
+    return concat_blocks([fn(A, B, mask, semiring, block)
+                          for block in fused_blocks(A, B, rows)])
+
+
+def symbolic_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                  rows: np.ndarray) -> np.ndarray:
+    """Chunk-fused pattern-only pass: exact output nnz per requested row."""
+    parts = [_fused_symbolic(A, B, mask, block)
+             for block in fused_blocks(A, B, rows)]
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+# --------------------------------------------------------------------- #
+# per-row loop (benchmark baseline + paper-faithful rendering)
+# --------------------------------------------------------------------- #
+def numeric_rows_loop(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                      semiring: Semiring, rows: np.ndarray) -> RowBlock:
+    """Original per-row MSA loop: Algorithm 2's three steps per output row.
+
+    ``+``-monoid semirings accumulate via ``np.bincount`` over mask-rank
+    space (products mapped by a per-row ``searchsorted``) instead of
+    ``np.add.at`` on the dense values array; other monoids keep the dense
+    scatter.
+    """
     if mask.complemented:
-        return _numeric_complement(A, B, mask, semiring, rows)
+        return _numeric_complement_loop(A, B, mask, semiring, rows)
     ncols = B.ncols
     states = np.zeros(ncols, dtype=np.int8)
     values = np.empty(ncols, dtype=np.float64)
     identity = semiring.identity
-    add_at = semiring.add.ufunc.at
+    add = semiring.add.ufunc
+    fast_add = add is np.add
 
     mask_rnnz = np.diff(mask.indptr)
     bound = int(mask_rnnz[rows].sum())
@@ -58,29 +205,37 @@ def numeric_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
         if bj.size == 0:
             continue
         states[m_cols] = _ALLOWED
-        values[m_cols] = identity
         sel = states[bj] != _NOTALLOWED
         bj_s = bj[sel]
-        add_at(values, bj_s, prod[sel])
-        states[bj_s] = _SET
-        hit = states[m_cols] == _SET
-        c = m_cols[hit]
+        if fast_add:
+            r = np.searchsorted(m_cols, bj_s)  # bj_s ⊆ m_cols by the sel test
+            hit = np.bincount(r, minlength=m_cols.size).astype(bool)
+            c = m_cols[hit]
+            v = np.bincount(r, weights=prod[sel], minlength=m_cols.size)[hit]
+        else:
+            values[m_cols] = identity
+            add.at(values, bj_s, prod[sel])
+            states[bj_s] = _SET
+            hit = states[m_cols] == _SET
+            c = m_cols[hit]
+            v = values[c]
         k = c.size
         out_cols[pos: pos + k] = c
-        out_vals[pos: pos + k] = values[c]
+        out_vals[pos: pos + k] = v
         sizes[t] = k
         pos += k
         states[m_cols] = _NOTALLOWED  # reset only touched entries
     return RowBlock(sizes, out_cols[:pos].copy(), out_vals[:pos].copy())
 
 
-def _numeric_complement(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
-                        rows: np.ndarray) -> RowBlock:
+def _numeric_complement_loop(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                             semiring: Semiring, rows: np.ndarray) -> RowBlock:
     ncols = B.ncols
     banned = np.zeros(ncols, dtype=bool)
     values = np.empty(ncols, dtype=np.float64)
     identity = semiring.identity
-    add_at = semiring.add.ufunc.at
+    add = semiring.add.ufunc
+    fast_add = add is np.add
 
     flops = per_row_flops(A, B)
     bound = int(np.minimum(flops[rows], ncols).sum())
@@ -99,22 +254,27 @@ def _numeric_complement(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiri
         sel = ~banned[bj]
         bj_s = bj[sel]
         if bj_s.size:
-            touched = np.unique(bj_s)  # sorted inserted-keys set
-            values[touched] = identity
-            add_at(values, bj_s, prod[sel])
+            if fast_add:
+                touched, inv = np.unique(bj_s, return_inverse=True)
+                v = np.bincount(inv, weights=prod[sel])
+            else:
+                touched = np.unique(bj_s)  # sorted inserted-keys set
+                values[touched] = identity
+                add.at(values, bj_s, prod[sel])
+                v = values[touched]
             k = touched.size
             out_cols[pos: pos + k] = touched
-            out_vals[pos: pos + k] = values[touched]
+            out_vals[pos: pos + k] = v
             sizes[t] = k
             pos += k
         banned[m_cols] = False
     return RowBlock(sizes, out_cols[:pos].copy(), out_vals[:pos].copy())
 
 
-def symbolic_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask,
-                  rows: np.ndarray) -> np.ndarray:
-    """Pattern-only pass: exact output nnz per requested row, via the same
-    dense state array MSA's numeric phase uses (values never touched)."""
+def symbolic_rows_loop(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                       rows: np.ndarray) -> np.ndarray:
+    """Per-row pattern-only pass via the same dense state array MSA's numeric
+    phase uses (values never touched)."""
     ncols = B.ncols
     sizes = np.zeros(rows.size, dtype=INDEX_DTYPE)
     if mask.complemented:

@@ -215,6 +215,10 @@ def reference_masked_spgemm(
     out_shape = check_multiplicable(A.shape, B.shape)
     mask.check_output_shape(out_shape)
     algorithm = algorithm.lower()
+    if algorithm == "esc":
+        # ESC is a chunk-fused re-organisation of the same masked Gustavson
+        # product; its behavioural specification is MSA's row-by-row output.
+        algorithm = "msa"
 
     if algorithm == "inner":
         if mask.complemented:

@@ -13,6 +13,7 @@ from typing import Callable
 
 from ..errors import AlgorithmError
 from . import (
+    esc_kernel,
     hash_kernel,
     heap_kernel,
     hybrid_kernel,
@@ -39,7 +40,14 @@ _SPECS: dict[str, AlgorithmSpec] = {
     "msa": AlgorithmSpec(
         "msa", "MSA", "push",
         msa_kernel.numeric_rows, msa_kernel.symbolic_rows, True,
-        "Masked Sparse Accumulator: dense states/values arrays (paper §5.2)",
+        "Masked Sparse Accumulator (paper §5.2), chunk-fused: one batched "
+        "mask test + scatter per chunk (np.bincount fast path for +)",
+    ),
+    "esc": AlgorithmSpec(
+        "esc", "ESC", "push",
+        esc_kernel.numeric_rows, esc_kernel.symbolic_rows, True,
+        "Chunk-fused expand-sort-compress: batched expansion, composite-key "
+        "segmented reduction, chunk-wide mask intersection (no per-row work)",
     ),
     "hash": AlgorithmSpec(
         "hash", "Hash", "push",
@@ -125,11 +133,19 @@ def parse_name(name: str) -> tuple[str, int]:
     return s, phases
 
 
+#: Average partial products per output row below which interpreter overhead
+#: (not memory traffic) dominates the per-row kernels, so the chunk-fused
+#: ``esc`` kernel wins. Graph workloads (TC, k-truss) sit around ~10.
+ESC_FLOPS_CUTOFF = 64.0
+
+
 def auto_select(A, B, mask) -> str:
     """Mask/input-density heuristic distilled from the paper's Fig. 7:
 
     * mask much sparser than the inputs → ``inner`` (pull wins),
     * inputs much sparser than the mask → ``heap``,
+    * short rows (≲ :data:`ESC_FLOPS_CUTOFF` partial products on average) →
+      ``esc`` (chunk-fused: per-row dispatch overhead would dominate),
     * comparable densities → ``msa`` on small outputs (dense arrays cheap),
       ``hash`` on large ones (MSA's cache penalty grows with ncols).
 
@@ -140,12 +156,17 @@ def auto_select(A, B, mask) -> str:
     d_a = A.nnz / nrows
     d_b = B.nnz / max(B.nrows, 1)
     d_in = min(d_a, d_b)
+    flops_per_row = d_a * d_b  # expected partial products per output row
     msa_cutoff = 1 << 15  # dense accumulator stops paying off past ~32k cols
     if mask.complemented:
+        if flops_per_row <= ESC_FLOPS_CUTOFF:
+            return "esc"
         return "msa" if B.ncols <= msa_cutoff else "hash"
     d_m = mask.nnz / max(mask.nrows, 1)
     if d_m * 4 <= d_in:
         return "inner"
     if d_in * 4 <= d_m:
         return "heap"
+    if flops_per_row <= ESC_FLOPS_CUTOFF:
+        return "esc"
     return "msa" if B.ncols <= msa_cutoff else "hash"

@@ -38,6 +38,22 @@ class RowBlock:
         assert self.cols.size == self.vals.size == int(self.sizes.sum())
 
 
+def empty_block(nrows: int) -> RowBlock:
+    """A :class:`RowBlock` covering ``nrows`` rows with no entries."""
+    return RowBlock(np.zeros(nrows, dtype=INDEX_DTYPE),
+                    np.empty(0, dtype=INDEX_DTYPE),
+                    np.empty(0, dtype=np.float64))
+
+
+def concat_blocks(parts: list[RowBlock]) -> RowBlock:
+    """Concatenate consecutive :class:`RowBlock` parts of one chunk."""
+    if len(parts) == 1:
+        return parts[0]
+    return RowBlock(np.concatenate([p.sizes for p in parts]),
+                    np.concatenate([p.cols for p in parts]),
+                    np.concatenate([p.vals for p in parts]))
+
+
 def stitch_blocks(blocks: list[RowBlock], nrows: int, ncols: int):
     """Assemble per-chunk :class:`RowBlock` results (in row order) into a
     canonical CSR matrix."""

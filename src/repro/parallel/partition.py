@@ -54,7 +54,9 @@ def estimate_row_weights(A: CSRMatrix, B: CSRMatrix, mask: Mask,
                          algorithm: str = "msa") -> np.ndarray:
     """Per-row work estimates for the balanced partitioner.
 
-    * push kernels: ``flops_i + nnz(m_i)`` (expansion + mask handling);
+    * push kernels (incl. the chunk-fused ``esc``, whose flat passes are
+      linear-ish in the same quantity): ``flops_i + nnz(m_i)`` (expansion +
+      mask handling);
     * pull (inner): ``nnz(m_i) + Σ_{j∈m_i} nnz(B_*j)`` (dot-product terms).
     """
     if algorithm == "inner":

@@ -5,6 +5,15 @@ Flow: estimate per-row work → cut contiguous flops-balanced chunks
 ``numeric_rows`` (and ``symbolic_rows`` for two-phase) per chunk on the
 executor → stitch the RowBlocks back into one CSR matrix.
 
+The kernels are chunk-fused (``esc`` and the fused MSA passes do a constant
+number of flat numpy passes per *chunk*, not per row), so chunk granularity
+is a real trade-off: more chunks balance better, fewer chunks amortize
+better. A single-worker executor therefore gets exactly one maximal chunk —
+there is no imbalance to smooth and splitting would only fragment the fused
+passes. Two-phase requests carrying a cached plan (``plan=``) skip the
+symbolic map entirely, so a warm request runs zero Python-per-row work end
+to end.
+
 Process-pool support: operands are parked in module globals under a token
 before the pool forks, so children inherit them via copy-on-write and tasks
 carry only ``(token, chunk_of_row_ids)``. Semirings are passed *by name*
@@ -76,7 +85,10 @@ def parallel_masked_spgemm(
         executor = SerialExecutor()
 
     weights = estimate_row_weights(A, B, mask, algorithm)
-    nchunks = nchunks or max(1, executor.nworkers * OVERSUBSCRIBE)
+    if nchunks is None:
+        # one maximal chunk per lone worker (see module docstring)
+        nchunks = (1 if executor.nworkers <= 1
+                   else max(1, executor.nworkers * OVERSUBSCRIBE))
     chunks = balanced_partition(weights, nchunks)
     if not chunks:
         return CSRMatrix.empty(out_shape)

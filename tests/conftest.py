@@ -100,5 +100,5 @@ def assert_masked_product_correct(C: CSRMatrix, A, B, M, semiring=PLUS_TIMES,
 
 
 ALL_SEMIRINGS = [PLUS_TIMES, PLUS_PAIR, MIN_PLUS]
-PLAIN_ALGOS = ["msa", "hash", "mca", "heap", "heapdot", "inner"]
-COMPLEMENT_ALGOS = ["msa", "hash", "heap", "heapdot"]
+PLAIN_ALGOS = ["msa", "esc", "hash", "mca", "heap", "heapdot", "inner"]
+COMPLEMENT_ALGOS = ["msa", "esc", "hash", "heap", "heapdot"]

@@ -6,11 +6,15 @@ from repro.core.expand import (
     concat_ranges,
     expand_row,
     expand_row_pattern,
+    expand_rows,
+    expand_rows_pattern,
+    flatten_rows_pattern,
     per_row_flops,
     total_flops,
 )
 from repro.semiring import PLUS_PAIR, PLUS_TIMES
 from repro.sparse import csr_random
+from repro.validation import INDEX_DTYPE
 
 
 def test_concat_ranges_basic():
@@ -59,6 +63,43 @@ def test_per_row_flops_and_total(rng):
                      for i in range(10)])
     assert np.array_equal(per_row_flops(A, B), want)
     assert total_flops(A, B) == want.sum()
+
+
+def test_concat_ranges_int64_positions():
+    """Positions past int32 must survive even if a narrower index dtype were
+    configured: the cumsum arithmetic always runs in int64."""
+    big = np.int64(1) << 33  # > int32 max
+    out = concat_ranges(np.array([big, 5], dtype=np.int64),
+                        np.array([2, 2], dtype=np.int64))
+    assert out.tolist() == [big, big + 1, 5, 6]
+    assert out.dtype == np.int64
+
+
+def test_expand_rows_matches_per_row(rng):
+    """The chunk-fused expansion is the concatenation of expand_row results,
+    with segment offsets bracketing each row's slice."""
+    A = csr_random(10, 8, density=0.35, rng=rng, values="randint")
+    B = csr_random(8, 12, density=0.35, rng=rng, values="randint")
+    for rows in ([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], [3, 4, 9], [7], []):
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        seg, cols, vals = expand_rows(A, B, rows, PLUS_TIMES)
+        pseg, pcols = expand_rows_pattern(A, B, rows)
+        assert seg.size == rows.size + 1 and seg[0] == 0
+        assert np.array_equal(seg, pseg)
+        assert np.array_equal(cols, pcols)
+        for t, i in enumerate(rows):
+            bj, prod = expand_row(A, B, int(i), PLUS_TIMES)
+            assert np.array_equal(cols[seg[t]:seg[t + 1]], bj)
+            assert np.array_equal(vals[seg[t]:seg[t + 1]], prod)
+
+
+def test_flatten_rows_pattern(rng):
+    M = csr_random(9, 11, density=0.3, rng=rng)
+    rows = np.array([0, 2, 8], dtype=INDEX_DTYPE)
+    seg, cols = flatten_rows_pattern(M.indptr, M.indices, rows)
+    for t, i in enumerate(rows):
+        lo, hi = M.indptr[i], M.indptr[i + 1]
+        assert np.array_equal(cols[seg[t]:seg[t + 1]], M.indices[lo:hi])
 
 
 def test_empty_matrices():

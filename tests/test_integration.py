@@ -37,7 +37,8 @@ def test_tc_pipeline_all_schemes_agree_on_suite_graph():
     first = results[names[0]]
     for nm in names[1:]:
         assert results[nm].equals(first), nm
-    assert len(results) == 14  # (6 paper algorithms + hybrid) x {1P, 2P}
+    # (6 paper algorithms + hybrid + chunk-fused esc) x {1P, 2P}
+    assert len(results) == 16
 
 
 def test_masking_saves_work_on_triangle_counting():
