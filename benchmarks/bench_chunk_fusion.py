@@ -24,13 +24,11 @@ perf-trajectory artifact documented in ``benchmarks/common.py``.
 
 from __future__ import annotations
 
-import json
-import time
 from pathlib import Path
 
 import numpy as np
 
-from common import emit, tc_workload
+from common import append_trajectory_run, emit, tc_workload
 from repro.bench import render_table, time_callable
 from repro.core import masked_spgemm
 from repro.core import msa_kernel
@@ -43,7 +41,6 @@ from repro.semiring import PLUS_PAIR, PLUS_TIMES
 from repro.validation import INDEX_DTYPE
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
-SCHEMA = "repro-perf-trajectory-v1"
 
 #: acceptance gate (ISSUE 2): fused speedup over the loop on this case
 GATE_CASE, GATE_MIN_SPEEDUP = "tc-rmat-s10-e8", 3.0
@@ -91,19 +88,6 @@ def _cases():
     return out
 
 
-def _append_run(results: list[dict]) -> None:
-    doc = {"schema": SCHEMA, "bench": "chunk_fusion", "runs": []}
-    if ARTIFACT.exists():
-        try:
-            prev = json.loads(ARTIFACT.read_text())
-            if prev.get("schema") == SCHEMA:
-                doc = prev
-        except (json.JSONDecodeError, OSError):
-            pass  # corrupt/foreign file: start a fresh trajectory
-    doc["runs"].append({"timestamp": int(time.time()), "results": results})
-    ARTIFACT.write_text(json.dumps(doc, indent=2) + "\n")
-
-
 def main() -> None:
     emit("[Chunk fusion] per-row loop vs fused kernels")
     emit("msa-loop = retained per-row path (np.bincount fast path); "
@@ -142,9 +126,8 @@ def main() -> None:
     emit(render_table(["case", "scheme", "time (ms)", "speedup vs loop",
                        "identical"], rows))
 
-    _append_run(results)
-    emit(f"\nappended run to {ARTIFACT.name} "
-         f"({len(results)} results, schema {SCHEMA})")
+    append_trajectory_run(ARTIFACT, "chunk_fusion", results)
+    emit(f"\nappended run to {ARTIFACT.name} ({len(results)} results)")
     if gate_speedup is not None:
         verdict = "PASS" if gate_speedup >= GATE_MIN_SPEEDUP else "FAIL"
         emit(f"acceptance gate [{GATE_CASE}]: best fused speedup "

@@ -13,31 +13,38 @@ Scaling note (DESIGN.md §2): paper grids run at R-MAT scales 8-20 on 32-68
 cores; ours run at scales 6-12 on a laptop-class box. Crossovers are driven
 by density ratios, which the scaled grids preserve.
 
-Perf-trajectory artifacts (``BENCH_kernels.json``)
---------------------------------------------------
-``bench_chunk_fusion.py`` records kernel timings into a JSON *trajectory*
-file at the repo root so speedups can be tracked across commits rather than
-eyeballed once. Schema (``repro-perf-trajectory-v1``)::
+Perf-trajectory artifacts (``BENCH_kernels.json``, ``BENCH_service.json``)
+--------------------------------------------------------------------------
+Benches that back acceptance gates record timings into JSON *trajectory*
+files at the repo root so speedups can be tracked across commits rather than
+eyeballed once (see ``docs/BENCHMARKS.md`` for the full schema reference).
+Shared envelope (``repro-perf-trajectory-v1``, written by
+:func:`append_trajectory_run`)::
 
     {
       "schema": "repro-perf-trajectory-v1",
-      "bench": "chunk_fusion",
+      "bench": "chunk_fusion",            # which bench owns this artifact
       "runs": [
         {
           "timestamp": 1722200000,        # unix seconds of the run
-          "results": [
-            {
-              "case": "tc-rmat-s10-e8",   # workload grid point
-              "workload": "tc",           # tc | ktruss-support | complement
-              "scheme": "esc",            # msa-loop | msa | esc | ...
-              "seconds": 0.0123,          # best-of-repeats wall time
-              "speedup_vs_loop": 8.1,     # msa-loop seconds / this scheme's
-              "identical_to_loop": true   # bit-identical result check
-            }, ...
-          ]
+          "results": [ {...}, ... ]       # bench-specific result rows
         }, ...
       ]
     }
+
+Result rows by artifact:
+
+* ``BENCH_kernels.json`` (bench ``chunk_fusion``) — one row per (case,
+  scheme): ``case`` (workload grid point, e.g. ``tc-rmat-s10-e8``),
+  ``workload`` (tc | ktruss-support | complement), ``scheme`` (msa-loop |
+  msa | esc), ``seconds`` (best-of-repeats wall time), ``speedup_vs_loop``,
+  ``identical_to_loop`` (bit-identical result check);
+* ``BENCH_service.json`` (bench ``serve_throughput``) — one row per
+  serving mode: ``case``, ``mode`` (cold | warm-plan | result-hit),
+  ``requests``, ``wall_seconds``, ``rps``, ``mean_ms``/``p50_ms``/
+  ``p95_ms``; plus one ``mode: warm-restart`` row per run carrying the
+  plan-persistence gate (``plan_hit_rate``, ``speedup_vs_cold``,
+  ``gate_min``, ``gate_pass``).
 
 Each invocation *appends* one run, preserving history; downstream tooling
 (and the ISSUE acceptance gates) read the latest run.
@@ -45,7 +52,10 @@ Each invocation *appends* one run, preserving history; downstream tooling
 
 from __future__ import annotations
 
+import json
 import sys
+import time
+from pathlib import Path
 
 from repro import Mask, PLUS_PAIR
 from repro.bench import GridResult, run_grid, time_callable
@@ -128,3 +138,38 @@ def emit(text: str) -> None:
     """Print a report block (flushed so piping to tee works cleanly)."""
     print(text)
     sys.stdout.flush()
+
+
+# ----------------------------------------------------------------------- #
+# perf-trajectory artifacts (see module docstring for the schema)
+# ----------------------------------------------------------------------- #
+TRAJECTORY_SCHEMA = "repro-perf-trajectory-v1"
+
+
+def append_trajectory_run(artifact: Path, bench: str,
+                          results: list[dict]) -> None:
+    """Append one timestamped run to a trajectory artifact, preserving the
+    runs already recorded there. A corrupt or foreign file (wrong schema, or
+    a different bench's artifact at the same path) starts a fresh
+    trajectory rather than poisoning history."""
+    doc = {"schema": TRAJECTORY_SCHEMA, "bench": bench, "runs": []}
+    if artifact.exists():
+        try:
+            prev = json.loads(artifact.read_text())
+            if (prev.get("schema") == TRAJECTORY_SCHEMA
+                    and prev.get("bench") == bench):
+                doc = prev
+        except (json.JSONDecodeError, OSError):
+            pass
+    doc["runs"].append({"timestamp": int(time.time()), "results": results})
+    artifact.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def latest_trajectory_run(artifact: Path) -> dict | None:
+    """The most recent run recorded in a trajectory artifact, or None."""
+    try:
+        doc = json.loads(artifact.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    runs = doc.get("runs") or []
+    return runs[-1] if runs else None

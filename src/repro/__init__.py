@@ -53,6 +53,7 @@ from .sparse import (
     csr_random,
     matrix_fingerprint,
     pattern_fingerprint,
+    value_fingerprint,
     read_matrix_market,
     write_matrix_market,
 )
@@ -122,7 +123,7 @@ __all__ = [
     "masked_spgemm", "masked_spgevm", "masked_spmv", "spgemm",
     "SymbolicPlan", "build_plan",
     "available_algorithms", "algorithm_info", "display_name",
-    "matrix_fingerprint", "pattern_fingerprint",
+    "matrix_fingerprint", "pattern_fingerprint", "value_fingerprint",
     # parallel
     "SerialExecutor", "ThreadExecutor", "ProcessExecutor", "SimulatedExecutor",
     # service

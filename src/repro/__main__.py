@@ -10,6 +10,8 @@ Examples
     python -m repro bc graph.mtx --batch 64
     python -m repro spgemm A.mtx B.mtx --mask M.mtx --algorithm auto -o C.mtx
     python -m repro batch workload.json  # replay a service workload spec
+    python -m repro serve workload.json --plans plans.npz  # async front end
+    python -m repro serve --smoke        # CI smoke: warm serving + restart
     python -m repro suite                # list the built-in input suite
     python -m repro info                 # algorithms and semirings
 
@@ -155,6 +157,131 @@ def cmd_batch(args) -> int:
     return 0
 
 
+_SMOKE_SPEC = {
+    # built-in repeated-mask TC workload for `serve --smoke` (CI-sized)
+    "matrices": {
+        "G": {"generator": "er", "n": 400, "degree": 8, "seed": 0,
+              "prep": "triangle"},
+    },
+    "requests": [
+        {"a": "G", "b": "G", "mask": "G", "algorithm": "auto",
+         "semiring": "plus_pair", "phases": 2, "repeat": 12, "tag": "tc"},
+    ],
+}
+
+
+def _serve_once(spec, args, *, engine):
+    """Register matrices (if absent), run the request stream through an
+    AsyncServer, and return (responses, failures, server, wall seconds).
+
+    Failures are isolated per request (a bad request must not discard its
+    stream-mates' responses, nor the warm plans the stream built)."""
+    import asyncio
+
+    from .service import AsyncServer, expand_requests, register_matrices
+
+    if not len(engine.store):
+        register_matrices(engine, spec)
+    requests = expand_requests(spec)
+
+    async def run():
+        t0 = time.perf_counter()
+        async with AsyncServer(
+                engine, workers=args.workers,
+                max_inflight=args.max_inflight,
+                max_queued_flops=(int(args.max_queued_mflops * 1e6)
+                                  if args.max_queued_mflops else None),
+                max_batch=args.max_batch) as server:
+            results = await asyncio.gather(
+                *[server.submit(r) for r in requests],
+                return_exceptions=True)
+        return results, server, time.perf_counter() - t0
+
+    results, server, seconds = asyncio.run(run())
+    responses = [r for r in results if not isinstance(r, BaseException)]
+    failures = [(req.tag, r) for req, r in zip(requests, results)
+                if isinstance(r, BaseException)]
+    return responses, failures, server, seconds
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from .service import (Engine, PlanStoreError, load_workload,
+                          render_serve_report)
+
+    if args.smoke:
+        spec = _SMOKE_SPEC
+    elif args.workload:
+        try:
+            spec = load_workload(args.workload)
+        except FileNotFoundError:
+            raise SystemExit(f"workload file not found: {args.workload}")
+        except (json.JSONDecodeError, ValueError) as e:
+            raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    else:
+        raise SystemExit("provide a workload.json or --smoke")
+
+    engine = Engine(result_cache_bytes=(int(args.result_cache_mb * 2**20)
+                                        if args.result_cache_mb else None))
+    if args.plans:
+        try:
+            n = engine.load_plans(args.plans)
+            print(f"warm start: restored {n} plans from {args.plans}")
+        except PlanStoreError:
+            print(f"cold start: no usable plan store at {args.plans} "
+                  f"(will be written on shutdown)")
+
+    responses, failures, server, seconds = _serve_once(spec, args,
+                                                       engine=engine)
+    print(render_serve_report(engine, server, responses, seconds))
+    for tag, exc in failures[:5]:
+        print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
+    if len(failures) > 5:
+        print(f"... and {len(failures) - 5} more failures")
+
+    # persist even after partial failure: the successful requests' warm
+    # plans are exactly what the next start should not have to rebuild
+    if args.plans:
+        n = engine.save_plans(args.plans)
+        print(f"persisted {n} plans to {args.plans}")
+
+    if args.smoke:
+        return _check_smoke(engine, server, responses, args)
+    return 1 if failures else 0
+
+
+def _check_smoke(engine, server, responses, args) -> int:
+    """CI gate: the repeated-mask smoke stream must serve warm, and a
+    restarted engine restored from the persisted plans must never miss."""
+    import tempfile
+    from pathlib import Path
+
+    from .service import Engine
+
+    n = len(responses)
+    warm = sum(1 for r in responses
+               if r.stats.plan_cache_hit or r.stats.result_cache_hit)
+    ok = server.stats.completed == n and warm >= n - 1
+    print(f"\nsmoke: {warm}/{n} requests served warm "
+          f"(need ≥ {n - 1}) → {'PASS' if ok else 'FAIL'}")
+
+    # restart leg: persist plans, restore into a fresh engine (result cache
+    # off so every request exercises the plan path), expect zero misses
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_path = Path(tmp) / "plans.npz"
+        saved = engine.save_plans(plan_path)
+        restarted = Engine()
+        restored = restarted.load_plans(plan_path)
+        responses2, _, _, _ = _serve_once(_SMOKE_SPEC, args, engine=restarted)
+    misses = restarted.stats.plan_misses
+    ok2 = restored == saved and misses == 0 and restarted.stats.plan_hits == len(responses2)
+    print(f"smoke restart: {restored} plans restored, "
+          f"{restarted.stats.plan_hits} hits / {misses} misses after warm "
+          f"start → {'PASS' if ok2 else 'FAIL'}")
+    return 0 if ok and ok2 else 1
+
+
 def cmd_suite(args) -> int:
     from .graphs import SUITE_SPECS, load_graph
 
@@ -225,6 +352,32 @@ def build_parser() -> argparse.ArgumentParser:
     ba.add_argument("--threads", type=int, default=0,
                     help="fan requests across N threads (0 = serial)")
     ba.set_defaults(fn=cmd_batch)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve a JSON workload through the async front end "
+             "(admission + backpressure + plan/result caches + persistence)")
+    sv.add_argument("workload", nargs="?",
+                    help="JSON workload spec (see repro.service.workload)")
+    sv.add_argument("--smoke", action="store_true",
+                    help="serve a built-in repeated-mask TC workload and "
+                         "verify warm-serving + warm-restart telemetry "
+                         "(CI gate; exits nonzero on failure)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="async worker pool size (default 2)")
+    sv.add_argument("--max-inflight", type=int, default=64,
+                    help="admission bound: admitted-but-unfinished requests")
+    sv.add_argument("--max-queued-mflops", type=float, default=0,
+                    help="admission bound: estimated queued partial products "
+                         "in millions (0 = unbounded)")
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="max group-compatible requests per drained batch")
+    sv.add_argument("--plans", metavar="PLANS.npz",
+                    help="plan store path: restored at startup (if present), "
+                         "persisted at shutdown")
+    sv.add_argument("--result-cache-mb", type=float, default=256,
+                    help="result-cache budget in MiB (0 disables the tier)")
+    sv.set_defaults(fn=cmd_serve)
 
     su = sub.add_parser("suite", help="list the built-in input suite")
     su.set_defaults(fn=cmd_suite)

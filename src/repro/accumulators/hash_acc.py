@@ -90,15 +90,21 @@ class HashAccumulator(MaskedAccumulator):
             self.keys[slot] = key
             self.states[slot] = ALLOWED
             self._nkeys += 1
-        # already present: idempotent
+        elif self.states[slot] == NOTALLOWED:
+            # removed earlier: the key stays resident (open addressing must
+            # not punch probe-chain holes), so re-allowing transitions the
+            # state instead of inserting — without this, a removed key could
+            # never be re-admitted (the Fig. 3 automaton allows it)
+            self.states[slot] = ALLOWED
+        # ALLOWED/SET: idempotent
 
     def insert(self, key: int, value: ValueOrThunk) -> None:
         slot = self._find_slot(key)
         if self.keys[slot] == _EMPTY:
             return  # not in mask: discard, thunk not evaluated
         state = self.states[slot]
-        if state == NOTALLOWED:  # pragma: no cover - defensive; cannot happen
-            return
+        if state == NOTALLOWED:
+            return  # removed and not re-allowed: discard
         if state == ALLOWED:
             self.states[slot] = SET
             self.values[slot] = _force(value)

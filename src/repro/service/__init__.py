@@ -8,15 +8,25 @@ under the *same or slowly-changing mask pattern*, so the pattern-only work —
 algorithm auto-selection and the paper's §6 symbolic phase — can be computed
 once and amortized. This package is that amortization layer:
 
-* :class:`MatrixStore` — named operand registry with pattern-fingerprint
-  memoization, memory accounting and LRU eviction;
+* :class:`MatrixStore` — named operand registry with pattern- and
+  value-fingerprint memoization, memory accounting and LRU eviction;
 * :class:`PlanCache` — fingerprint-keyed LRU of
   :class:`~repro.core.plan.SymbolicPlan` objects;
-* :class:`Engine` — resolves requests against the store, serves plans from
-  the cache (warm requests skip auto-select *and* the symbolic pass), and
-  records per-request/aggregate stats;
+* :class:`ResultCache` — byte-accounted LRU memoizing *whole numeric
+  results* keyed on (pattern fingerprints, value hashes) — the tier in
+  front of the plan cache;
+* :class:`PlanStore` — ``.npz`` persistence for cached plans, so engine
+  warm starts survive restarts (``Engine.save_plans`` / ``load_plans``);
+* :class:`Engine` — resolves requests against the store, serves results
+  and plans from the caches (warm requests skip auto-select *and* the
+  symbolic pass; result hits skip everything), and records
+  per-request/aggregate stats;
 * :class:`BatchExecutor` — groups compatible requests and fans a batch out
   across a :mod:`repro.parallel` executor;
+* :class:`AsyncServer` — the asyncio front end: admission queue, bounded
+  backpressure (max in-flight / max queued flops), a worker pool draining
+  group-compatible batches, graceful shutdown — the ``python -m repro
+  serve`` entry point;
 * :mod:`~repro.service.workload` — JSON workload specs and replay, the
   ``python -m repro batch`` entry point.
 
@@ -35,10 +45,19 @@ Quickstart::
 
 from .batch import BatchExecutor, BatchResult
 from .engine import Engine, EngineStats
-from .plan import PlanCache, plan_key
+from .plan import PlanCache, PlanStore, PlanStoreError, plan_key
 from .requests import Request, RequestStats, Response
+from .result_cache import ResultCache, result_key
+from .server import AsyncServer, ServerClosed, ServerError, ServerStats, serve_all
 from .store import MatrixStore, StoreError, matrix_nbytes
-from .workload import expand_requests, load_workload, render_report, replay
+from .workload import (
+    expand_requests,
+    load_workload,
+    register_matrices,
+    render_report,
+    render_serve_report,
+    replay,
+)
 
 __all__ = [
     "Engine",
@@ -47,7 +66,16 @@ __all__ = [
     "StoreError",
     "matrix_nbytes",
     "PlanCache",
+    "PlanStore",
+    "PlanStoreError",
     "plan_key",
+    "ResultCache",
+    "result_key",
+    "AsyncServer",
+    "ServerClosed",
+    "ServerError",
+    "ServerStats",
+    "serve_all",
     "BatchExecutor",
     "BatchResult",
     "Request",
@@ -55,6 +83,8 @@ __all__ = [
     "Response",
     "load_workload",
     "expand_requests",
+    "register_matrices",
     "replay",
     "render_report",
+    "render_serve_report",
 ]

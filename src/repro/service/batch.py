@@ -12,6 +12,12 @@ own ``executor`` is the within-product, row-parallel axis). A batch is
    request would cost more than the products themselves.
 
 Responses come back in the order of the input list regardless of grouping.
+
+This layer stays synchronous on purpose: it is the execution substrate the
+:class:`~repro.service.server.AsyncServer` worker pool drains into (each
+drained group of compatible queued requests becomes one ``run()`` call), so
+admission/backpressure concerns live in the server and batching/grouping
+concerns live here.
 """
 
 from __future__ import annotations
@@ -27,7 +33,11 @@ from .requests import Request, Response
 
 @dataclass
 class BatchResult:
-    """Ordered responses plus batch-level telemetry."""
+    """Ordered responses plus batch-level telemetry.
+
+    With ``run(..., return_exceptions=True)``, entries of ``responses`` may
+    be the exception a request raised instead of a Response.
+    """
 
     responses: list[Response]
     seconds: float
@@ -67,8 +77,16 @@ class BatchExecutor:
                 "serial or simulated executor"
             )
 
-    def run(self, requests: list[Request]) -> BatchResult:
-        """Execute every request; responses align with the input order."""
+    def run(self, requests: list[Request], *,
+            return_exceptions: bool = False) -> BatchResult:
+        """Execute every request; responses align with the input order.
+
+        ``return_exceptions=True`` isolates failures per request: each
+        request executes exactly once, and a raising request contributes its
+        exception to ``responses`` instead of aborting the batch (the async
+        server relies on this — re-running a half-finished batch would
+        double-execute and double-count the requests that had succeeded).
+        """
         executor = self.executor or SerialExecutor()
         hits0 = self.engine.plans.hits
         misses0 = self.engine.plans.misses
@@ -80,8 +98,15 @@ class BatchExecutor:
             groups.setdefault(req.group_key(), []).append(idx)
         order = [idx for members in groups.values() for idx in members]
 
-        fanned = executor.map(lambda i: (i, self.engine.submit(requests[i])),
-                              order)
+        def exec_one(i: int):
+            try:
+                return (i, self.engine.submit(requests[i]))
+            except Exception as e:  # noqa: BLE001 - attributed per request
+                if return_exceptions:
+                    return (i, e)
+                raise
+
+        fanned = executor.map(exec_one, order)
         responses: list[Response | None] = [None] * len(requests)
         for idx, resp in fanned:
             responses[idx] = resp

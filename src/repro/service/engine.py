@@ -1,27 +1,40 @@
-"""The execution engine: stateful masked-SpGEMM with plan caching.
+"""The execution engine: stateful masked-SpGEMM with plan and result caching.
 
 ``Engine`` turns the one-shot :func:`repro.core.masked_spgemm` call into a
 service: operands live in a :class:`~repro.service.store.MatrixStore`,
-symbolic plans live in a :class:`~repro.service.plan.PlanCache`, and every
-product goes through :meth:`Engine.submit` (store-keyed requests) or
-:meth:`Engine.multiply` (ad-hoc operands, used by the iterative algorithms).
+symbolic plans live in a :class:`~repro.service.plan.PlanCache`, full numeric
+results (optionally) in a :class:`~repro.service.result_cache.ResultCache`,
+and every product goes through :meth:`Engine.submit` (store-keyed requests)
+or :meth:`Engine.multiply` (ad-hoc operands, used by the iterative
+algorithms).
 
 Execution of one request:
 
 1. resolve operands and fingerprint their patterns (store entries memoize
    the hash; ad-hoc operands pay it per call — O(nnz), far below a product);
-2. look up the plan under the full structural key. Warm hit → skip both
+2. when a result cache is attached (store-keyed requests only), probe it
+   under the plan key extended with both operands' *value* hashes. Hit →
+   return the memoized CSR output, bit-identical by construction, no plan
+   lookup, no numeric pass;
+3. look up the plan under the full structural key. Warm hit → skip both
    ``auto_select`` and (for two-phase) the entire symbolic pass by handing
    the cached plan to ``masked_spgemm(plan=...)``. Miss →
    :func:`repro.core.plan.build_plan` once, cache, proceed;
-3. numeric pass (optionally row-parallel via the engine's executor), with
+4. numeric pass (optionally row-parallel via the engine's executor), with
    the plan's row sizes cross-checking the numeric result so a stale plan
    fails loudly instead of silently corrupting output.
+
+Warm plans can also outlive the process: :meth:`Engine.save_plans` persists
+the plan cache through :class:`~repro.service.plan.PlanStore` and
+:meth:`Engine.load_plans` restores it, so a restarted service starts with
+every previously-seen pattern already planned (``python -m repro serve
+--plans``).
 
 The engine is thread-safe (one lock around store/cache metadata; numeric
 work runs outside it), which is what lets
 :class:`~repro.service.batch.BatchExecutor` fan requests across a thread
-pool.
+pool and :class:`~repro.service.server.AsyncServer` drain its admission
+queue from multiple workers.
 """
 
 from __future__ import annotations
@@ -40,8 +53,9 @@ from ..semiring import Semiring
 from ..semiring.standard import by_name as semiring_by_name
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import pattern_fingerprint
-from .plan import PlanCache, plan_key
+from .plan import PlanCache, PlanStore, plan_key
 from .requests import Request, RequestStats, Response
+from .result_cache import ResultCache, result_key
 from .store import MatrixStore
 
 
@@ -55,12 +69,16 @@ class EngineStats:
     #: baseline requests — never planned, excluded from hit/miss accounting
     unplanned: int = 0
     symbolic_skipped: int = 0
+    #: requests served whole from the result cache (no plan lookup, no
+    #: numeric pass) — also excluded from plan hit/miss accounting
+    result_hits: int = 0
     plan_seconds: float = 0.0
     numeric_seconds: float = 0.0
     #: bounded windows (a long-lived service must not grow telemetry without
     #: limit); counters above cover the full lifetime
     cold_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
     warm_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    result_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
 
     @property
     def plan_hit_rate(self) -> float:
@@ -70,6 +88,11 @@ class EngineStats:
 
     def record(self, stats: RequestStats) -> None:
         self.requests += 1
+        if stats.result_cache_hit:
+            # the plan cache was never consulted; keep its accounting clean
+            self.result_hits += 1
+            self.result_latencies.append(stats.total_seconds)
+            return
         if not stats.planned:
             self.unplanned += 1  # baselines can never warm; keep them out
         elif stats.plan_cache_hit:
@@ -93,6 +116,11 @@ class Engine:
         keyword knobs below).
     budget_bytes : operand-memory budget for the default store (LRU evicted).
     plan_capacity : max cached plans for the default cache.
+    result_cache : optional :class:`ResultCache` memoizing whole numeric
+        results for store-keyed requests (``result_cache_bytes`` builds a
+        default-configured one). Off by default: ad-hoc/iterative traffic
+        changes values every call, so only serving-style deployments should
+        pay the per-request value hash.
     executor : optional :mod:`repro.parallel` executor used for the numeric
         pass of every request (row parallelism *within* a product;
         :class:`BatchExecutor` adds parallelism *across* products).
@@ -102,9 +130,14 @@ class Engine:
                  plan_cache: PlanCache | None = None, *,
                  budget_bytes: int | None = None,
                  plan_capacity: int = 256,
+                 result_cache: ResultCache | None = None,
+                 result_cache_bytes: int | None = None,
                  executor=None):
         self.store = store if store is not None else MatrixStore(budget_bytes)
         self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
+        if result_cache is None and result_cache_bytes is not None:
+            result_cache = ResultCache(result_cache_bytes)
+        self.results = result_cache
         self.executor = executor
         self.stats = EngineStats()
         self._lock = threading.Lock()
@@ -121,11 +154,28 @@ class Engine:
         and a pattern change misses by construction.
         """
         with self._lock:
-            self.store.register(key, value, pin=pin)
+            entry = self.store.register(key, value, pin=pin)
+        # warm the memoized hashes now, outside the lock: first-touch
+        # O(nnz) hashing on the request path would otherwise run under the
+        # lock and stall every concurrent submitter (and, through
+        # Engine.entry, the async server's admission loop)
+        entry.fingerprint
+        if self.results is not None:
+            entry.value_fingerprint
 
     def evict(self, key: str) -> bool:
         with self._lock:
             return self.store.evict(key)
+
+    def entry(self, key: str):
+        """Thread-safe store-entry resolution (marks the entry MRU).
+
+        External callers must come through here rather than touching
+        ``engine.store`` directly: the store's LRU bookkeeping is a
+        pop-then-reinsert that is only safe under the engine lock.
+        """
+        with self._lock:
+            return self.store.entry(key)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -137,8 +187,16 @@ class Engine:
             b_entry = self.store.entry(request.b)
             mask_entry = (self.store.entry(request.mask)
                           if request.mask is not None else None)
-            a_fp = a_entry.fingerprint
-            b_fp = b_entry.fingerprint
+        # fingerprints are read outside the lock: register() pre-warms them,
+        # but a first touch here (entries registered via a bare store) is
+        # O(nnz) hashing — memoized on the entry, so a racing duplicate
+        # compute is idempotent and harmless
+        a_fp = a_entry.fingerprint
+        b_fp = b_entry.fingerprint
+        # value hashes are only worth computing when a result cache is
+        # attached; store entries memoize them per registration
+        value_fps = ((a_entry.value_fingerprint, b_entry.value_fingerprint)
+                     if self.results is not None else None)
         A, B = a_entry.value, b_entry.value
         if not isinstance(A, CSRMatrix) or not isinstance(B, CSRMatrix):
             from .store import StoreError
@@ -155,7 +213,8 @@ class Engine:
                              algorithm=request.algorithm,
                              phases=request.phases,
                              semiring=semiring_by_name(request.semiring),
-                             tag=request.tag, request=request)
+                             tag=request.tag, request=request,
+                             value_fps=value_fps)
 
     def multiply(self, A: CSRMatrix, B: CSRMatrix,
                  mask: Mask | CSRMatrix | None = None, *,
@@ -210,18 +269,37 @@ class Engine:
         return mask
 
     def _execute(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
-                 phases, semiring, tag, request) -> Response:
+                 phases, semiring, tag, request,
+                 value_fps: tuple[str, str] | None = None) -> Response:
         t_start = time.perf_counter()
         stats = RequestStats(phases=phases)
         plan: SymbolicPlan | None = None
+
+        key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
+                       algorithm, phases, semiring.name)
+        rkey = None
+        if value_fps is not None:
+            # result tier sits in front of the plan tier: a hit returns the
+            # memoized CSR output with no plan lookup and no numeric pass
+            rkey = result_key(key, *value_fps)
+            with self._lock:
+                cached = self.results.get(rkey)
+            if cached is not None:
+                stats.algorithm = cached.algorithm
+                stats.planned = algorithm.lower() not in BASELINE_KEYS
+                stats.result_cache_hit = True
+                stats.output_nnz = cached.matrix.nnz
+                stats.total_seconds = time.perf_counter() - t_start
+                with self._lock:
+                    self.stats.record(stats)
+                return Response(result=cached.matrix, stats=stats, tag=tag,
+                                request=request)
 
         if algorithm.lower() in BASELINE_KEYS:
             # whole-matrix baselines have no symbolic phase to plan
             stats.algorithm = algorithm.lower()
             stats.planned = False
         else:
-            key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
-                           algorithm, phases, semiring.name)
             with self._lock:
                 plan = self.plans.get(key)
             if plan is not None:
@@ -245,5 +323,32 @@ class Engine:
         stats.total_seconds = time.perf_counter() - t_start
         stats.output_nnz = result.nnz
         with self._lock:
+            if rkey is not None:
+                self.results.put(rkey, result, stats.algorithm or algorithm)
             self.stats.record(stats)
         return Response(result=result, stats=stats, tag=tag, request=request)
+
+    # ------------------------------------------------------------------ #
+    # plan persistence
+    # ------------------------------------------------------------------ #
+    def save_plans(self, path) -> int:
+        """Persist every cached plan to an ``.npz`` plan store at ``path``.
+
+        Returns the number of plans written. The file is keyed purely on
+        content fingerprints, so any engine (this process or a future one)
+        whose operands hash identically can :meth:`load_plans` it.
+        """
+        with self._lock:
+            items = self.plans.items()
+        return PlanStore(path).save(items)
+
+    def load_plans(self, path) -> int:
+        """Warm-start the plan cache from a persisted store; returns the
+        number of plans restored. Restored plans behave exactly like locally
+        built ones: the first matching request is already a hit and skips
+        auto-select and (for 2P) the whole symbolic pass."""
+        loaded = PlanStore(path).load()
+        with self._lock:
+            for key, plan in loaded:
+                self.plans.put(key, plan)
+        return len(loaded)

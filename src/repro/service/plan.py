@@ -1,4 +1,4 @@
-"""Plan cache: fingerprint-keyed memoization of symbolic plans.
+"""Plan cache + plan store: memoization and persistence of symbolic plans.
 
 The cache key is the full structural identity of a request:
 
@@ -13,14 +13,29 @@ is simplest when a key maps to exactly one execution configuration.
 
 Entries are LRU-evicted past ``capacity``. Hit/miss/eviction counters feed
 :class:`repro.service.engine.EngineStats`.
+
+:class:`PlanStore` is the persistence side: it serializes a plan cache's
+``(key, SymbolicPlan)`` pairs — fingerprints and row-size arrays — into one
+``.npz`` file, so an engine restart restores its warm plans instead of
+re-running every symbolic pass (``Engine.save_plans`` / ``Engine.load_plans``,
+wired into ``python -m repro serve --plans``). Keys are content fingerprints,
+never object identities, which is what makes the file valid across processes
+and hosts: any engine whose operands hash the same can reuse it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import zipfile
 from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
 
 from ..bench.metrics import hit_rate
 from ..core.plan import SymbolicPlan
+from ..errors import ReproError
 
 #: cache key tuple — see module docstring for field order
 PlanKey = tuple
@@ -66,6 +81,11 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
 
+    def items(self) -> list[tuple[PlanKey, SymbolicPlan]]:
+        """Snapshot of (key, plan) pairs, least-recently-used first — so
+        replaying the list through :meth:`put` reproduces the LRU order."""
+        return list(self._plans.items())
+
     def __len__(self) -> int:
         return len(self._plans)
 
@@ -79,3 +99,89 @@ class PlanCache:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<PlanCache {len(self._plans)}/{self.capacity} plans, "
                 f"{self.hits} hits / {self.misses} misses>")
+
+
+# ---------------------------------------------------------------------- #
+# persistence
+# ---------------------------------------------------------------------- #
+class PlanStoreError(ReproError):
+    """A plan file is missing, malformed, or from an unknown schema."""
+
+
+#: on-disk schema tag; bump when the record layout changes
+PLAN_STORE_SCHEMA = "repro-plan-store-v1"
+
+#: plan_key arity + per-field coercers (see module docstring for field order)
+_KEY_FIELDS = (str, str, str, bool, str, int, str)
+
+
+class PlanStore:
+    """``.npz``-backed persistence for ``(plan key, SymbolicPlan)`` pairs.
+
+    Layout: one ``manifest`` array (UTF-8 JSON bytes: schema tag + per-plan
+    key fields and metadata) plus one ``rows_<i>`` int array per two-phase
+    plan. Everything is plain numpy — ``allow_pickle`` stays False on load,
+    so a plan file can never execute code.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def save(self, plans: list[tuple[PlanKey, SymbolicPlan]]) -> int:
+        """Write the pairs; returns how many were persisted."""
+        manifest = []
+        arrays: dict[str, np.ndarray] = {}
+        for i, (key, plan) in enumerate(plans):
+            meta, row_sizes = plan.to_record()
+            manifest.append({"key": list(key), **meta})
+            if row_sizes is not None:
+                arrays[f"rows_{i}"] = row_sizes
+        doc = {"schema": PLAN_STORE_SCHEMA, "plans": manifest}
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(doc).encode("utf-8"), dtype=np.uint8)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic replace: a crash mid-write must not destroy the previous
+        # good store (and savez appends ".npz" to bare paths, so write the
+        # exact name via a file object)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as f:
+                np.savez_compressed(f, **arrays)
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return len(manifest)
+
+    def load(self) -> list[tuple[PlanKey, SymbolicPlan]]:
+        """Read back the pairs (LRU order preserved from :meth:`save`)."""
+        if not self.path.exists():
+            raise PlanStoreError(f"no plan store at {self.path}")
+        try:
+            with np.load(self.path, allow_pickle=False) as z:
+                doc = json.loads(bytes(z["manifest"]))
+                if doc.get("schema") != PLAN_STORE_SCHEMA:
+                    raise PlanStoreError(
+                        f"{self.path}: unknown plan-store schema "
+                        f"{doc.get('schema')!r} (expected {PLAN_STORE_SCHEMA})"
+                    )
+                out = []
+                for i, m in enumerate(doc["plans"]):
+                    raw = m.get("key", [])
+                    if len(raw) != len(_KEY_FIELDS):
+                        raise PlanStoreError(
+                            f"{self.path}: plan {i} key has {len(raw)} fields, "
+                            f"expected {len(_KEY_FIELDS)}"
+                        )
+                    key = tuple(coerce(v) for coerce, v
+                                in zip(_KEY_FIELDS, raw))
+                    rows = z[f"rows_{i}"] if f"rows_{i}" in z.files else None
+                    out.append((key, SymbolicPlan.from_record(m, rows)))
+                return out
+        except PlanStoreError:
+            raise
+        except (OSError, KeyError, ValueError, json.JSONDecodeError,
+                zipfile.BadZipFile) as e:
+            # BadZipFile: a save killed mid-write before atomic replace
+            # existed, or outside tampering — either way a cold start, not
+            # a crash
+            raise PlanStoreError(f"corrupt plan store {self.path}: {e}") from e

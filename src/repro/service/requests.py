@@ -80,15 +80,18 @@ class RequestStats:
     plan_cache_hit: bool = False   # plan came from the cache
     plan_reused: bool = False      # numeric pass consumed cached symbolic sizes
     symbolic_skipped: bool = False # two-phase request that ran no symbolic pass
+    result_cache_hit: bool = False # whole numeric result came from the cache
     plan_seconds: float = 0.0      # auto-select + symbolic (0 on warm hits)
     numeric_seconds: float = 0.0
     total_seconds: float = 0.0
+    queued_seconds: float = 0.0    # admission→execution wait (async server only)
     output_nnz: int = 0
 
     def as_row(self) -> list:
         """Flat rendering for tables/CSV (bench + CLI reporting)."""
         return [self.algorithm, self.phases,
-                "-" if not self.planned
+                "result" if self.result_cache_hit
+                else "-" if not self.planned
                 else "hit" if self.plan_cache_hit else "miss",
                 self.plan_seconds * 1e3, self.numeric_seconds * 1e3,
                 self.total_seconds * 1e3, self.output_nnz]

@@ -1,0 +1,134 @@
+"""Result cache: the numeric memoization tier in front of the plan cache.
+
+The :class:`~repro.service.plan.PlanCache` amortizes *pattern-only* work
+(algorithm auto-selection + the paper's §6 symbolic pass); the numeric pass
+still runs on every request. But serving traffic repeats harder than that:
+dashboards re-query the same graph, retries replay identical requests, and
+iterative workloads re-run on unchanged inputs. For those, the product itself
+is deterministic — same operand patterns, same operand *values*, same
+execution config → bit-identical output — so the full numeric result can be
+memoized.
+
+``ResultCache`` is a byte-accounted LRU keyed on
+
+    (plan key … , A value hash, B value hash)
+
+i.e. the plan cache's structural identity (operand/mask pattern fingerprints,
+complement flag, algorithm, phases, semiring) extended with
+:func:`repro.sparse.ops.value_fingerprint` digests of both operands' stored
+numbers. Mask values never enter the key: masks are pure patterns, already
+covered by the mask fingerprint. Hits return the cached
+:class:`~repro.sparse.csr.CSRMatrix` object itself — bit-identical by
+construction, zero-copy by design (library kernels never mutate operands, and
+the engine hands the same object to every hit).
+
+Eviction is LRU over *result bytes* (``indptr + indices + data``), not entry
+count, because output sizes vary by orders of magnitude across requests; a
+single over-budget result is simply not admitted. The cache layer is
+engine-opt-in (``Engine(result_cache=...)`` /
+``Engine(result_cache_bytes=...)``) and consulted only for store-keyed
+requests — ad-hoc :meth:`Engine.multiply` operands would pay an O(nnz) hash
+per call with little chance of repetition (iterative algorithms change values
+every step).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..bench.metrics import hit_rate
+from ..sparse.csr import CSRMatrix
+from .store import matrix_nbytes
+
+#: cache key tuple — plan_key(...) fields + (a_value_fp, b_value_fp)
+ResultKey = tuple
+
+
+def result_key(plan_key: tuple, a_value_fp: str, b_value_fp: str) -> ResultKey:
+    """Extend a :func:`repro.service.plan.plan_key` with operand value hashes."""
+    return plan_key + (a_value_fp, b_value_fp)
+
+
+@dataclass
+class CachedResult:
+    """A memoized numeric product plus the metadata a Response needs."""
+
+    matrix: CSRMatrix
+    #: resolved kernel that produced it (stats reporting on hits)
+    algorithm: str
+    nbytes: int
+
+
+class ResultCache:
+    """Byte-accounted LRU map from :func:`result_key` tuples to results.
+
+    Parameters
+    ----------
+    budget_bytes : ceiling on summed result bytes. Admitting past it evicts
+        least-recently-used entries; a result larger than the whole budget is
+        not admitted at all (counted in ``oversize_rejects``).
+    """
+
+    def __init__(self, budget_bytes: int = 256 << 20):
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._results: OrderedDict[ResultKey, CachedResult] = OrderedDict()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize_rejects = 0
+
+    def get(self, key: ResultKey) -> CachedResult | None:
+        entry = self._results.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._results.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: ResultKey, matrix: CSRMatrix, algorithm: str) -> bool:
+        """Admit a result; returns False when it exceeds the whole budget."""
+        nbytes = matrix_nbytes(matrix)
+        if nbytes > self.budget_bytes:
+            self.oversize_rejects += 1
+            return False
+        old = self._results.pop(key, None)
+        if old is not None:
+            self.total_bytes -= old.nbytes
+        self._results[key] = CachedResult(matrix, algorithm, nbytes)
+        self.total_bytes += nbytes
+        while self.total_bytes > self.budget_bytes:
+            _, victim = self._results.popitem(last=False)
+            self.total_bytes -= victim.nbytes
+            self.evictions += 1
+        return True
+
+    def invalidate(self, key: ResultKey) -> bool:
+        entry = self._results.pop(key, None)
+        if entry is None:
+            return False
+        self.total_bytes -= entry.nbytes
+        return True
+
+    def clear(self) -> None:
+        self._results.clear()
+        self.total_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: ResultKey) -> bool:
+        return key in self._results
+
+    @property
+    def hit_rate(self) -> float:
+        return hit_rate(self.hits, self.misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ResultCache {len(self._results)} results, "
+                f"{self.total_bytes}/{self.budget_bytes} bytes, "
+                f"{self.hits} hits / {self.misses} misses>")

@@ -1,0 +1,318 @@
+"""Async serving front end: admission, backpressure, worker-pool execution.
+
+:class:`~repro.service.batch.BatchExecutor` replays a *pre-materialized*
+request list — fine for benchmarks, wrong for a server, which must admit work
+concurrently with execution. :class:`AsyncServer` is the asyncio front end
+the ROADMAP's *async executor* item asks for:
+
+* **admission queue** — :meth:`AsyncServer.submit` enqueues a request and
+  returns an awaitable :class:`~repro.service.requests.Response`; producers
+  and the worker pool overlap freely;
+* **bounded backpressure** — admission suspends (never drops) while either
+  bound is exceeded: ``max_inflight`` admitted-but-unfinished requests, or
+  ``max_queued_flops`` estimated partial products sitting in the queue
+  (flops, not request count, because request cost varies by orders of
+  magnitude — one scale-12 product outweighs hundreds of tiny ones). A
+  request larger than the whole flops budget is still admitted once the
+  queue is empty, so oversized work degrades to serial instead of
+  deadlocking;
+* **worker pool** — N asyncio workers each drain the oldest request plus up
+  to ``max_batch - 1`` queued requests sharing its
+  :meth:`~repro.service.requests.Request.group_key`, and run that group
+  through the existing :class:`~repro.service.batch.BatchExecutor` in a
+  thread (`asyncio.to_thread`), so the event loop stays responsive while
+  numpy works. Grouping preserves the batch layer's locality win: a
+  repeated-mask burst pays one cold plan and streams warm hits;
+* **graceful shutdown** — :meth:`AsyncServer.close` stops admission
+  (subsequent submits raise :class:`ServerClosed`), drains every queued
+  request, and joins the workers. Pair with ``Engine.save_plans`` for warm
+  restarts.
+
+Per-request telemetry rides the normal
+:class:`~repro.service.requests.RequestStats` (the server fills
+``queued_seconds``); server-level counters live in :class:`ServerStats`.
+
+Quickstart::
+
+    import asyncio
+    from repro.service import AsyncServer, Engine, Request
+
+    async def main(engine: Engine):
+        async with AsyncServer(engine, workers=2, max_inflight=32) as srv:
+            reqs = [Request(a="A", b="A", mask="M", phases=2)] * 64
+            resps = await asyncio.gather(*[srv.submit(r) for r in reqs])
+        return resps
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..core.expand import total_flops
+from ..errors import ReproError
+from ..validation import check_multiplicable
+from .batch import BatchExecutor
+from .engine import Engine
+from .requests import Request, Response
+
+
+#: most (A-pattern, B-pattern) flops estimates a server memoizes
+_FLOPS_MEMO_CAP = 4096
+
+
+class ServerError(ReproError):
+    """Async front-end misuse (bad bounds, double start, …)."""
+
+
+class ServerClosed(ServerError):
+    """Request submitted after :meth:`AsyncServer.close` began."""
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the queue."""
+
+    request: Request
+    future: asyncio.Future
+    flops: int
+    t_admit: float
+
+
+@dataclass
+class ServerStats:
+    """Server-level telemetry (engine/caches keep their own counters)."""
+
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: batches drained by workers (≤ completed; higher grouping → fewer)
+    batches: int = 0
+    max_queue_depth: int = 0
+    max_inflight_seen: int = 0
+    #: bounded windows, same rationale as EngineStats
+    queue_waits: deque = field(default_factory=lambda: deque(maxlen=4096))
+    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    @property
+    def requests_per_batch(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+
+class AsyncServer:
+    """Asyncio request front end over a (thread-safe) :class:`Engine`.
+
+    Parameters
+    ----------
+    engine : the engine owning operands, plans and results.
+    workers : worker-pool size — concurrent batches in flight. Each worker
+        occupies one thread during execution, so size this like a thread
+        pool (the GIL damps, numpy sections release it).
+    max_inflight : admission bound on admitted-but-unfinished requests.
+    max_queued_flops : admission bound on summed estimated partial products
+        waiting in the queue (None = unbounded). Estimates come from
+        ``total_flops(A, B)`` on the store-resolved operands, memoized per
+        operand-pattern pair.
+    max_batch : most requests one worker drains into a single
+        :class:`BatchExecutor` run.
+    """
+
+    def __init__(self, engine: Engine, *, workers: int = 2,
+                 max_inflight: int = 64,
+                 max_queued_flops: int | None = None,
+                 max_batch: int = 16):
+        if workers <= 0 or max_inflight <= 0 or max_batch <= 0:
+            raise ServerError(
+                f"workers/max_inflight/max_batch must be positive, got "
+                f"{workers}/{max_inflight}/{max_batch}"
+            )
+        if max_queued_flops is not None and max_queued_flops <= 0:
+            raise ServerError(
+                f"max_queued_flops must be positive or None, got "
+                f"{max_queued_flops}"
+            )
+        self.engine = engine
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.max_queued_flops = max_queued_flops
+        self.max_batch = max_batch
+        self.stats = ServerStats()
+        self._batcher = BatchExecutor(engine)
+        self._pending: deque[_Pending] = deque()
+        self._queued_flops = 0
+        self._inflight = 0
+        self._closed = False
+        self._cond: asyncio.Condition | None = None  # bound to the loop in start()
+        self._tasks: list[asyncio.Task] = []
+        # bounded LRU: a long-lived server with operand churn must not grow
+        # one memo entry per pattern pair forever
+        self._flops_memo: OrderedDict[tuple[str, str], int] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "AsyncServer":
+        if self._tasks:
+            raise ServerError("server already started")
+        self._closed = False
+        self._cond = asyncio.Condition()
+        self._tasks = [asyncio.create_task(self._worker(), name=f"repro-worker-{i}")
+                       for i in range(self.workers)]
+        return self
+
+    async def close(self) -> None:
+        """Graceful shutdown: refuse new work, drain the queue, join workers."""
+        if self._cond is None:
+            return
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        await asyncio.gather(*self._tasks)
+        self._tasks = []
+
+    async def __aenter__(self) -> "AsyncServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _estimate_flops(self, request: Request) -> int:
+        """Partial-product estimate for the queued-flops bound, memoized per
+        (A-pattern, B-pattern) pair. Unknown store keys fail here — at
+        admission, where the error belongs — rather than inside a worker.
+        Resolution goes through ``Engine.entry`` (the locked path): this runs
+        on the event-loop thread concurrently with worker threads mutating
+        the store's LRU order."""
+        a_entry = self.engine.entry(request.a)
+        b_entry = self.engine.entry(request.b)
+        if request.mask is not None:
+            self.engine.entry(request.mask)  # validate early
+        key = (a_entry.fingerprint, b_entry.fingerprint)
+        flops = self._flops_memo.get(key)
+        if flops is None:
+            # shape check first: total_flops indexes B's rows by A's columns
+            # and would die with a bare IndexError on mismatched operands
+            check_multiplicable(a_entry.value.shape, b_entry.value.shape)
+            flops = total_flops(a_entry.value, b_entry.value)
+            self._flops_memo[key] = flops
+            while len(self._flops_memo) > _FLOPS_MEMO_CAP:
+                self._flops_memo.popitem(last=False)
+        else:
+            self._flops_memo.move_to_end(key)
+        return flops
+
+    async def submit(self, request: Request) -> Response:
+        """Admit one request (suspending under backpressure) and await its
+        response. Raises :class:`ServerClosed` once shutdown has begun, and
+        re-raises whatever the engine raised for this specific request."""
+        if self._cond is None:
+            raise ServerError("server not started (use `async with` or start())")
+        if self._closed:
+            raise ServerClosed("server is shutting down; request refused")
+        flops = self._estimate_flops(request)
+        loop = asyncio.get_running_loop()
+        item = _Pending(request=request, future=loop.create_future(),
+                        flops=flops, t_admit=time.perf_counter())
+        async with self._cond:
+            while not self._closed and not self._admittable(flops):
+                await self._cond.wait()
+            if self._closed:
+                raise ServerClosed("server is shutting down; request refused")
+            self._pending.append(item)
+            self._queued_flops += flops
+            self._inflight += 1
+            self.stats.admitted += 1
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                             len(self._pending))
+            self.stats.max_inflight_seen = max(self.stats.max_inflight_seen,
+                                               self._inflight)
+            self._cond.notify_all()
+        return await item.future
+
+    def _admittable(self, flops: int) -> bool:
+        if self._inflight >= self.max_inflight:
+            return False
+        if self.max_queued_flops is None:
+            return True
+        # an empty queue always admits, so one oversized request degrades to
+        # serial execution instead of waiting forever
+        return (not self._pending
+                or self._queued_flops + flops <= self.max_queued_flops)
+
+    # ------------------------------------------------------------------ #
+    # worker pool
+    # ------------------------------------------------------------------ #
+    async def _next_batch(self) -> list[_Pending] | None:
+        """Oldest pending request plus queued group-key-compatible followers
+        (up to ``max_batch``), or None when closed and fully drained."""
+        async with self._cond:
+            while not self._pending and not self._closed:
+                await self._cond.wait()
+            if not self._pending:
+                return None  # closed and drained
+            head = self._pending.popleft()
+            batch = [head]
+            gkey = head.request.group_key()
+            rest = deque()
+            while self._pending and len(batch) < self.max_batch:
+                nxt = self._pending.popleft()
+                if nxt.request.group_key() == gkey:
+                    batch.append(nxt)
+                else:
+                    rest.append(nxt)
+            rest.extend(self._pending)
+            self._pending = rest
+            self._queued_flops -= sum(p.flops for p in batch)
+            # draining frees queued-flops budget immediately: wake producers
+            # throttled on that bound now, not after the batch finishes
+            # executing (the in-flight bound still holds them if it applies)
+            self._cond.notify_all()
+            return batch
+
+    def _run_batch(self, requests: list[Request]) -> list[Response | Exception]:
+        """Thread-side execution through BatchExecutor (one group by
+        construction). ``return_exceptions=True`` makes failures per-request:
+        each request runs exactly once, and a raising request yields its
+        exception while its batchmates' responses survive."""
+        return list(self._batcher.run(requests,
+                                      return_exceptions=True).responses)
+
+    async def _worker(self) -> None:
+        while True:
+            batch = await self._next_batch()
+            if batch is None:
+                return
+            t_exec = time.perf_counter()
+            results = await asyncio.to_thread(
+                self._run_batch, [p.request for p in batch])
+            t_done = time.perf_counter()
+            async with self._cond:
+                self.stats.batches += 1
+                for pending, result in zip(batch, results):
+                    self._inflight -= 1
+                    if isinstance(result, Exception):
+                        self.stats.failed += 1
+                        if not pending.future.cancelled():
+                            pending.future.set_exception(result)
+                        continue
+                    result.stats.queued_seconds = t_exec - pending.t_admit
+                    result.stats.total_seconds = t_done - pending.t_admit
+                    self.stats.completed += 1
+                    self.stats.queue_waits.append(result.stats.queued_seconds)
+                    self.stats.latencies.append(result.stats.total_seconds)
+                    if not pending.future.cancelled():
+                        pending.future.set_result(result)
+                self._cond.notify_all()  # wake throttled producers
+
+
+async def serve_all(server: AsyncServer,
+                    requests: list[Request]) -> list[Response]:
+    """Submit every request concurrently (admission throttles) and gather
+    responses in input order — the async analogue of ``BatchExecutor.run``."""
+    return list(await asyncio.gather(
+        *[server.submit(req) for req in requests]))

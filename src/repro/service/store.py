@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ..errors import ReproError
 from ..mask import Mask
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import pattern_fingerprint
+from ..sparse.ops import pattern_fingerprint, value_fingerprint
 
 
 class StoreError(ReproError):
@@ -42,6 +42,7 @@ class StoreEntry:
     nbytes: int
     pinned: bool = False
     _fingerprint: str | None = field(default=None, repr=False)
+    _value_fingerprint: str | None = field(default=None, repr=False)
 
     @property
     def fingerprint(self) -> str:
@@ -49,6 +50,18 @@ class StoreEntry:
             v = self.value
             self._fingerprint = pattern_fingerprint(v.indptr, v.indices, v.shape)
         return self._fingerprint
+
+    @property
+    def value_fingerprint(self) -> str:
+        """Content hash of the stored values (CSR matrices only; masks are
+        pure patterns and hash to a constant). Memoized per registration like
+        :attr:`fingerprint`, so re-registering with new values recomputes —
+        which is exactly what keys the ResultCache correctly."""
+        if self._value_fingerprint is None:
+            v = self.value
+            self._value_fingerprint = (value_fingerprint(v.data)
+                                       if isinstance(v, CSRMatrix) else "mask")
+        return self._value_fingerprint
 
 
 class MatrixStore:

@@ -117,14 +117,72 @@ def expand_requests(spec: dict[str, Any]) -> list[Request]:
     return out
 
 
+def register_matrices(engine: Engine, spec: dict[str, Any]) -> None:
+    """Build and register every matrix in the spec's ``matrices`` section
+    (shared by the batch replay below and the async ``serve`` front end)."""
+    for name, mspec in spec["matrices"].items():
+        engine.register(name, _build_matrix(name, mspec))
+
+
 def replay(spec: dict[str, Any], *, engine: Engine | None = None,
            executor=None) -> tuple[Engine, BatchResult]:
     """Register the spec's matrices into an engine and run its requests."""
     engine = engine or Engine()
-    for name, mspec in spec["matrices"].items():
-        engine.register(name, _build_matrix(name, mspec))
+    register_matrices(engine, spec)
     result = BatchExecutor(engine, executor).run(expand_requests(spec))
     return engine, result
+
+
+def render_serve_report(engine: Engine, server, responses,
+                        seconds: float) -> str:
+    """Human-readable async-serve report (the ``repro serve`` CLI output):
+    per-request rows plus throughput, queue-wait and cache-tier telemetry."""
+    from ..bench.metrics import hit_rate, summarize_latencies
+    from ..bench.reporting import render_table
+
+    rows = [[r.tag] + r.stats.as_row() + [r.stats.queued_seconds * 1e3]
+            for r in responses]
+    lines = [render_table(
+        ["tag", "algorithm", "phases", "plan", "plan (ms)", "numeric (ms)",
+         "total (ms)", "nnz", "queued (ms)"], rows)]
+    lines.append("")
+    n = len(responses)
+    rps = n / seconds if seconds > 0 else float("inf")
+    lines.append(
+        f"serve: {n} requests in {seconds * 1e3:.1f} ms ({rps:.0f} req/s) — "
+        f"{server.stats.batches} batches "
+        f"({server.stats.requests_per_batch:.1f} req/batch), "
+        f"peak queue depth {server.stats.max_queue_depth}, "
+        f"peak in-flight {server.stats.max_inflight_seen}")
+    stats = [r.stats for r in responses]
+    result_hits = sum(1 for s in stats if s.result_cache_hit)
+    plan_hits = sum(1 for s in stats if s.plan_cache_hit)
+    planned_misses = sum(1 for s in stats
+                         if s.planned and not s.plan_cache_hit
+                         and not s.result_cache_hit)
+    warm = result_hits + plan_hits
+    lines.append(
+        f"cache tiers: {result_hits} result hits, {plan_hits} plan hits, "
+        f"{planned_misses} cold plans "
+        f"({100 * hit_rate(warm, planned_misses):.0f}% warm)")
+    waits = summarize_latencies([s.queued_seconds for s in stats])
+    if waits:
+        lines.append(f"queue wait: {waits}")
+    for label, pick in (("cold", lambda s: s.planned and not s.plan_cache_hit
+                         and not s.result_cache_hit),
+                        ("warm (plan hit)", lambda s: s.plan_cache_hit),
+                        ("result hit", lambda s: s.result_cache_hit)):
+        summary = summarize_latencies(
+            [s.total_seconds for s in stats if pick(s)])
+        if summary:
+            lines.append(f"{label} requests: {summary}")
+    lines.append(f"engine: {len(engine.store)} matrices "
+                 f"({engine.store.total_bytes} bytes resident), "
+                 f"{len(engine.plans)} plans cached"
+                 + (f", {len(engine.results)} results cached "
+                    f"({engine.results.total_bytes} bytes)"
+                    if engine.results is not None else ""))
+    return "\n".join(lines)
 
 
 def render_report(engine: Engine, result: BatchResult) -> str:

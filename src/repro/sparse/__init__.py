@@ -26,7 +26,7 @@ from .construct import (
 )
 from .convert import coo_to_csr, csr_to_coo, csr_to_csc, csc_to_csr, from_scipy, to_scipy
 from . import ops
-from .ops import matrix_fingerprint, pattern_fingerprint
+from .ops import matrix_fingerprint, pattern_fingerprint, value_fingerprint
 from .io_mm import read_matrix_market, write_matrix_market
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "ops",
     "matrix_fingerprint",
     "pattern_fingerprint",
+    "value_fingerprint",
     "read_matrix_market",
     "write_matrix_market",
 ]

@@ -51,6 +51,24 @@ def matrix_fingerprint(m: CSRMatrix) -> str:
     return pattern_fingerprint(m.indptr, m.indices, m.shape)
 
 
+def value_fingerprint(data: np.ndarray) -> str:
+    """Stable content hash of a CSR *value* array.
+
+    The complement of :func:`pattern_fingerprint`: it digests only the stored
+    numbers (canonicalized to little-endian float64, the library's value
+    dtype), so ``(pattern_fingerprint, value_fingerprint)`` together identify
+    a matrix's full content. That pair is the key primitive of
+    :class:`repro.service.ResultCache` — two operands with equal pattern and
+    value fingerprints produce bit-identical products, so the numeric pass
+    itself can be memoized. NaNs hash by their bit patterns, which is the
+    right behavior for a cache key (NaN-carrying inputs never alias non-NaN
+    ones, and identical bits keep aliasing each other).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(data, dtype="<f8").tobytes())
+    return h.hexdigest()
+
+
 # ---------------------------------------------------------------------- #
 # key encoding
 # ---------------------------------------------------------------------- #

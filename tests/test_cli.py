@@ -86,7 +86,8 @@ def test_missing_input_errors(capsys):
 
 def test_parser_subcommands_exist():
     p = build_parser()
-    for cmd in ("tc", "ktruss", "bc", "spgemm", "suite", "info"):
+    for cmd in ("tc", "ktruss", "bc", "spgemm", "batch", "serve", "suite",
+                "info"):
         assert cmd in p.format_help()
 
 
@@ -113,6 +114,82 @@ def test_batch_workload(tmp_path, capsys):
     assert "warm requests:" in out and "cold requests:" in out
     assert sum(1 for line in out.splitlines()
                if line.strip().startswith("tc")) == 3
+
+
+def test_serve_smoke(capsys):
+    """`python -m repro serve --smoke` — the CI gate: warm serving plus the
+    persist/restore restart leg, both asserted by the command itself."""
+    rc, out = run(["serve", "--smoke"], capsys)
+    assert rc == 0
+    assert "smoke:" in out and "PASS" in out and "FAIL" not in out
+    assert "smoke restart:" in out
+    assert "cache tiers:" in out
+
+
+def test_serve_workload_with_plan_persistence(tmp_path, capsys):
+    """serve twice with --plans: the second process must warm-start (restore
+    plans, zero cold plans with the result cache disabled)."""
+    import json
+
+    wl = {
+        "matrices": {
+            "G": {"generator": "er", "n": 60, "degree": 6, "seed": 0,
+                  "prep": "pattern"},
+        },
+        "requests": [
+            {"a": "G", "b": "G", "mask": "G", "algorithm": "msa",
+             "semiring": "plus_pair", "phases": 2, "repeat": 4, "tag": "tc"},
+        ],
+    }
+    p = tmp_path / "workload.json"
+    p.write_text(json.dumps(wl))
+    plans = tmp_path / "plans.npz"
+
+    rc, out = run(["serve", str(p), "--plans", str(plans),
+                   "--result-cache-mb", "0"], capsys)
+    assert rc == 0
+    assert "cold start" in out and "persisted 1 plans" in out
+    assert "1 cold plans" in out and plans.exists()
+
+    rc, out = run(["serve", str(p), "--plans", str(plans),
+                   "--result-cache-mb", "0"], capsys)
+    assert rc == 0
+    assert "restored 1 plans" in out
+    assert "0 cold plans (100% warm)" in out
+
+
+def test_serve_partial_failure_still_persists_plans(tmp_path, capsys):
+    """A failing request must not discard its stream-mates' responses or
+    the warm plans: the CLI reports it, persists, and exits nonzero."""
+    import json
+
+    wl = {
+        "matrices": {
+            "G": {"generator": "er", "n": 50, "degree": 5, "seed": 0,
+                  "prep": "pattern"},
+            "R": {"random": {"m": 40, "k": 40, "density": 0.1, "seed": 1}},
+        },
+        "requests": [
+            {"a": "G", "b": "G", "mask": "G", "phases": 2, "repeat": 3,
+             "tag": "ok"},
+            {"a": "G", "b": "R", "phases": 2, "tag": "boom"},  # 50x50 · 40x40
+        ],
+    }
+    p = tmp_path / "workload.json"
+    p.write_text(json.dumps(wl))
+    plans = tmp_path / "plans.npz"
+    rc, out = run(["serve", str(p), "--plans", str(plans)], capsys)
+    assert rc == 1
+    assert "FAILED request 'boom'" in out and "ShapeError" in out
+    assert out.count("\n ok") == 3  # the good responses still reported
+    assert plans.exists() and "persisted 1 plans" in out
+
+
+def test_serve_missing_workload_errors(capsys):
+    with pytest.raises(SystemExit, match="workload"):
+        main(["serve"])
+    with pytest.raises(SystemExit, match="not found"):
+        main(["serve", "does-not-exist.json"])
 
 
 def test_batch_workload_threaded(tmp_path, capsys):

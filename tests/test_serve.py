@@ -1,0 +1,489 @@
+"""Tests for the async serving front end, the result-cache tier, and plan
+persistence (repro.service.server / result_cache / PlanStore)."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from conftest import assert_masked_product_correct, make_triple
+from repro.core.plan import SymbolicPlan, build_plan
+from repro.errors import ShapeError
+from repro.mask import Mask
+from repro.service import (
+    AsyncServer,
+    Engine,
+    PlanStore,
+    PlanStoreError,
+    Request,
+    ResultCache,
+    ServerClosed,
+    ServerError,
+    serve_all,
+)
+from repro.service.result_cache import result_key
+from repro.service.store import matrix_nbytes
+from repro.sparse import csr_random, value_fingerprint
+
+
+# ---------------------------------------------------------------------- #
+# value fingerprints
+# ---------------------------------------------------------------------- #
+def test_value_fingerprint_tracks_values_only(rng):
+    a = csr_random(20, 20, density=0.2, rng=rng)
+    same = value_fingerprint(a.data.copy())
+    assert value_fingerprint(a.data) == same
+    bumped = a.data.copy()
+    bumped[0] += 1.0
+    assert value_fingerprint(bumped) != same
+
+
+def test_store_entry_value_fingerprint_memoized_and_reset(rng):
+    eng = Engine()
+    a = csr_random(12, 12, density=0.3, rng=rng)
+    eng.register("a", a)
+    vfp = eng.store.entry("a").value_fingerprint
+    assert eng.store.entry("a").value_fingerprint is vfp  # memoized
+    eng.register("a", a.pattern(3.0))  # same pattern, new values
+    assert eng.store.entry("a").fingerprint  # pattern fp unchanged semantics
+    assert eng.store.entry("a").value_fingerprint != vfp
+
+
+# ---------------------------------------------------------------------- #
+# ResultCache unit behavior
+# ---------------------------------------------------------------------- #
+def _result_for(nnz_seed, n=16):
+    return csr_random(n, n, density=0.3, rng=np.random.default_rng(nnz_seed))
+
+
+def test_result_cache_byte_lru_eviction():
+    mats = [_result_for(i) for i in range(3)]
+    budget = sum(matrix_nbytes(m) for m in mats[:2])
+    cache = ResultCache(budget_bytes=budget)
+    cache.put(("k0",), mats[0], "msa")
+    cache.put(("k1",), mats[1], "msa")
+    assert cache.get(("k0",)).matrix is mats[0]  # k0 now MRU
+    cache.put(("k2",), mats[2], "msa")           # evicts k1 (LRU)
+    assert ("k1",) not in cache and ("k0",) in cache and ("k2",) in cache
+    assert cache.evictions >= 1
+    assert cache.total_bytes <= budget
+
+
+def test_result_cache_oversize_not_admitted():
+    small, big = _result_for(0, n=6), _result_for(1, n=64)
+    cache = ResultCache(budget_bytes=matrix_nbytes(small) + 8)
+    assert cache.put(("s",), small, "msa")
+    assert not cache.put(("b",), big, "msa")
+    assert ("b",) not in cache and ("s",) in cache  # innocents survive
+    assert cache.oversize_rejects == 1
+
+
+def test_result_cache_replace_same_key_reaccounts():
+    cache = ResultCache(budget_bytes=1 << 20)
+    a, b = _result_for(0), _result_for(1)
+    cache.put(("k",), a, "msa")
+    cache.put(("k",), b, "msa")
+    assert len(cache) == 1
+    assert cache.total_bytes == matrix_nbytes(b)
+
+
+def test_result_cache_rejects_bad_budget():
+    with pytest.raises(ValueError, match="positive"):
+        ResultCache(budget_bytes=0)
+
+
+# ---------------------------------------------------------------------- #
+# Engine × result cache
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def cached_engine(rng):
+    A, B, M = make_triple(rng)
+    eng = Engine(result_cache_bytes=32 << 20)
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    return eng, (A, B, M)
+
+
+def test_engine_result_cache_hit_is_bit_identical(cached_engine):
+    eng, (A, B, M) = cached_engine
+    req = Request(a="A", b="B", mask="M", phases=2)
+    cold = eng.submit(req)
+    hit = eng.submit(req)
+    assert not cold.stats.result_cache_hit
+    assert hit.stats.result_cache_hit and not hit.stats.plan_cache_hit
+    # bit-identical: the very same CSR object comes back
+    assert hit.result is cold.result
+    assert hit.stats.algorithm == cold.stats.algorithm != "auto"
+    assert eng.stats.result_hits == 1
+    # result hits stay out of the plan hit/miss accounting
+    assert eng.stats.plan_hits == 0 and eng.stats.plan_misses == 1
+    assert len(eng.stats.result_latencies) == 1
+
+
+def test_engine_value_change_invalidates_result_not_plan(cached_engine):
+    """New values under the same pattern: the result tier must miss (values
+    key it) while the plan tier keeps hitting (patterns key it)."""
+    eng, (A, B, M) = cached_engine
+    req = Request(a="A", b="B", mask="M", phases=2)
+    eng.submit(req)
+    A2 = A.pattern(0.5)  # same pattern, different values
+    eng.register("A", A2)
+    resp = eng.submit(req)
+    assert not resp.stats.result_cache_hit
+    assert resp.stats.plan_cache_hit
+    assert_masked_product_correct(resp.result, A2, B, M)
+    # and the old entry is still there: re-registering the original values
+    # brings back result hits without recomputation
+    eng.register("A", A)
+    assert eng.submit(req).stats.result_cache_hit
+
+
+def test_engine_distinct_configs_distinct_result_entries(cached_engine):
+    eng, _ = cached_engine
+    base = dict(a="A", b="B", mask="M")
+    eng.submit(Request(**base, phases=2))
+    for variant in (Request(**base, phases=1),
+                    Request(**base, phases=2, algorithm="hash"),
+                    Request(**base, phases=2, semiring="plus_pair")):
+        assert not eng.submit(variant).stats.result_cache_hit, variant
+
+
+def test_engine_without_result_cache_never_reports_hits(rng):
+    A, B, M = make_triple(rng)
+    eng = Engine()  # default: no result tier
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    req = Request(a="A", b="B", mask="M", phases=2)
+    eng.submit(req)
+    warm = eng.submit(req)
+    assert eng.results is None
+    assert not warm.stats.result_cache_hit and warm.stats.plan_cache_hit
+
+
+def test_engine_multiply_bypasses_result_cache(cached_engine):
+    """Ad-hoc operands are not value-hashed (iterative traffic changes
+    values every call); only store-keyed requests use the result tier."""
+    eng, (A, B, M) = cached_engine
+    eng.multiply(A, B, M, phases=2)
+    resp = eng.multiply(A, B, M, phases=2)
+    assert not resp.stats.result_cache_hit and resp.stats.plan_cache_hit
+    assert len(eng.results) == 0
+
+
+# ---------------------------------------------------------------------- #
+# plan persistence
+# ---------------------------------------------------------------------- #
+def test_symbolic_plan_record_roundtrip(rng):
+    A, B, M = make_triple(rng)
+    plan = build_plan(A, B, Mask.from_matrix(M), algorithm="auto", phases=2)
+    meta, rows = plan.to_record()
+    back = SymbolicPlan.from_record(json.loads(json.dumps(meta)), rows)
+    assert back.algorithm == plan.algorithm and back.phases == 2
+    assert back.shape == plan.shape
+    assert np.array_equal(back.row_sizes, plan.row_sizes)
+
+
+def test_symbolic_plan_record_rejects_missing_rows():
+    from repro.errors import AlgorithmError
+
+    meta = {"algorithm": "msa", "phases": 2, "shape": [4, 4]}
+    with pytest.raises(AlgorithmError, match="row"):
+        SymbolicPlan.from_record(meta, None)
+
+
+def test_plan_store_roundtrip_preserves_keys_and_sizes(tmp_path, rng):
+    A, B, M = make_triple(rng)
+    eng = Engine()
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    eng.submit(Request(a="A", b="B", mask="M", phases=2))
+    eng.submit(Request(a="A", b="B", mask="M", phases=1, algorithm="hash"))
+    path = tmp_path / "plans.npz"
+    assert eng.save_plans(path) == 2
+    loaded = dict(PlanStore(path).load())
+    assert set(loaded) == set(k for k, _ in eng.plans.items())
+    for key, plan in eng.plans.items():
+        got = loaded[key]
+        assert got.algorithm == plan.algorithm
+        assert got.phases == plan.phases and got.shape == plan.shape
+        if plan.row_sizes is None:
+            assert got.row_sizes is None
+        else:
+            assert np.array_equal(got.row_sizes, plan.row_sizes)
+
+
+def test_plan_store_missing_and_corrupt(tmp_path):
+    with pytest.raises(PlanStoreError, match="no plan store"):
+        PlanStore(tmp_path / "absent.npz").load()
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"not a zipfile")
+    with pytest.raises(PlanStoreError, match="corrupt"):
+        PlanStore(bad).load()
+
+
+def test_plan_store_truncated_file_is_cold_start_not_crash(tmp_path, rng):
+    """A save killed mid-write (valid zip prefix, truncated tail) must
+    surface as PlanStoreError — the CLI's cold-start path — not BadZipFile.
+    And a failed re-save must not destroy an existing good store."""
+    A, B, M = make_triple(rng)
+    eng = Engine()
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    eng.submit(Request(a="A", b="B", mask="M", phases=2))
+    path = tmp_path / "plans.npz"
+    eng.save_plans(path)
+    intact = path.read_bytes()
+    path.write_bytes(intact[: len(intact) // 2])  # simulate the kill
+    with pytest.raises(PlanStoreError, match="corrupt"):
+        PlanStore(path).load()
+    # atomic save: writing again fully replaces the truncated file
+    eng.save_plans(path)
+    assert len(PlanStore(path).load()) == 1
+    assert not path.with_name(path.name + ".tmp").exists()
+
+
+def test_plan_store_schema_mismatch(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "other.npz"
+    doc = json.dumps({"schema": "something-else", "plans": []})
+    with open(path, "wb") as f:
+        np.savez(f, manifest=np.frombuffer(doc.encode(), dtype=np.uint8))
+    with pytest.raises(PlanStoreError, match="schema"):
+        PlanStore(path).load()
+
+
+def test_engine_restart_serves_warm_with_zero_symbolic_work(
+        tmp_path, rng, monkeypatch):
+    """The ISSUE acceptance behavior: persist plans, kill the engine,
+    restore into a fresh one, and every repeated-mask request must hit the
+    restored plan — build_plan never runs, no row sizes are recomputed."""
+    import repro.service.engine as engine_mod
+
+    A, B, M = make_triple(rng)
+    eng = Engine()
+    for key, val in (("A", A), ("B", B), ("M", M)):
+        eng.register(key, val)
+    reqs = [Request(a="A", b="B", mask="M", phases=2),
+            Request(a="A", b="B", mask="M", phases=2, algorithm="msa"),
+            Request(a="A", b="B", mask="M", phases=2, algorithm="hash")]
+    cold = [eng.submit(r) for r in reqs]
+    path = tmp_path / "plans.npz"
+    saved = eng.save_plans(path)
+    assert saved == len(reqs)
+    del eng  # the restart: nothing in-memory survives
+
+    restarted = Engine()
+    for key, val in (("A", A), ("B", B), ("M", M)):
+        restarted.register(key, val)
+    assert restarted.load_plans(path) == saved
+
+    calls = []
+    monkeypatch.setattr(engine_mod, "build_plan",
+                        lambda *a, **k: calls.append(1))
+    for req, cold_resp in zip(reqs, cold):
+        warm = restarted.submit(req)
+        assert warm.stats.plan_cache_hit and warm.stats.symbolic_skipped
+        assert warm.stats.plan_seconds == 0
+        assert warm.result.equals(cold_resp.result)  # bit-identical replay
+    assert calls == []  # zero symbolic passes, zero recomputed row sizes
+    assert restarted.stats.plan_hits == len(reqs)
+    assert restarted.stats.plan_misses == 0
+
+
+def test_load_plans_respects_cache_capacity(tmp_path, rng):
+    """Restoring more plans than the cache holds must evict, not overflow."""
+    eng = Engine()
+    A, B, M = make_triple(rng)
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    for alg in ("msa", "hash", "heap"):
+        eng.submit(Request(a="A", b="B", mask="M", phases=2, algorithm=alg))
+    path = tmp_path / "plans.npz"
+    eng.save_plans(path)
+    small = Engine(plan_capacity=2)
+    assert small.load_plans(path) == 3
+    assert len(small.plans) == 2
+
+
+# ---------------------------------------------------------------------- #
+# AsyncServer
+# ---------------------------------------------------------------------- #
+def _server_engine(rng, **engine_kw):
+    A, B, M = make_triple(rng, m=30, k=25, n=30)
+    eng = Engine(**engine_kw)
+    eng.register("A", A)
+    eng.register("B", B)
+    eng.register("M", M)
+    return eng, (A, B, M)
+
+
+def test_async_serve_preserves_order_and_results(rng):
+    eng, (A, B, M) = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2, tag=str(i))
+            for i in range(12)]
+
+    async def main():
+        async with AsyncServer(eng, workers=3, max_batch=4) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    assert [r.tag for r in resps] == [str(i) for i in range(12)]
+    for r in resps:
+        assert_masked_product_correct(r.result, A, B, M)
+    assert srv.stats.completed == 12 and srv.stats.failed == 0
+    assert srv.stats.batches <= 12
+    assert all(r.stats.queued_seconds >= 0 for r in resps)
+
+
+def test_async_server_batches_by_group_key(rng):
+    """A single-group burst drains into few batches; one cold plan, the rest
+    warm — the batch layer's locality carried over to the async path."""
+    eng, _ = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2, algorithm="msa")
+            for _ in range(8)]
+
+    async def main():
+        async with AsyncServer(eng, workers=1, max_batch=8) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    assert srv.stats.batches < 8
+    assert sum(1 for r in resps if not r.stats.plan_cache_hit) == 1
+
+
+def test_async_server_backpressure_bounds_inflight(rng):
+    eng, _ = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2, tag=str(i))
+            for i in range(10)]
+
+    async def main():
+        async with AsyncServer(eng, workers=1, max_inflight=2,
+                               max_batch=2) as srv:
+            await serve_all(srv, reqs)
+            return srv
+
+    srv = asyncio.run(main())
+    assert srv.stats.completed == 10
+    assert srv.stats.max_inflight_seen <= 2
+    assert srv.stats.max_queue_depth <= 2
+
+
+def test_async_server_flops_bound_still_completes(rng):
+    """A queued-flops budget smaller than one request must degrade to
+    serial draining, never deadlock."""
+    eng, _ = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2) for _ in range(5)]
+
+    async def main():
+        async with AsyncServer(eng, workers=2, max_queued_flops=1) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    assert srv.stats.completed == 5 and len(resps) == 5
+
+
+def test_async_server_error_attributed_to_failing_request(rng):
+    """Bad requests fail alone — at admission for shape mismatches (the
+    flops estimator validates early), in the worker for execution errors —
+    and their stream-mates still complete."""
+    from repro.errors import AlgorithmError
+
+    eng, _ = _server_engine(rng)
+    bad = csr_random(7, 9, density=0.4, rng=np.random.default_rng(3))
+    eng.register("Bad", bad)  # 7x9 against B(25x30): shape mismatch
+    good = [Request(a="A", b="B", mask="M", phases=2, tag="good")
+            for _ in range(3)]
+    reqs = (good[:1]
+            + [Request(a="Bad", b="B", phases=2, tag="bad-shape")]
+            + good[1:2]
+            # no mask + complemented: passes admission, raises in the worker
+            + [Request(a="A", b="B", complemented=True, tag="bad-exec")]
+            + good[2:])
+
+    async def main():
+        async with AsyncServer(eng, workers=1, max_batch=8) as srv:
+            return await asyncio.gather(
+                *[srv.submit(r) for r in reqs], return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert isinstance(results[1], ShapeError)      # admission-time
+    assert isinstance(results[3], AlgorithmError)  # worker-time
+    ok = [r for i, r in enumerate(results) if i not in (1, 3)]
+    assert all(not isinstance(r, Exception) for r in ok)
+    for r in ok:
+        assert r.tag == "good"
+    # exactly-once execution: the failure path must not re-run the
+    # batchmates that had already completed (stats would double-count)
+    assert eng.stats.requests == len(ok)
+
+
+def test_batch_executor_return_exceptions_runs_each_once(rng):
+    from repro.service import BatchExecutor
+
+    eng, _ = _server_engine(rng)
+    bad = csr_random(7, 9, density=0.4, rng=np.random.default_rng(3))
+    eng.register("Bad", bad)
+    reqs = [Request(a="A", b="B", mask="M", phases=2),
+            Request(a="Bad", b="B", phases=2),
+            Request(a="A", b="B", mask="M", phases=2)]
+    result = BatchExecutor(eng).run(reqs, return_exceptions=True)
+    assert isinstance(result.responses[1], ShapeError)
+    assert not isinstance(result.responses[0], Exception)
+    assert not isinstance(result.responses[2], Exception)
+    assert eng.stats.requests == 2  # failing request never recorded
+    # without the flag the batch still aborts loudly
+    with pytest.raises(ShapeError):
+        BatchExecutor(eng).run(reqs)
+
+
+def test_async_server_closed_refuses_and_unknown_key_fails_at_admission(rng):
+    eng, _ = _server_engine(rng)
+
+    async def main():
+        srv = AsyncServer(eng)
+        with pytest.raises(ServerError, match="not started"):
+            await srv.submit(Request(a="A", b="B"))
+        async with srv:
+            from repro.service import StoreError
+
+            with pytest.raises(StoreError, match="no matrix"):
+                await srv.submit(Request(a="missing", b="B"))
+        with pytest.raises(ServerClosed):
+            await srv.submit(Request(a="A", b="B"))
+
+    asyncio.run(main())
+
+
+def test_async_server_rejects_bad_bounds(rng):
+    eng, _ = _server_engine(rng)
+    with pytest.raises(ServerError, match="positive"):
+        AsyncServer(eng, workers=0)
+    with pytest.raises(ServerError, match="max_queued_flops"):
+        AsyncServer(eng, max_queued_flops=0)
+
+
+def test_async_server_result_cache_tier_reported(rng):
+    eng, _ = _server_engine(rng, result_cache_bytes=16 << 20)
+    reqs = [Request(a="A", b="B", mask="M", phases=2) for _ in range(6)]
+
+    async def main():
+        async with AsyncServer(eng, workers=2, max_batch=3) as srv:
+            return await serve_all(srv, reqs)
+
+    resps = asyncio.run(main())
+    hits = [r for r in resps if r.stats.result_cache_hit]
+    misses = [r for r in resps if not r.stats.result_cache_hit]
+    # two workers may race both cold batches, but hits must alias a computed
+    # result object and every response must be bit-identical
+    assert hits
+    computed = {id(m.result) for m in misses}
+    assert all(id(h.result) in computed for h in hits)
+    assert all(r.result.equals(resps[0].result) for r in resps)
+    assert eng.stats.result_hits == len(hits)
