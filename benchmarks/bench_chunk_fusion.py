@@ -1,25 +1,31 @@
-"""Chunk fusion — per-row loop vs fused kernels (ISSUE 2 acceptance bench).
+"""Chunk fusion — per-row loops vs fused kernels, direct write, chunk sizing.
 
-The claim: on low-degree workloads the "vectorized" per-row kernels are
-bound by interpreter overhead (~8 small-array numpy calls per row), so
-fusing whole row-chunks into flat numpy passes (fused MSA scatter, ESC
-sort/compress) should win big. Grids:
+The claim (ISSUE 2, extended by ISSUE 4): on low-degree workloads the
+"vectorized" per-row kernels are bound by interpreter overhead (~8 small
+numpy calls per row), so fusing whole row-chunks into flat numpy passes
+should win big — and once a two-phase plan supplies exact row sizes, the
+numeric pass should write straight into the final CSR arrays instead of
+paying the stitch copy. Faces:
 
-* **tc** — C = L ⊙ (L·L), PLUS_PAIR, R-MAT scales 8-10 (the acceptance
-  gate reads the scale-10 point: fused ≥ 3× over the per-row loop);
-* **ktruss-support** — S = E ⊙ (E·E) on the full symmetrized adjacency,
-  the product every k-truss iteration performs;
-* **complement** — ¬M ⊙ (A·B), PLUS_TIMES, ER graphs (the complement code
-  paths fuse differently: unique-compressed key space).
+* **fused vs loop** — ``msa``/``esc`` (ISSUE 2) plus ``hash``/``heap``
+  (ISSUE 4) against their retained ``*_rows_loop`` baselines on the TC /
+  ktruss-support / complement grids. Gate: fused ≥ 3× on the scale-10 TC
+  point (each fused kernel vs its own loop).
+* **warm two-phase direct write vs stitch** — a cached plan in hand, the
+  old warm path (single maximal chunk, RowBlock concat + stitch copy) vs
+  the new one (cache-budget chunks scattering into preallocated arrays).
+  Gate: ≥ 1.3× on at least one TC/complement face.
+* **chunk-size ablation** — the cache-budget sweep
+  (:func:`repro.parallel.partition.chunk_budget`) against the old
+  ``nworkers × 4`` heuristic, on the largest TC face.
 
-Schemes: ``msa-loop`` (the retained per-row loop incl. its np.bincount
-fast path), ``msa`` (chunk-fused scatter), ``esc`` (expand-sort-compress).
-Every fused result is checked bit-identical against the loop (and the
-smallest TC case against the pure-Python reference tier) before timings
+Every fused result is checked bit-identical against its loop baseline (and
+the smallest TC case against the pure-Python reference tier) before timings
 are recorded.
 
 ``main()`` appends a run to ``BENCH_kernels.json`` at the repo root — the
-perf-trajectory artifact documented in ``benchmarks/common.py``.
+perf-trajectory artifact documented in ``benchmarks/common.py`` and
+``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
@@ -30,28 +36,42 @@ import numpy as np
 
 from common import append_trajectory_run, emit, tc_workload
 from repro.bench import render_table, time_callable
-from repro.core import masked_spgemm
-from repro.core import msa_kernel
+from repro.core import build_plan, masked_spgemm
+from repro.core import hash_kernel, heap_kernel, msa_kernel
 from repro.core.reference import reference_masked_spgemm
 from repro.core.types import stitch_blocks
 from repro.graphs import erdos_renyi, rmat
 from repro.graphs.prep import to_undirected_simple
 from repro.mask import Mask
+from repro.parallel.partition import chunk_budget
+from repro.parallel.runner import parallel_masked_spgemm
 from repro.semiring import PLUS_PAIR, PLUS_TIMES
 from repro.validation import INDEX_DTYPE
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
-#: acceptance gate (ISSUE 2): fused speedup over the loop on this case
+#: acceptance gates: fused speedup over the per-row loop on this case
+#: (ISSUE 2 for msa/esc; ISSUE 4 extends the same bar to hash/heap), and
+#: warm-2P direct-write speedup over the stitch path on ≥ 1 face (ISSUE 4)
 GATE_CASE, GATE_MIN_SPEEDUP = "tc-rmat-s10-e8", 3.0
+DIRECT_GATE_MIN_SPEEDUP = 1.3
+
+#: (kernel, its retained per-row loop) — loops are the fusion baselines
+LOOPS = {
+    "msa": msa_kernel.numeric_rows_loop,
+    "hash": hash_kernel.numeric_rows_loop,
+    "heap": heap_kernel.numeric_rows_loop,
+    "esc": msa_kernel.numeric_rows_loop,  # esc had no per-row ancestor;
+    # msa-loop is the conventional baseline (ISSUE 2)
+}
 
 
-def _loop_runner(A, B, mask, semiring):
-    """The old per-row MSA path, stitched to CSR like the dispatcher does."""
+def _loop_runner(loop_fn, A, B, mask, semiring):
+    """A per-row loop, stitched to CSR like the dispatcher does."""
     rows = np.arange(A.nrows, dtype=INDEX_DTYPE)
 
     def run():
-        block = msa_kernel.numeric_rows_loop(A, B, mask, semiring, rows)
+        block = loop_fn(A, B, mask, semiring, rows)
         return stitch_blocks([block], A.nrows, B.ncols)
 
     return run
@@ -88,50 +108,166 @@ def _cases():
     return out
 
 
+def _direct_cases():
+    """Larger faces for the warm-2P direct-write gate: streams big enough
+    that assembly copies and chunk cache residency matter."""
+    g = rmat(13, 8, rng=7013)
+    L, mask = tc_workload(g)
+    out = [(f"tc-rmat-s13-e8", "tc", L, L, mask, PLUS_PAIR,
+            ("esc", "msa", "hash", "heap"))]
+    n = 1 << 12
+    A = erdos_renyi(n, 32, rng=7505)
+    B = erdos_renyi(n, 32, rng=7506)
+    M = erdos_renyi(n, 32, rng=7507)
+    out.append(("complement-er-s12-d32", "complement", A, B,
+                Mask.from_matrix(M, complemented=True), PLUS_TIMES,
+                ("esc", "msa", "hash")))
+    return out
+
+
+def _bench_fused_vs_loop(results, rows):
+    emit("== fused kernels vs their per-row loops ==")
+    gate = {}
+    for case, kind, A, B, mask, semiring in _cases():
+        loop_seconds, loop_results = {}, {}
+        for alg in ("msa", "esc", "hash", "heap"):
+            loop_fn = LOOPS[alg]
+            loop_name = "msa-loop" if alg in ("msa", "esc") else f"{alg}-loop"
+            if loop_name not in loop_seconds:
+                runner = _loop_runner(loop_fn, A, B, mask, semiring)
+                loop_results[loop_name] = runner()  # baseline for identity
+                loop_seconds[loop_name] = time_callable(runner, repeats=3,
+                                                        warmup=1)
+                results.append({"case": case, "workload": kind,
+                                "scheme": loop_name,
+                                "seconds": loop_seconds[loop_name],
+                                "speedup_vs_loop": 1.0,
+                                "identical_to_loop": True})
+                rows.append([case, loop_name,
+                             loop_seconds[loop_name] * 1e3, 1.0, "yes"])
+            fused = _fused_runner(A, B, mask, semiring, alg)
+            same = _bit_identical(fused(), loop_results[loop_name])
+            seconds = time_callable(fused, repeats=3, warmup=1)
+            speedup = loop_seconds[loop_name] / seconds
+            results.append({"case": case, "workload": kind, "scheme": alg,
+                            "seconds": seconds, "speedup_vs_loop": speedup,
+                            "identical_to_loop": bool(same)})
+            rows.append([case, alg, seconds * 1e3, speedup,
+                         "yes" if same else "NO"])
+            if case == GATE_CASE:
+                gate[alg] = speedup
+    return gate
+
+
+def _bench_direct_write(results, rows):
+    emit("\n== warm two-phase: direct write vs stitch ==")
+    best = {}
+    for case, kind, A, B, mask, semiring, algs in _direct_cases():
+        for alg in algs:
+            plan = build_plan(A, B, mask, algorithm=alg, phases=2)
+
+            def stitch():
+                # the pre-direct-write warm path: one maximal chunk (the old
+                # lone-worker heuristic), RowBlock concat + stitch copy
+                return parallel_masked_spgemm(
+                    A, B, mask, algorithm=alg, semiring=semiring, phases=2,
+                    plan=plan, nchunks=1, direct_write=False)
+
+            def direct():
+                # the new warm path: cache-budget chunks scattering into
+                # preallocated CSR arrays
+                return masked_spgemm(A, B, mask, algorithm=alg,
+                                     semiring=semiring, phases=2, plan=plan)
+
+            same = _bit_identical(direct(), stitch())
+            t_stitch = time_callable(stitch, repeats=3, warmup=1)
+            t_direct = time_callable(direct, repeats=3, warmup=1)
+            speedup = t_stitch / t_direct
+            for scheme, sec in ((f"{alg}-2p-stitch", t_stitch),
+                                (f"{alg}-2p-direct", t_direct)):
+                results.append({"case": case, "workload": f"warm2p-{kind}",
+                                "scheme": scheme, "seconds": sec,
+                                "speedup_vs_stitch": (1.0 if "stitch" in scheme
+                                                      else speedup),
+                                "identical_to_loop": bool(same)})
+            rows.append([case, f"{alg}-2p-direct", t_direct * 1e3,
+                         speedup, "yes" if same else "NO"])
+            best[(case, alg)] = speedup
+    return best
+
+
+def _bench_chunk_ablation(results, rows):
+    """Budget sweep vs the old worker-count heuristic, warm 2P on the
+    largest TC face (serial: the old heuristic gave one maximal chunk)."""
+    emit("\n== chunk-size ablation: cache budget vs nworkers×4 ==")
+    g = rmat(13, 8, rng=7013)
+    L, mask = tc_workload(g)
+    plan = build_plan(L, L, mask, algorithm="esc", phases=2)
+    case = "tc-rmat-s13-e8"
+
+    def runner(nchunks):
+        return lambda: parallel_masked_spgemm(
+            L, L, mask, algorithm="esc", semiring=PLUS_PAIR, phases=2,
+            plan=plan, nchunks=nchunks)
+
+    points = [("nworkersx4-serial", 1)]  # old heuristic, 1 worker → 1 chunk
+    from repro.core.expand import total_flops
+
+    work = total_flops(L, L) + mask.nnz
+    for mib in (1, 4, 16, 64):
+        budget = chunk_budget(mib << 20)
+        points.append((f"budget-{mib}MiB",
+                       max(1, int(np.ceil(work / budget)))))
+    for label, nchunks in points:
+        seconds = time_callable(runner(nchunks), repeats=3, warmup=1)
+        results.append({"case": case, "workload": "chunk-ablation",
+                        "scheme": label, "seconds": seconds,
+                        "nchunks": int(nchunks)})
+        rows.append([case, label, seconds * 1e3,
+                     float("nan"), f"n={nchunks}"])
+
+
 def main() -> None:
-    emit("[Chunk fusion] per-row loop vs fused kernels")
-    emit("msa-loop = retained per-row path (np.bincount fast path); "
-         "msa = chunk-fused scatter; esc = expand-sort-compress\n")
+    emit("[Chunk fusion] per-row loops vs fused kernels, direct write, "
+         "chunk sizing")
+    emit("*-loop = retained per-row baselines; msa/esc/hash/heap = "
+         "chunk-fused; *-2p-direct = warm plan + direct-to-CSR writes\n")
 
     # bit-identity spot check against the pure-Python reference tier
     g = rmat(8, 8, rng=7008)
     L, mask = tc_workload(g)
     ref = reference_masked_spgemm(L, L, mask, "msa", PLUS_PAIR)
-    for alg in ("msa", "esc"):
+    for alg in ("msa", "esc", "hash", "heap"):
         got = masked_spgemm(L, L, mask, algorithm=alg, semiring=PLUS_PAIR)
         assert _bit_identical(got, ref), alg
-    emit("reference-tier check: msa/esc bit-identical on tc-rmat-s8-e8 ✓\n")
+    emit("reference-tier check: msa/esc/hash/heap bit-identical on "
+         "tc-rmat-s8-e8 ✓\n")
 
     results, rows = [], []
-    gate_speedup = None
-    for case, kind, A, B, mask, semiring in _cases():
-        runners = [("msa-loop", _loop_runner(A, B, mask, semiring))]
-        for alg in ("msa", "esc"):
-            runners.append((alg, _fused_runner(A, B, mask, semiring, alg)))
-        baseline = runners[0][1]()
-        loop_s = None
-        for scheme, fn in runners:
-            same = scheme == "msa-loop" or _bit_identical(fn(), baseline)
-            seconds = time_callable(fn, repeats=3, warmup=1)
-            if scheme == "msa-loop":
-                loop_s = seconds
-            speedup = loop_s / seconds
-            results.append({"case": case, "workload": kind, "scheme": scheme,
-                            "seconds": seconds, "speedup_vs_loop": speedup,
-                            "identical_to_loop": bool(same)})
-            rows.append([case, scheme, seconds * 1e3, speedup,
-                         "yes" if same else "NO"])
-            if case == GATE_CASE and scheme in ("msa", "esc"):
-                gate_speedup = max(gate_speedup or 0.0, speedup)
-    emit(render_table(["case", "scheme", "time (ms)", "speedup vs loop",
-                       "identical"], rows))
+    gate = _bench_fused_vs_loop(results, rows)
+    direct = _bench_direct_write(results, rows)
+    _bench_chunk_ablation(results, rows)
+    emit(render_table(["case", "scheme", "time (ms)", "speedup", "note"],
+                      rows))
 
     append_trajectory_run(ARTIFACT, "chunk_fusion", results)
     emit(f"\nappended run to {ARTIFACT.name} ({len(results)} results)")
-    if gate_speedup is not None:
-        verdict = "PASS" if gate_speedup >= GATE_MIN_SPEEDUP else "FAIL"
-        emit(f"acceptance gate [{GATE_CASE}]: best fused speedup "
-             f"{gate_speedup:.1f}x (need ≥ {GATE_MIN_SPEEDUP:.0f}x) → {verdict}")
+
+    legacy = max(gate.get("msa", 0.0), gate.get("esc", 0.0))
+    verdict = "PASS" if legacy >= GATE_MIN_SPEEDUP else "FAIL"
+    emit(f"acceptance gate [{GATE_CASE}] msa/esc: best fused speedup "
+         f"{legacy:.1f}x (need ≥ {GATE_MIN_SPEEDUP:.0f}x) → {verdict}")
+    for alg in ("hash", "heap"):
+        sp = gate.get(alg, 0.0)
+        verdict = "PASS" if sp >= GATE_MIN_SPEEDUP else "FAIL"
+        emit(f"acceptance gate [{GATE_CASE}] {alg}: fused {sp:.1f}x over "
+             f"{alg}-loop (need ≥ {GATE_MIN_SPEEDUP:.0f}x) → {verdict}")
+    best_face = max(direct, key=direct.get)
+    best = direct[best_face]
+    verdict = "PASS" if best >= DIRECT_GATE_MIN_SPEEDUP else "FAIL"
+    emit(f"acceptance gate [warm-2p direct write]: best "
+         f"{best:.2f}x on {best_face[0]}/{best_face[1]} "
+         f"(need ≥ {DIRECT_GATE_MIN_SPEEDUP}x on ≥1 face) → {verdict}")
 
 
 # ----------------------------------------------------------------------- #
@@ -139,22 +275,45 @@ def main() -> None:
 # ----------------------------------------------------------------------- #
 def test_chunk_fusion_msa_loop(benchmark, tc_small):
     L, mask = tc_small
-    benchmark.pedantic(_loop_runner(L, L, mask, PLUS_PAIR),
-                       rounds=3, warmup_rounds=1)
+    benchmark.pedantic(
+        _loop_runner(msa_kernel.numeric_rows_loop, L, L, mask, PLUS_PAIR),
+        rounds=3, warmup_rounds=1)
 
 
 def test_chunk_fusion_msa_fused(benchmark, tc_small):
     L, mask = tc_small
     got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "msa"),
                              rounds=3, warmup_rounds=1)
-    assert _bit_identical(got, _loop_runner(L, L, mask, PLUS_PAIR)())
+    assert _bit_identical(
+        got, _loop_runner(msa_kernel.numeric_rows_loop, L, L, mask,
+                          PLUS_PAIR)())
 
 
 def test_chunk_fusion_esc(benchmark, tc_small):
     L, mask = tc_small
     got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "esc"),
                              rounds=3, warmup_rounds=1)
-    assert _bit_identical(got, _loop_runner(L, L, mask, PLUS_PAIR)())
+    assert _bit_identical(
+        got, _loop_runner(msa_kernel.numeric_rows_loop, L, L, mask,
+                          PLUS_PAIR)())
+
+
+def test_chunk_fusion_hash_fused(benchmark, tc_small):
+    L, mask = tc_small
+    got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "hash"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(
+        got, _loop_runner(hash_kernel.numeric_rows_loop, L, L, mask,
+                          PLUS_PAIR)())
+
+
+def test_chunk_fusion_heap_fused(benchmark, tc_small):
+    L, mask = tc_small
+    got = benchmark.pedantic(_fused_runner(L, L, mask, PLUS_PAIR, "heap"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(
+        got, _loop_runner(heap_kernel.numeric_rows_loop, L, L, mask,
+                          PLUS_PAIR)())
 
 
 def test_chunk_fusion_esc_complement(benchmark, density_problem):
@@ -162,7 +321,36 @@ def test_chunk_fusion_esc_complement(benchmark, density_problem):
     cmask = mask.complement()
     got = benchmark.pedantic(_fused_runner(A, B, cmask, PLUS_TIMES, "esc"),
                              rounds=3, warmup_rounds=1)
-    assert _bit_identical(got, _loop_runner(A, B, cmask, PLUS_TIMES)())
+    assert _bit_identical(
+        got, _loop_runner(msa_kernel.numeric_rows_loop, A, B, cmask,
+                          PLUS_TIMES)())
+
+
+def test_chunk_fusion_direct_write_warm(benchmark, tc_small):
+    """Warm-2P direct-write path (plan hit → preallocate → scatter)."""
+    L, mask = tc_small
+    plan = build_plan(L, L, mask, algorithm="esc", phases=2)
+    got = benchmark.pedantic(
+        lambda: masked_spgemm(L, L, mask, algorithm="esc",
+                              semiring=PLUS_PAIR, phases=2, plan=plan),
+        rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, _fused_runner(L, L, mask, PLUS_PAIR, "esc")())
+
+
+def test_chunk_fusion_budget_ablation_smoke(benchmark, tc_small):
+    """Smallest-grid budget sweep: cache-budget chunking must stay within
+    noise of the single-chunk heuristic on a grid that fits one budget."""
+    L, mask = tc_small
+    plan = build_plan(L, L, mask, algorithm="esc", phases=2)
+    single = parallel_masked_spgemm(L, L, mask, algorithm="esc",
+                                    semiring=PLUS_PAIR, phases=2, plan=plan,
+                                    nchunks=1)
+    got = benchmark.pedantic(
+        lambda: parallel_masked_spgemm(L, L, mask, algorithm="esc",
+                                       semiring=PLUS_PAIR, phases=2,
+                                       plan=plan, nchunks=4),
+        rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, single)
 
 
 if __name__ == "__main__":

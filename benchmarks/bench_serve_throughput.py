@@ -67,13 +67,16 @@ def _serve_stream(engine: Engine, n_requests: int, *, workers=1,
     """Serve a repeated-mask stream through the async front end; returns
     (responses, wall seconds). One worker by default: per-request latency
     then reflects the kernel, not GIL contention between batch threads
-    (throughput is within noise of workers=2 on this pure-Python workload)."""
+    (throughput is within noise of workers=2 on this pure-Python workload).
+    Dedup is off: this bench measures what each cache *tier* costs per
+    request, and coalescing identical in-flight requests would collapse the
+    stream into one execution (it has its own telemetry in `serve --smoke`)."""
     reqs = [_request(str(i)) for i in range(n_requests)]
 
     async def run():
         t0 = time.perf_counter()
         async with AsyncServer(engine, workers=workers,
-                               max_batch=max_batch) as srv:
+                               max_batch=max_batch, dedup=False) as srv:
             resps = await serve_all(srv, reqs)
         return resps, time.perf_counter() - t0
 

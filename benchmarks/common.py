@@ -34,11 +34,15 @@ Shared envelope (``repro-perf-trajectory-v1``, written by
 
 Result rows by artifact:
 
-* ``BENCH_kernels.json`` (bench ``chunk_fusion``) — one row per (case,
-  scheme): ``case`` (workload grid point, e.g. ``tc-rmat-s10-e8``),
-  ``workload`` (tc | ktruss-support | complement), ``scheme`` (msa-loop |
-  msa | esc), ``seconds`` (best-of-repeats wall time), ``speedup_vs_loop``,
-  ``identical_to_loop`` (bit-identical result check);
+* ``BENCH_kernels.json`` (bench ``chunk_fusion``) — three face families,
+  disambiguated by ``workload``: fused-vs-loop rows (``workload`` tc |
+  ktruss-support | complement; ``scheme`` msa-loop | hash-loop | heap-loop |
+  msa | esc | hash | heap; ``speedup_vs_loop`` vs the matching loop
+  baseline), warm-2P direct-write rows (``workload`` warm2p-*; ``scheme``
+  ``<alg>-2p-stitch``/``<alg>-2p-direct`` with ``speedup_vs_stitch``), and
+  chunk-ablation rows (``workload`` chunk-ablation; ``scheme``
+  nworkersx4-serial | budget-<N>MiB with ``nchunks``). All numeric rows
+  carry ``seconds`` (best-of-repeats) and a bit-identity flag;
 * ``BENCH_service.json`` (bench ``serve_throughput``) — one row per
   serving mode: ``case``, ``mode`` (cold | warm-plan | result-hit),
   ``requests``, ``wall_seconds``, ``rps``, ``mean_ms``/``p50_ms``/

@@ -252,8 +252,10 @@ def cmd_serve(args) -> int:
 
 
 def _check_smoke(engine, server, responses, args) -> int:
-    """CI gate: the repeated-mask smoke stream must serve warm, and a
-    restarted engine restored from the persisted plans must never miss."""
+    """CI gate: the repeated-mask smoke stream must serve warm — via a plan
+    hit, a result hit, or by coalescing onto an identical in-flight request
+    (strictly cheaper than warm: no execution at all) — and a restarted
+    engine restored from the persisted plans must never miss."""
     import tempfile
     from pathlib import Path
 
@@ -261,10 +263,14 @@ def _check_smoke(engine, server, responses, args) -> int:
 
     n = len(responses)
     warm = sum(1 for r in responses
-               if r.stats.plan_cache_hit or r.stats.result_cache_hit)
-    ok = server.stats.completed == n and warm >= n - 1
+               if r.stats.plan_cache_hit or r.stats.result_cache_hit
+               or r.stats.coalesced)
+    coalesced = sum(1 for r in responses if r.stats.coalesced)
+    executed = n - coalesced
+    ok = server.stats.completed == executed and warm >= n - 1
     print(f"\nsmoke: {warm}/{n} requests served warm "
-          f"(need ≥ {n - 1}) → {'PASS' if ok else 'FAIL'}")
+          f"({coalesced} coalesced; need ≥ {n - 1}) → "
+          f"{'PASS' if ok else 'FAIL'}")
 
     # restart leg: persist plans, restore into a fresh engine (result cache
     # off so every request exercises the plan path), expect zero misses
@@ -275,7 +281,9 @@ def _check_smoke(engine, server, responses, args) -> int:
         restored = restarted.load_plans(plan_path)
         responses2, _, _, _ = _serve_once(_SMOKE_SPEC, args, engine=restarted)
     misses = restarted.stats.plan_misses
-    ok2 = restored == saved and misses == 0 and restarted.stats.plan_hits == len(responses2)
+    executed2 = sum(1 for r in responses2 if not r.stats.coalesced)
+    ok2 = (restored == saved and misses == 0
+           and restarted.stats.plan_hits == executed2)
     print(f"smoke restart: {restored} plans restored, "
           f"{restarted.stats.plan_hits} hits / {misses} misses after warm "
           f"start → {'PASS' if ok2 else 'FAIL'}")

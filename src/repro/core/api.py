@@ -45,6 +45,7 @@ def masked_spgemm(
     executor=None,
     verify_symbolic: bool = True,
     plan=None,
+    plan_sink: list | None = None,
 ) -> CSRMatrix:
     """Compute ``C = M ⊙ (A·B)`` (or ``¬M ⊙ (A·B)`` for complemented masks).
 
@@ -71,7 +72,12 @@ def masked_spgemm(
     verify_symbolic : bool
         In two-phase mode, cross-check the symbolic row sizes against the
         numeric result (cheap; catches kernel divergence). Disable for
-        benchmarking.
+        benchmarking. Note: the direct-write path (fused kernels, two-phase)
+        *always* validates computed sizes against the planned offsets before
+        writing — scattering through stale sizes would corrupt neighbouring
+        rows — so a stale plan raises there regardless of this flag; the
+        flag only governs the redundant final cross-check and the non-fused
+        serial path.
     plan : SymbolicPlan, optional
         A precomputed plan from :func:`repro.core.plan.build_plan` (usually
         via :class:`repro.service.Engine`). Supplying one skips algorithm
@@ -79,7 +85,18 @@ def masked_spgemm(
         plan's cached row sizes instead. The plan must have been built for
         operands with the *same patterns* (values may differ); with
         ``verify_symbolic`` the numeric result is still cross-checked against
-        the planned sizes, so a stale plan fails loudly.
+        the planned sizes, so a stale plan fails loudly. Two-phase requests
+        with known row sizes (cached or freshly computed) and a chunk-fused
+        kernel run the *direct-write* numeric pass: the output CSR arrays are
+        preallocated from the row sizes and chunks scatter into disjoint
+        slices with zero stitch copies (process executors keep the stitch
+        path — children cannot write parent memory).
+    plan_sink : list, optional
+        When given and no ``plan`` was supplied, the implied
+        :class:`~repro.core.plan.SymbolicPlan` of this call (resolved
+        algorithm; for two-phase, the computed symbolic row sizes) is
+        appended — so callers get plan reuse for free instead of the
+        symbolic results being thrown away.
 
     Returns
     -------
@@ -129,16 +146,25 @@ def masked_spgemm(
         # kernels raise their own specific error; call numeric to surface it
         spec.numeric(A, B, mask, semiring, np.empty(0, dtype=INDEX_DTYPE))
 
-    # ----- parallel path ------------------------------------------------ #
-    if executor is not None:
-        from ..parallel.runner import parallel_masked_spgemm
+    # ----- parallel / direct-write path ---------------------------------- #
+    # two-phase requests on a chunk-fused kernel also route serial execution
+    # through the runner: it preallocates the output from the (cached or
+    # captured) row sizes and scatters chunks directly, with cache-budget
+    # chunk sizing — the warm-serving hot path
+    if executor is not None or (phases == 2 and spec.numeric_into is not None):
+        from ..parallel.runner import parallel_masked_spgemm, uses_direct_write
 
         C = parallel_masked_spgemm(
             A, B, mask, algorithm=algorithm, semiring=semiring,
-            phases=phases, executor=executor, plan=plan,
+            phases=phases, executor=executor, plan=plan, plan_sink=plan_sink,
         )
+        # the cross-check only means something on the stitch path: direct
+        # write builds indptr *from* the plan and validated computed sizes
+        # per chunk already, so re-deriving row sizes would compare the plan
+        # with itself on every warm request
         if (phases == 2 and verify_symbolic and plan is not None
                 and plan.row_sizes is not None
+                and not uses_direct_write(algorithm, phases, executor)
                 and not np.array_equal(plan.row_sizes, np.diff(C.indptr))):
             raise AlgorithmError(
                 f"{algorithm}: planned row sizes differ from the numeric "
@@ -155,6 +181,12 @@ def masked_spgemm(
             symbolic_sizes = plan.row_sizes  # cached symbolic pass
         else:
             symbolic_sizes = spec.symbolic(A, B, mask, rows)
+            if plan_sink is not None:
+                from .plan import SymbolicPlan
+
+                plan_sink.append(SymbolicPlan(
+                    algorithm=algorithm, phases=2, shape=out_shape,
+                    row_sizes=symbolic_sizes))
     block = spec.numeric(A, B, mask, semiring, rows)
     if symbolic_sizes is not None and verify_symbolic:
         if not np.array_equal(symbolic_sizes, block.sizes):

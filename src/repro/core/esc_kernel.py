@@ -43,10 +43,10 @@ from .expand import (
     composite_keys,
     expand_rows,
     expand_rows_pattern,
-    flatten_rows_pattern,
     fused_blocks,
+    mask_membership,
 )
-from .types import RowBlock, concat_blocks, empty_block
+from .types import RowBlock, concat_blocks, empty_block, write_rows_into
 
 
 def _compress(keys: np.ndarray, vals: np.ndarray, add: np.ufunc
@@ -64,18 +64,6 @@ def _compress(keys: np.ndarray, vals: np.ndarray, add: np.ufunc
     return ks[starts], add.reduceat(vals[order], starts)
 
 
-def _in_mask(mask: Mask, rows: np.ndarray, keys: np.ndarray, ncols: int
-             ) -> np.ndarray:
-    """Boolean membership of composite ``keys`` in the chunk's flattened mask
-    keys — one searchsorted for the whole chunk."""
-    mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
-    if mcols.size == 0:
-        return np.zeros(keys.size, dtype=bool)
-    mkeys = composite_keys(mseg, mcols, ncols)
-    pos = np.minimum(np.searchsorted(mkeys, keys), mkeys.size - 1)
-    return mkeys[pos] == keys
-
-
 def _numeric_chunk(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
                    rows: np.ndarray) -> RowBlock:
     ncols = B.ncols
@@ -86,7 +74,7 @@ def _numeric_chunk(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
         return empty_block(rows.size)
     keys = composite_keys(seg, cols, ncols)
     ukeys, uvals = _compress(keys, vals, semiring.add.ufunc)
-    keep = _in_mask(mask, rows, ukeys, ncols)
+    keep = mask_membership(mask, rows, ukeys, ncols)
     if mask.complemented:
         np.logical_not(keep, out=keep)
     fk = ukeys[keep]
@@ -104,7 +92,7 @@ def _symbolic_chunk(A: CSRMatrix, B: CSRMatrix, mask: Mask, rows: np.ndarray
     if cols.size == 0:
         return np.zeros(rows.size, dtype=INDEX_DTYPE)
     ukeys = np.unique(composite_keys(seg, cols, ncols))
-    keep = _in_mask(mask, rows, ukeys, ncols)
+    keep = mask_membership(mask, rows, ukeys, ncols)
     if mask.complemented:
         np.logical_not(keep, out=keep)
     return np.bincount(ukeys[keep] // ncols,
@@ -116,6 +104,19 @@ def numeric_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
     """Chunk-fused numeric pass (plain and complemented masks)."""
     return concat_blocks([_numeric_chunk(A, B, mask, semiring, block)
                           for block in fused_blocks(A, B, rows)])
+
+
+def numeric_rows_into(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                      semiring: Semiring, rows: np.ndarray,
+                      out_cols: np.ndarray, out_vals: np.ndarray,
+                      offsets: np.ndarray) -> None:
+    """Direct-write numeric pass (see :mod:`repro.core.types`): each fused
+    block's compressed stream is already row-grouped and column-sorted, so it
+    lands in the final CSR arrays with one slice copy — no per-block concat,
+    no stitch."""
+    write_rows_into(lambda b: _numeric_chunk(A, B, mask, semiring, b),
+                    fused_blocks(A, B, rows), offsets, out_cols, out_vals,
+                    algorithm="esc")
 
 
 def symbolic_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask,

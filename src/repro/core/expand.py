@@ -168,6 +168,18 @@ def sorted_membership(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
     return haystack[pos] == needles
 
 
+def mask_membership(mask, rows: np.ndarray, keys: np.ndarray, ncols: int
+                    ) -> np.ndarray:
+    """Boolean membership of composite ``keys`` in the chunk's flattened mask
+    keys — one searchsorted for the whole chunk. Shared by every chunk-fused
+    kernel (ESC's post-compress filter, heap's sorted-stream intersection)."""
+    mseg, mcols = flatten_rows_pattern(mask.indptr, mask.indices, rows)
+    if mcols.size == 0:
+        return np.zeros(keys.size, dtype=bool)
+    mkeys = composite_keys(mseg, mcols, ncols)
+    return sorted_membership(mkeys, keys)
+
+
 def key_safe_blocks(rows: np.ndarray, ncols: int) -> list[np.ndarray]:
     """Split a chunk so ``chunk_rows * ncols`` composite keys fit in int64.
 

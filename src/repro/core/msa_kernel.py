@@ -53,7 +53,7 @@ from .expand import (
     per_row_flops,
     sorted_membership,
 )
-from .types import RowBlock, concat_blocks, empty_block
+from .types import RowBlock, concat_blocks, empty_block, write_rows_into
 
 _NOTALLOWED, _ALLOWED, _SET = 0, 1, 2
 
@@ -158,6 +158,20 @@ def numeric_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
     fn = _fused_numeric_complement if mask.complemented else _fused_numeric
     return concat_blocks([fn(A, B, mask, semiring, block)
                           for block in fused_blocks(A, B, rows)])
+
+
+def numeric_rows_into(A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                      semiring: Semiring, rows: np.ndarray,
+                      out_cols: np.ndarray, out_vals: np.ndarray,
+                      offsets: np.ndarray) -> None:
+    """Direct-write numeric pass (see :mod:`repro.core.types`): the fused
+    gathers emit each block row-grouped and column-sorted (mask keys ascend;
+    the complement's unique-compressed keys ascend), so blocks land in the
+    final CSR arrays with one slice copy each."""
+    fn = _fused_numeric_complement if mask.complemented else _fused_numeric
+    write_rows_into(lambda b: fn(A, B, mask, semiring, b),
+                    fused_blocks(A, B, rows), offsets, out_cols, out_vals,
+                    algorithm="msa")
 
 
 def symbolic_rows(A: CSRMatrix, B: CSRMatrix, mask: Mask,

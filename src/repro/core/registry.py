@@ -9,7 +9,7 @@ paper-style label, and :func:`parse_name` accepts it back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from ..errors import AlgorithmError
 from . import (
@@ -25,7 +25,14 @@ from . import (
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """Metadata + kernel entry points for one Masked SpGEMM algorithm."""
+    """Metadata + kernel entry points for one Masked SpGEMM algorithm.
+
+    ``numeric_into`` is the optional direct-write variant of the numeric
+    pass (see :mod:`repro.core.types`): given planned per-row offsets it
+    scatters straight into preallocated CSR arrays, which is how two-phase
+    plans skip the stitch copy. The chunk-fused kernels provide it; per-row
+    kernels leave it None and keep the stitch path.
+    """
 
     key: str
     label: str
@@ -34,6 +41,7 @@ class AlgorithmSpec:
     symbolic: Callable
     supports_complement: bool
     description: str
+    numeric_into: Optional[Callable] = None
 
 
 _SPECS: dict[str, AlgorithmSpec] = {
@@ -42,17 +50,21 @@ _SPECS: dict[str, AlgorithmSpec] = {
         msa_kernel.numeric_rows, msa_kernel.symbolic_rows, True,
         "Masked Sparse Accumulator (paper §5.2), chunk-fused: one batched "
         "mask test + scatter per chunk (np.bincount fast path for +)",
+        numeric_into=msa_kernel.numeric_rows_into,
     ),
     "esc": AlgorithmSpec(
         "esc", "ESC", "push",
         esc_kernel.numeric_rows, esc_kernel.symbolic_rows, True,
         "Chunk-fused expand-sort-compress: batched expansion, composite-key "
         "segmented reduction, chunk-wide mask intersection (no per-row work)",
+        numeric_into=esc_kernel.numeric_rows_into,
     ),
     "hash": AlgorithmSpec(
         "hash", "Hash", "push",
         hash_kernel.numeric_rows, hash_kernel.symbolic_rows, True,
-        "Open-addressing hash accumulator, LF 0.25 (paper §5.3)",
+        "Open-addressing hash accumulator, LF 0.25 (paper §5.3), chunk-fused: "
+        "the probe loop batches across all rows via per-row table offsets",
+        numeric_into=hash_kernel.numeric_rows_into,
     ),
     "mca": AlgorithmSpec(
         "mca", "MCA", "push",
@@ -62,7 +74,9 @@ _SPECS: dict[str, AlgorithmSpec] = {
     "heap": AlgorithmSpec(
         "heap", "Heap", "push",
         heap_kernel.numeric_rows, heap_kernel.symbolic_rows, True,
-        "K-way merge with NInspect=1 mask peeking (paper §5.5)",
+        "K-way merge with NInspect=1 mask peeking (paper §5.5), chunk-fused: "
+        "one composite-key stable sort + reduceat collapse per chunk",
+        numeric_into=heap_kernel.numeric_rows_into,
     ),
     "heapdot": AlgorithmSpec(
         "heapdot", "HeapDot", "push",

@@ -11,9 +11,26 @@ the dispatcher and the parallel layer can treat algorithms uniformly:
     Pattern-only pass returning the exact nnz of each requested output row —
     the paper's symbolic phase (§6).
 
-The dispatcher stitches :class:`RowBlock` chunks into a CSR matrix; chunks
-are independent, which is exactly the row-parallelism the paper exploits
-("plenty of coarse-grained parallelism across rows", §3).
+The chunk-fused kernels additionally implement the *direct-write* variant of
+the numeric pass, which is what the two-phase formulation (§6) exists for —
+once the symbolic pass has produced exact row sizes, the numeric pass can
+scatter straight into the final CSR arrays with zero stitch copies:
+
+``numeric_rows_into(A, B, mask, semiring, rows, out_cols, out_vals, offsets)``
+    Compute output rows ``rows`` and write row t's entries into
+    ``out_cols[offsets[t]:offsets[t+1]]`` / ``out_vals[...]``. ``offsets``
+    has ``rows.size + 1`` entries with consecutive destinations
+    (``offsets[t+1] == offsets[t] + planned_size[t]``) — for contiguous row
+    chunks this is simply a slice of the output ``indptr``. The kernel must
+    validate its computed row sizes against ``offsets`` (a stale plan fails
+    loudly instead of corrupting neighbouring rows); use
+    :func:`write_block_into`.
+
+The dispatcher stitches :class:`RowBlock` chunks into a CSR matrix (or, when
+a plan provides exact sizes, hands disjoint slices of the preallocated
+arrays to ``numeric_rows_into``); chunks are independent, which is exactly
+the row-parallelism the paper exploits ("plenty of coarse-grained
+parallelism across rows", §3).
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import AlgorithmError
 from ..validation import INDEX_DTYPE
 
 
@@ -52,6 +70,43 @@ def concat_blocks(parts: list[RowBlock]) -> RowBlock:
     return RowBlock(np.concatenate([p.sizes for p in parts]),
                     np.concatenate([p.cols for p in parts]),
                     np.concatenate([p.vals for p in parts]))
+
+
+def write_block_into(block: RowBlock, offsets: np.ndarray,
+                     out_cols: np.ndarray, out_vals: np.ndarray, *,
+                     algorithm: str = "") -> None:
+    """Write one consecutive-destination :class:`RowBlock` into preallocated
+    CSR arrays at the planned ``offsets`` (``block.sizes.size + 1`` entries).
+
+    The fused kernels produce their block streams row-grouped and
+    column-sorted, so the whole block lands with one slice copy. Computed
+    sizes are validated against the planned ones first: a mismatch means the
+    plan's symbolic sizes are stale (operand patterns changed) or the kernel
+    diverged, and writing anyway would corrupt neighbouring rows' slices.
+    """
+    if not np.array_equal(block.sizes, np.diff(offsets)):
+        raise AlgorithmError(
+            f"{algorithm or 'direct-write'}: computed row sizes differ from "
+            f"the planned offsets — stale plan (operand patterns changed "
+            f"since the symbolic pass) or kernel divergence"
+        )
+    lo, hi = int(offsets[0]), int(offsets[-1])
+    out_cols[lo:hi] = block.cols
+    out_vals[lo:hi] = block.vals
+
+
+def write_rows_into(chunk_fn, blocks, offsets: np.ndarray,
+                    out_cols: np.ndarray, out_vals: np.ndarray, *,
+                    algorithm: str = "") -> None:
+    """Drive a kernel's ``numeric_rows_into``: run ``chunk_fn`` on each
+    fused block (a consecutive slice of the requested rows) and land its
+    RowBlock at the planned offsets via :func:`write_block_into`. The four
+    chunk-fused kernels are one-line wrappers over this."""
+    t = 0
+    for block in blocks:
+        write_block_into(chunk_fn(block), offsets[t:t + block.size + 1],
+                         out_cols, out_vals, algorithm=algorithm)
+        t += block.size
 
 
 def stitch_blocks(blocks: list[RowBlock], nrows: int, ncols: int):

@@ -12,8 +12,11 @@ reproduces that schedule shape in Python:
   time and reports the makespan a p-worker greedy schedule would achieve —
   an honest work/span model used for strong-scaling experiments on boxes
   whose GIL (or core count) hides real scaling;
-* :mod:`repro.parallel.runner` — the chunk→kernel→stitch driver behind
-  ``masked_spgemm(..., executor=...)``.
+* :mod:`repro.parallel.runner` — the chunk→kernel→assembly driver behind
+  ``masked_spgemm(..., executor=...)``: direct-to-CSR writes whenever a
+  two-phase plan supplies exact row sizes, RowBlock stitch otherwise.
+  Chunk counts come from the cache-aware flops budget
+  (:func:`repro.parallel.partition.chunk_budget`), not worker count.
 """
 
 from .executor import (
@@ -22,8 +25,14 @@ from .executor import (
     SimulatedExecutor,
     ThreadExecutor,
 )
-from .partition import balanced_partition, estimate_row_weights, uniform_partition
-from .runner import parallel_masked_spgemm
+from .partition import (
+    balanced_partition,
+    budget_chunk_count,
+    chunk_budget,
+    estimate_row_weights,
+    uniform_partition,
+)
+from .runner import parallel_masked_spgemm, uses_direct_write
 
 __all__ = [
     "SerialExecutor",
@@ -33,5 +42,8 @@ __all__ = [
     "uniform_partition",
     "balanced_partition",
     "estimate_row_weights",
+    "chunk_budget",
+    "budget_chunk_count",
     "parallel_masked_spgemm",
+    "uses_direct_write",
 ]

@@ -5,6 +5,16 @@ challenge (iv): load imbalance), so equal-row chunks starve most workers.
 :func:`balanced_partition` splits rows into contiguous chunks of
 approximately equal *estimated work* using a prefix-sum of per-row weights —
 the standard static load-balancing device for row-parallel SpGEMM.
+
+How *many* chunks to cut is a separate question. The chunk-fused kernels
+turn each chunk into a handful of flat passes over an O(flops) product
+stream, so the right granularity is the one whose working set stays
+cache-resident (the paper's §5.3/§8.3 cache argument, and Wheatman et al.'s
+"size work units to cache, not cores") — not a multiple of the worker
+count. :func:`chunk_budget` converts a cache size into a per-chunk flops
+budget using the fused pipeline's measured bytes-per-flop, and
+:func:`budget_chunk_count` turns total estimated work into a chunk count
+honouring both that budget and a one-chunk-per-worker floor.
 """
 
 from __future__ import annotations
@@ -15,6 +25,53 @@ from ..core.expand import per_row_flops
 from ..mask import Mask
 from ..sparse.csr import CSRMatrix
 from ..validation import INDEX_DTYPE
+
+#: bytes of distinct working set the fused numeric pipeline touches per
+#: partial product: expanded cols+vals (16), composite keys (8), the stable
+#: argsort permutation plus its sorted gathers (~32), compress/scatter
+#: temporaries (~16). Cross-checked against the cache-simulator model in
+#: :func:`repro.perfmodel.trace.fused_stream_trace` and the chunk-size
+#: ablation in ``benchmarks/bench_chunk_fusion.py``.
+FUSED_BYTES_PER_FLOP = 72
+
+#: default per-chunk cache target: a last-level-cache share per worker on a
+#: laptop/CI-class box. 16 MiB / 72 B ≈ 230k partial products per chunk —
+#: well under the fused kernels' FUSE_FLOPS_BUDGET memory bound, so chunk
+#: granularity (not the kernel-internal split) decides the working set.
+DEFAULT_CHUNK_CACHE_BYTES = 16 << 20
+
+
+def chunk_budget(cache_bytes: int | None = None, *,
+                 bytes_per_flop: int = FUSED_BYTES_PER_FLOP) -> int:
+    """Per-chunk flops budget keeping the fused working set cache-resident.
+
+    ``cache_bytes`` defaults to :data:`DEFAULT_CHUNK_CACHE_BYTES`; pass the
+    target cache level's capacity (an L2, an LLC share) to retune. The
+    returned budget is in units of partial products — the same quantity
+    :func:`estimate_row_weights` estimates per row, so the two compose
+    directly in :func:`budget_chunk_count`.
+    """
+    if cache_bytes is None:
+        cache_bytes = DEFAULT_CHUNK_CACHE_BYTES
+    return max(1, int(cache_bytes) // int(bytes_per_flop))
+
+
+def budget_chunk_count(weights: np.ndarray, nworkers: int,
+                       budget: int | None = None) -> int:
+    """Number of chunks for ``weights`` under a flops budget per chunk.
+
+    ``max(nworkers, ceil(total/budget))``: enough chunks that each one's
+    fused working set stays within the cache budget, but never fewer than
+    one per worker. This replaces the old ``nworkers × 4`` oversubscription
+    heuristic — on large inputs the cache term dominates and also provides
+    the oversubscription the greedy schedule needs; on small inputs every
+    worker still gets work.
+    """
+    if budget is None:
+        budget = chunk_budget()
+    total = float(np.sum(weights)) if np.size(weights) else 0.0
+    by_cache = int(np.ceil(total / budget)) if total > 0 else 1
+    return max(1, int(nworkers), by_cache)
 
 
 def uniform_partition(nrows: int, nchunks: int) -> list[np.ndarray]:

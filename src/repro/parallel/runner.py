@@ -1,18 +1,26 @@
 """Row-parallel Masked SpGEMM driver.
 
-Flow: estimate per-row work → cut contiguous flops-balanced chunks
-(oversubscribed 4× so the greedy schedule can balance) → run the kernel's
-``numeric_rows`` (and ``symbolic_rows`` for two-phase) per chunk on the
-executor → stitch the RowBlocks back into one CSR matrix.
+Flow: estimate per-row work → cut contiguous flops-balanced chunks (sized by
+the cache-aware :func:`repro.parallel.partition.chunk_budget`, not worker
+count) → run the kernel per chunk on the executor → assemble the final CSR
+matrix. Assembly has two modes:
 
-The kernels are chunk-fused (``esc`` and the fused MSA passes do a constant
-number of flat numpy passes per *chunk*, not per row), so chunk granularity
-is a real trade-off: more chunks balance better, fewer chunks amortize
-better. A single-worker executor therefore gets exactly one maximal chunk —
-there is no imbalance to smooth and splitting would only fragment the fused
-passes. Two-phase requests carrying a cached plan (``plan=``) skip the
-symbolic map entirely, so a warm request runs zero Python-per-row work end
-to end.
+* **direct write** (default whenever exact ``row_sizes`` are known, i.e. a
+  two-phase request with a cached plan *or* a freshly-run symbolic pass):
+  ``indptr/indices/data`` are preallocated from the row sizes and each chunk
+  scatters into its disjoint slice via the kernel's ``numeric_rows_into`` —
+  zero stitch copies, which is the point of the paper's two-phase
+  formulation (§6);
+* **stitch** (one-phase requests, kernels without a direct-write variant,
+  and the process executor, whose children cannot write parent memory):
+  per-chunk :class:`RowBlock` results are concatenated as before.
+
+Two-phase requests without a plan no longer throw the symbolic results
+away: the per-chunk sizes are captured into an *implied*
+:class:`~repro.core.plan.SymbolicPlan` that feeds the direct-write numeric
+pass and is exposed through ``plan_sink`` so callers get plan reuse for
+free. Warm requests carrying a cached plan (``plan=``) skip the symbolic
+map entirely, so a warm request runs zero Python-per-row work end to end.
 
 Process-pool support: operands are parked in module globals under a token
 before the pool forks, so children inherit them via copy-on-write and tasks
@@ -26,19 +34,19 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+import numpy as np
+
 from ..errors import AlgorithmError
 from ..mask import Mask
 from ..semiring import PLUS_TIMES, Semiring
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
 from ..sparse.csr import CSRMatrix
-from ..validation import check_multiplicable
+from ..validation import INDEX_DTYPE, check_multiplicable
 from ..core import registry
+from ..core.plan import SymbolicPlan
 from ..core.types import stitch_blocks
 from .executor import ProcessExecutor
-from .partition import balanced_partition, estimate_row_weights
-
-#: chunks per worker; >1 lets greedy scheduling smooth residual imbalance
-OVERSUBSCRIBE = 4
+from .partition import balanced_partition, budget_chunk_count, estimate_row_weights
 
 # ---------------------------------------------------------------------- #
 # process-pool plumbing: context parked in globals pre-fork
@@ -58,6 +66,47 @@ def _chunk_task(args):
     return spec.numeric(A, B, mask, semiring, rows)
 
 
+def uses_direct_write(algorithm: str, phases: int, executor=None,
+                      row_sizes_known: bool = True) -> bool:
+    """Will the runner take the direct-write path for this configuration?
+
+    True when the kernel has a ``numeric_rows_into`` variant, the request is
+    two-phase with (cached or captured) row sizes, and the executor keeps a
+    shared address space. Exposed so telemetry (``RequestStats``) can report
+    the path without re-deriving the conditions.
+    """
+    if phases != 2 or not row_sizes_known:
+        return False
+    if isinstance(executor, ProcessExecutor):
+        return False
+    try:
+        spec = registry.get_spec(algorithm)
+    except AlgorithmError:
+        return False
+    return spec.numeric_into is not None
+
+
+def direct_write_numeric(spec, A, B, mask, semiring, chunks, row_sizes,
+                         out_shape, executor) -> CSRMatrix:
+    """Preallocate the final CSR arrays from exact ``row_sizes`` and let
+    each chunk scatter into its disjoint slice (chunks are contiguous row
+    ranges, so each one's destination offsets are a slice of ``indptr``)."""
+    nrows, ncols = out_shape
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_sizes, out=indptr[1:])
+    nnz = int(indptr[-1])
+    cols = np.empty(nnz, dtype=INDEX_DTYPE)
+    vals = np.empty(nnz, dtype=np.float64)
+    into = spec.numeric_into
+
+    def run(chunk):
+        offsets = indptr[int(chunk[0]): int(chunk[-1]) + 2]
+        into(A, B, mask, semiring, chunk, cols, vals, offsets)
+
+    executor.map(run, chunks)
+    return CSRMatrix(indptr, cols, vals, out_shape, check=False)
+
+
 def parallel_masked_spgemm(
     A: CSRMatrix,
     B: CSRMatrix,
@@ -69,12 +118,18 @@ def parallel_masked_spgemm(
     executor=None,
     nchunks: Optional[int] = None,
     plan=None,
+    plan_sink: Optional[list] = None,
+    direct_write: bool = True,
 ) -> CSRMatrix:
     """Row-parallel ``C = M ⊙ (A·B)`` on the given executor.
 
     ``plan`` (a :class:`repro.core.plan.SymbolicPlan` with cached row sizes)
     makes the two-phase symbolic map a no-op: the sizes are already known, so
-    only the numeric chunks are dispatched.
+    only the numeric chunks are dispatched. Without a plan, a two-phase run
+    captures its symbolic chunk results into an implied plan (appended to
+    ``plan_sink`` when given) that feeds the direct-write numeric pass.
+    ``direct_write=False`` forces the stitch path — the A/B knob the chunk
+    benchmarks use.
     """
     out_shape = check_multiplicable(A.shape, B.shape)
     mask.check_output_shape(out_shape)
@@ -86,15 +141,16 @@ def parallel_masked_spgemm(
 
     weights = estimate_row_weights(A, B, mask, algorithm)
     if nchunks is None:
-        # one maximal chunk per lone worker (see module docstring)
-        nchunks = (1 if executor.nworkers <= 1
-                   else max(1, executor.nworkers * OVERSUBSCRIBE))
+        nchunks = budget_chunk_count(weights, executor.nworkers)
     chunks = balanced_partition(weights, nchunks)
     if not chunks:
         return CSRMatrix.empty(out_shape)
 
-    run_symbolic = phases == 2 and (plan is None or plan.row_sizes is None)
-    if isinstance(executor, ProcessExecutor):
+    row_sizes = (plan.row_sizes
+                 if plan is not None and phases == 2 else None)
+    is_process = isinstance(executor, ProcessExecutor)
+    token = None
+    if is_process:
         if semiring.name not in _SEMIRING_REGISTRY:
             raise AlgorithmError(
                 f"process executor requires a registered semiring (got "
@@ -103,18 +159,37 @@ def parallel_masked_spgemm(
             )
         token = next(_TOKENS)
         _CONTEXTS[token] = (A, B, mask, algorithm, semiring.name)
-        try:
-            if run_symbolic:
-                executor.map(_chunk_task,
-                             [(token, c, "symbolic") for c in chunks])
+    try:
+        if phases == 2 and row_sizes is None:
+            # capture the symbolic chunk results (previously discarded) into
+            # the row sizes that drive the direct-write numeric pass
+            if is_process:
+                sym = executor.map(_chunk_task,
+                                   [(token, c, "symbolic") for c in chunks])
+            else:
+                sym = executor.map(lambda c: spec.symbolic(A, B, mask, c),
+                                   chunks)
+            row_sizes = (sym[0] if len(sym) == 1
+                         else np.concatenate(sym)).astype(INDEX_DTYPE,
+                                                          copy=False)
+            if plan_sink is not None:
+                plan_sink.append(SymbolicPlan(
+                    algorithm=algorithm, phases=2, shape=out_shape,
+                    row_sizes=row_sizes))
+
+        if (direct_write and row_sizes is not None and not is_process
+                and spec.numeric_into is not None):
+            return direct_write_numeric(spec, A, B, mask, semiring, chunks,
+                                        row_sizes, out_shape, executor)
+
+        if is_process:
             blocks = executor.map(_chunk_task,
                                   [(token, c, "numeric") for c in chunks])
-        finally:
+        else:
+            blocks = executor.map(
+                lambda c: spec.numeric(A, B, mask, semiring, c), chunks)
+    finally:
+        if token is not None:
             del _CONTEXTS[token]
-    else:
-        if run_symbolic:
-            executor.map(lambda c: spec.symbolic(A, B, mask, c), chunks)
-        blocks = executor.map(lambda c: spec.numeric(A, B, mask, semiring, c),
-                              chunks)
 
     return stitch_blocks(blocks, out_shape[0], out_shape[1])

@@ -86,3 +86,43 @@ def simulate_row_misses(algorithm: str, A: CSRMatrix, B: CSRMatrix, mask: Mask,
     for i in rows:
         cache.access_many(row_trace(algorithm, A, B, mask, int(i)))
     return cache.misses, cache.accesses
+
+
+# --------------------------------------------------------------------- #
+# fused-chunk model: validates parallel.partition.chunk_budget
+# --------------------------------------------------------------------- #
+#: distinct stream arrays the fused pipeline sweeps per pass (composite
+#: keys, values, sort permutation)
+_FUSED_STREAM_WORDS = 3
+
+#: sweeps over the product stream in one fused numeric chunk: expand write,
+#: key build, stable sort read, permuted gather, reduceat, mask filter
+FUSED_STREAM_PASSES = 6
+
+
+def fused_stream_trace(nflops: int, *, passes: int = FUSED_STREAM_PASSES,
+                       word: int = 8) -> np.ndarray:
+    """Byte-address skeleton of one fused chunk: ``passes`` sequential sweeps
+    over the chunk's O(flops) stream arrays (keys + values + permutation).
+
+    This is the access-pattern argument behind
+    :func:`repro.parallel.partition.chunk_budget`: the first sweep is cold
+    either way, but sweeps 2..P hit cache only while the stream is
+    cache-resident — so chunks should be sized to the cache, not to the
+    worker count. Replay through :class:`~repro.perfmodel.cachesim.LRUCache`
+    (see ``tests/test_perfmodel.py``) to measure the cliff.
+    """
+    span = int(nflops) * _FUSED_STREAM_WORDS * word
+    sweep = np.arange(0, max(span, word), word, dtype=np.int64)
+    return np.tile(sweep, passes)
+
+
+def fused_chunk_miss_rate(nflops: int, cache_bytes: int, *,
+                          passes: int = FUSED_STREAM_PASSES,
+                          line_bytes: int = 64) -> float:
+    """Miss rate of the fused-chunk trace on a ``cache_bytes`` LRU cache —
+    ≈ 1/passes · line-utilization while the chunk fits, ≈ the per-sweep cold
+    rate once it does not."""
+    cache = LRUCache(cache_bytes, line_bytes=line_bytes)
+    cache.access_many(fused_stream_trace(nflops, passes=passes))
+    return cache.miss_rate

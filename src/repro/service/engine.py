@@ -20,9 +20,12 @@ Execution of one request:
    ``auto_select`` and (for two-phase) the entire symbolic pass by handing
    the cached plan to ``masked_spgemm(plan=...)``. Miss →
    :func:`repro.core.plan.build_plan` once, cache, proceed;
-4. numeric pass (optionally row-parallel via the engine's executor), with
-   the plan's row sizes cross-checking the numeric result so a stale plan
-   fails loudly instead of silently corrupting output.
+4. numeric pass (optionally row-parallel via the engine's executor). Warm
+   two-phase requests on a chunk-fused kernel take the *direct-write* path
+   (``RequestStats.direct_write``): the plan's row sizes preallocate the
+   final CSR arrays and chunks scatter into disjoint slices with zero
+   stitch copies, the computed sizes validated against the plan so a stale
+   plan fails loudly instead of silently corrupting output.
 
 Warm plans can also outlive the process: :meth:`Engine.save_plans` persists
 the plan cache through :class:`~repro.service.plan.PlanStore` and
@@ -314,6 +317,11 @@ class Engine:
                 with self._lock:
                     self.plans.put(key, plan)
             stats.algorithm = plan.algorithm
+            from ..parallel.runner import uses_direct_write
+
+            stats.direct_write = uses_direct_write(
+                plan.algorithm, phases, self.executor,
+                row_sizes_known=plan.row_sizes is not None)
 
         t0 = time.perf_counter()
         result = masked_spgemm(A, B, mask, algorithm=algorithm,

@@ -81,6 +81,10 @@ class RequestStats:
     plan_reused: bool = False      # numeric pass consumed cached symbolic sizes
     symbolic_skipped: bool = False # two-phase request that ran no symbolic pass
     result_cache_hit: bool = False # whole numeric result came from the cache
+    direct_write: bool = False     # numeric pass wrote straight into the
+                                   # final CSR arrays (two-phase, fused kernel)
+    coalesced: bool = False        # response shared with an identical
+                                   # in-flight request (async server dedup)
     plan_seconds: float = 0.0      # auto-select + symbolic (0 on warm hits)
     numeric_seconds: float = 0.0
     total_seconds: float = 0.0

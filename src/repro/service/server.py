@@ -23,6 +23,17 @@ the ROADMAP's *async executor* item asks for:
   thread (`asyncio.to_thread`), so the event loop stays responsive while
   numpy works. Grouping preserves the batch layer's locality win: a
   repeated-mask burst pays one cold plan and streams warm hits;
+* **request dedup** — concurrent *identical* in-flight requests (same
+  operand patterns *and values*, same mask/algorithm/phases/semiring — the
+  result-cache key, computed from the store entries' fingerprints) coalesce
+  onto one future: only the first executes; followers await it and receive
+  a response flagged ``stats.coalesced``. A burst of equal products costs
+  one numeric pass instead of N once the first has been admitted; requests
+  arriving while their twin is still *suspended in the admission gate* are
+  not coalesced (keys register post-admission, so a registered future is
+  always eventually resolved by a worker — followers can never hang on a
+  request that was refused). Disable with ``dedup=False`` (there is no
+  reason to unless fingerprint hashing itself must be avoided);
 * **graceful shutdown** — :meth:`AsyncServer.close` stops admission
   (subsequent submits raise :class:`ServerClosed`), drains every queued
   request, and joins the workers. Pair with ``Engine.save_plans`` for warm
@@ -49,7 +60,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.expand import total_flops
 from ..errors import ReproError
@@ -90,6 +101,9 @@ class ServerStats:
     failed: int = 0
     #: batches drained by workers (≤ completed; higher grouping → fewer)
     batches: int = 0
+    #: requests served by awaiting an identical in-flight request's future
+    #: (never admitted, never executed)
+    coalesced: int = 0
     max_queue_depth: int = 0
     max_inflight_seen: int = 0
     #: bounded windows, same rationale as EngineStats
@@ -117,12 +131,15 @@ class AsyncServer:
         operand-pattern pair.
     max_batch : most requests one worker drains into a single
         :class:`BatchExecutor` run.
+    dedup : coalesce concurrent identical in-flight requests onto one
+        future (see module docstring). On by default.
     """
 
     def __init__(self, engine: Engine, *, workers: int = 2,
                  max_inflight: int = 64,
                  max_queued_flops: int | None = None,
-                 max_batch: int = 16):
+                 max_batch: int = 16,
+                 dedup: bool = True):
         if workers <= 0 or max_inflight <= 0 or max_batch <= 0:
             raise ServerError(
                 f"workers/max_inflight/max_batch must be positive, got "
@@ -138,6 +155,9 @@ class AsyncServer:
         self.max_inflight = max_inflight
         self.max_queued_flops = max_queued_flops
         self.max_batch = max_batch
+        self.dedup = dedup
+        #: result-cache key → future of the identical in-flight primary
+        self._inflight_keys: dict[tuple, asyncio.Future] = {}
         self.stats = ServerStats()
         self._batcher = BatchExecutor(engine)
         self._pending: deque[_Pending] = deque()
@@ -181,17 +201,21 @@ class AsyncServer:
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def _estimate_flops(self, request: Request) -> int:
-        """Partial-product estimate for the queued-flops bound, memoized per
-        (A-pattern, B-pattern) pair. Unknown store keys fail here — at
-        admission, where the error belongs — rather than inside a worker.
-        Resolution goes through ``Engine.entry`` (the locked path): this runs
-        on the event-loop thread concurrently with worker threads mutating
-        the store's LRU order."""
+    def _resolve_entries(self, request: Request):
+        """Store-entry resolution for admission. Unknown store keys fail
+        here — at admission, where the error belongs — rather than inside a
+        worker. Resolution goes through ``Engine.entry`` (the locked path):
+        this runs on the event-loop thread concurrently with worker threads
+        mutating the store's LRU order."""
         a_entry = self.engine.entry(request.a)
         b_entry = self.engine.entry(request.b)
-        if request.mask is not None:
-            self.engine.entry(request.mask)  # validate early
+        mask_entry = (self.engine.entry(request.mask)
+                      if request.mask is not None else None)
+        return a_entry, b_entry, mask_entry
+
+    def _estimate_flops(self, a_entry, b_entry) -> int:
+        """Partial-product estimate for the queued-flops bound, memoized per
+        (A-pattern, B-pattern) pair."""
         key = (a_entry.fingerprint, b_entry.fingerprint)
         flops = self._flops_memo.get(key)
         if flops is None:
@@ -206,15 +230,52 @@ class AsyncServer:
             self._flops_memo.move_to_end(key)
         return flops
 
+    def _dedup_key(self, request: Request, a_entry, b_entry,
+                   mask_entry) -> tuple:
+        """Identity of a request's *result*: operand patterns and values,
+        mask pattern, and the kernel configuration — the async analogue of
+        the result-cache key. Two requests with equal keys are guaranteed
+        the same output, so the second can await the first."""
+        return (a_entry.fingerprint, b_entry.fingerprint,
+                a_entry.value_fingerprint, b_entry.value_fingerprint,
+                mask_entry.fingerprint if mask_entry is not None else "",
+                request.complemented, request.algorithm.lower(),
+                request.phases, request.semiring)
+
     async def submit(self, request: Request) -> Response:
         """Admit one request (suspending under backpressure) and await its
         response. Raises :class:`ServerClosed` once shutdown has begun, and
-        re-raises whatever the engine raised for this specific request."""
+        re-raises whatever the engine raised for this specific request.
+
+        An identical request already in flight short-circuits admission: the
+        call awaits the primary's future and returns a shared-result
+        response flagged ``stats.coalesced``."""
         if self._cond is None:
             raise ServerError("server not started (use `async with` or start())")
         if self._closed:
             raise ServerClosed("server is shutting down; request refused")
-        flops = self._estimate_flops(request)
+        a_entry, b_entry, mask_entry = self._resolve_entries(request)
+        key = None
+        if self.dedup:
+            key = self._dedup_key(request, a_entry, b_entry, mask_entry)
+            while True:
+                primary = self._inflight_keys.get(key)
+                if primary is None or primary.done():
+                    break
+                # shield: a follower being cancelled must not cancel the
+                # primary's future out from under everyone else awaiting it
+                try:
+                    primary_resp = await asyncio.shield(primary)
+                except asyncio.CancelledError:
+                    if primary.cancelled():
+                        continue  # primary abandoned; re-check, else execute
+                    raise  # this follower itself was cancelled
+                self.stats.coalesced += 1
+                return Response(result=primary_resp.result,
+                                stats=replace(primary_resp.stats,
+                                              coalesced=True),
+                                tag=request.tag, request=request)
+        flops = self._estimate_flops(a_entry, b_entry)
         loop = asyncio.get_running_loop()
         item = _Pending(request=request, future=loop.create_future(),
                         flops=flops, t_admit=time.perf_counter())
@@ -232,7 +293,18 @@ class AsyncServer:
             self.stats.max_inflight_seen = max(self.stats.max_inflight_seen,
                                                self._inflight)
             self._cond.notify_all()
+        if key is not None and key not in self._inflight_keys:
+            # registered only once *admitted*: every registered future is
+            # eventually resolved by a worker (close() drains the queue), so
+            # followers can never hang on it
+            self._inflight_keys[key] = item.future
+            item.future.add_done_callback(
+                lambda fut, k=key: self._drop_inflight_key(k, fut))
         return await item.future
+
+    def _drop_inflight_key(self, key: tuple, fut: asyncio.Future) -> None:
+        if self._inflight_keys.get(key) is fut:
+            del self._inflight_keys[key]
 
     def _admittable(self, flops: int) -> bool:
         if self._inflight >= self.max_inflight:

@@ -155,23 +155,28 @@ def render_serve_report(engine: Engine, server, responses,
         f"peak queue depth {server.stats.max_queue_depth}, "
         f"peak in-flight {server.stats.max_inflight_seen}")
     stats = [r.stats for r in responses]
-    result_hits = sum(1 for s in stats if s.result_cache_hit)
-    plan_hits = sum(1 for s in stats if s.plan_cache_hit)
+    coalesced = sum(1 for s in stats if s.coalesced)
+    result_hits = sum(1 for s in stats if not s.coalesced and s.result_cache_hit)
+    plan_hits = sum(1 for s in stats if not s.coalesced and s.plan_cache_hit)
     planned_misses = sum(1 for s in stats
-                         if s.planned and not s.plan_cache_hit
-                         and not s.result_cache_hit)
-    warm = result_hits + plan_hits
+                         if not s.coalesced and s.planned
+                         and not s.plan_cache_hit and not s.result_cache_hit)
+    warm = result_hits + plan_hits + coalesced
     lines.append(
-        f"cache tiers: {result_hits} result hits, {plan_hits} plan hits, "
-        f"{planned_misses} cold plans "
+        f"cache tiers: {coalesced} coalesced, {result_hits} result hits, "
+        f"{plan_hits} plan hits, {planned_misses} cold plans "
         f"({100 * hit_rate(warm, planned_misses):.0f}% warm)")
     waits = summarize_latencies([s.queued_seconds for s in stats])
     if waits:
         lines.append(f"queue wait: {waits}")
-    for label, pick in (("cold", lambda s: s.planned and not s.plan_cache_hit
-                         and not s.result_cache_hit),
-                        ("warm (plan hit)", lambda s: s.plan_cache_hit),
-                        ("result hit", lambda s: s.result_cache_hit)):
+    # coalesced responses carry copies of their primary's stats; keep them
+    # out of every latency bucket so one timing is never counted N times
+    for label, pick in (("cold", lambda s: not s.coalesced and s.planned
+                         and not s.plan_cache_hit and not s.result_cache_hit),
+                        ("warm (plan hit)",
+                         lambda s: not s.coalesced and s.plan_cache_hit),
+                        ("result hit",
+                         lambda s: not s.coalesced and s.result_cache_hit)):
         summary = summarize_latencies(
             [s.total_seconds for s in stats if pick(s)])
         if summary:

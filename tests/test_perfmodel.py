@@ -165,3 +165,46 @@ class TestTraces:
         assert large > small * 1.5
         # hash stays low even at large n
         assert miss_rate("hash", 1 << 15) < large
+
+
+# --------------------------------------------------------------------- #
+# fused-chunk model: cache-aware chunk sizing (PR 4)
+# --------------------------------------------------------------------- #
+class TestFusedChunkModel:
+    def test_fused_stream_trace_shape(self):
+        from repro.perfmodel.trace import (FUSED_STREAM_PASSES,
+                                           fused_stream_trace)
+
+        tr = fused_stream_trace(100, passes=3)
+        assert tr.size == 3 * 100 * 3  # passes × flops × stream words
+        assert tr.min() == 0 and tr.max() == (100 * 3 - 1) * 8
+        assert fused_stream_trace(10).size == FUSED_STREAM_PASSES * 10 * 3
+
+    def test_chunk_budget_sits_on_the_cache_cliff(self):
+        """Validate parallel.partition.chunk_budget against the cache
+        simulator: a budget-sized chunk's fused working set reuses cache
+        across passes (low miss rate); a chunk several budgets large misses
+        on every sweep. Run at a scaled-down cache so true-LRU replay stays
+        cheap — the budget formula is size-ratio invariant."""
+        from repro.perfmodel.trace import fused_chunk_miss_rate
+        from repro.parallel.partition import chunk_budget
+
+        cache_bytes = 64 * 1024
+        budget = chunk_budget(cache_bytes)
+        within = fused_chunk_miss_rate(max(budget // 2, 1), cache_bytes)
+        beyond = fused_chunk_miss_rate(budget * 8, cache_bytes)
+        # in-budget chunks: only the cold sweep misses (≤ ~1/passes of the
+        # per-line rate); over-budget chunks: every sweep is cold
+        assert within < beyond / 3
+        assert beyond > 0.08  # ≈ word/line cold rate on every sweep
+
+    def test_budget_headroom_for_sort_temporaries(self):
+        """The bytes-per-flop constant must cover at least the stream arrays
+        the trace models (keys+vals+perm over FUSED_STREAM_PASSES sweeps
+        need the stream resident once)."""
+        from repro.parallel.partition import (DEFAULT_CHUNK_CACHE_BYTES,
+                                              FUSED_BYTES_PER_FLOP,
+                                              chunk_budget)
+
+        assert FUSED_BYTES_PER_FLOP >= 3 * 8  # keys + vals + permutation
+        assert chunk_budget() * 3 * 8 <= DEFAULT_CHUNK_CACHE_BYTES

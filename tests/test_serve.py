@@ -25,6 +25,7 @@ from repro.service import (
 from repro.service.result_cache import result_key
 from repro.service.store import matrix_nbytes
 from repro.sparse import csr_random, value_fingerprint
+from repro.sparse.csr import CSRMatrix
 
 
 # ---------------------------------------------------------------------- #
@@ -337,7 +338,10 @@ def test_async_serve_preserves_order_and_results(rng):
     assert [r.tag for r in resps] == [str(i) for i in range(12)]
     for r in resps:
         assert_masked_product_correct(r.result, A, B, M)
-    assert srv.stats.completed == 12 and srv.stats.failed == 0
+    # identical in-flight requests coalesce (dedup is on by default): every
+    # request is answered, and executed + coalesced covers all twelve
+    assert srv.stats.completed + srv.stats.coalesced == 12
+    assert srv.stats.failed == 0
     assert srv.stats.batches <= 12
     assert all(r.stats.queued_seconds >= 0 for r in resps)
 
@@ -350,7 +354,10 @@ def test_async_server_batches_by_group_key(rng):
             for _ in range(8)]
 
     async def main():
-        async with AsyncServer(eng, workers=1, max_batch=8) as srv:
+        # dedup off: this test exercises group-key batching, which needs
+        # the identical requests to actually execute
+        async with AsyncServer(eng, workers=1, max_batch=8,
+                               dedup=False) as srv:
             return await serve_all(srv, reqs), srv
 
     resps, srv = asyncio.run(main())
@@ -365,7 +372,7 @@ def test_async_server_backpressure_bounds_inflight(rng):
 
     async def main():
         async with AsyncServer(eng, workers=1, max_inflight=2,
-                               max_batch=2) as srv:
+                               max_batch=2, dedup=False) as srv:
             await serve_all(srv, reqs)
             return srv
 
@@ -382,7 +389,8 @@ def test_async_server_flops_bound_still_completes(rng):
     reqs = [Request(a="A", b="B", mask="M", phases=2) for _ in range(5)]
 
     async def main():
-        async with AsyncServer(eng, workers=2, max_queued_flops=1) as srv:
+        async with AsyncServer(eng, workers=2, max_queued_flops=1,
+                               dedup=False) as srv:
             return await serve_all(srv, reqs), srv
 
     resps, srv = asyncio.run(main())
@@ -408,7 +416,8 @@ def test_async_server_error_attributed_to_failing_request(rng):
             + good[2:])
 
     async def main():
-        async with AsyncServer(eng, workers=1, max_batch=8) as srv:
+        async with AsyncServer(eng, workers=1, max_batch=8,
+                               dedup=False) as srv:
             return await asyncio.gather(
                 *[srv.submit(r) for r in reqs], return_exceptions=True)
 
@@ -474,7 +483,8 @@ def test_async_server_result_cache_tier_reported(rng):
     reqs = [Request(a="A", b="B", mask="M", phases=2) for _ in range(6)]
 
     async def main():
-        async with AsyncServer(eng, workers=2, max_batch=3) as srv:
+        async with AsyncServer(eng, workers=2, max_batch=3,
+                               dedup=False) as srv:
             return await serve_all(srv, reqs)
 
     resps = asyncio.run(main())
@@ -487,3 +497,116 @@ def test_async_server_result_cache_tier_reported(rng):
     assert all(id(h.result) in computed for h in hits)
     assert all(r.result.equals(resps[0].result) for r in resps)
     assert eng.stats.result_hits == len(hits)
+
+
+# ---------------------------------------------------------------------- #
+# request dedup (coalescing identical in-flight requests)
+# ---------------------------------------------------------------------- #
+def test_async_server_coalesces_identical_inflight(rng):
+    """A burst of identical requests executes once; followers share the
+    primary's result object and are flagged coalesced."""
+    eng, (A, B, M) = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2, tag=str(i))
+            for i in range(10)]
+
+    async def main():
+        async with AsyncServer(eng, workers=2) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    coalesced = [r for r in resps if r.stats.coalesced]
+    primaries = [r for r in resps if not r.stats.coalesced]
+    assert srv.stats.coalesced == len(coalesced)
+    assert srv.stats.completed == len(primaries)
+    assert len(primaries) >= 1 and len(coalesced) >= 1
+    assert eng.stats.requests == len(primaries)  # executed exactly once each
+    # followers alias the primary's matrix (no copy) and keep their own tag
+    pid = {id(p.result) for p in primaries}
+    for r in coalesced:
+        assert id(r.result) in pid
+    assert [r.tag for r in resps] == [str(i) for i in range(10)]
+    for r in resps:
+        assert_masked_product_correct(r.result, A, B, M)
+
+
+def test_async_server_dedup_distinguishes_values(rng):
+    """Same patterns, different values → different value fingerprints →
+    no coalescing (the results would differ)."""
+    eng, (A, B, M) = _server_engine(rng)
+    A2 = CSRMatrix(A.indptr.copy(), A.indices.copy(), A.data + 1.0, A.shape)
+    eng.register("A2", A2)
+    reqs = [Request(a="A", b="B", mask="M", phases=2),
+            Request(a="A2", b="B", mask="M", phases=2)]
+
+    async def main():
+        async with AsyncServer(eng, workers=1) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    assert srv.stats.coalesced == 0
+    assert not resps[0].result.equals(resps[1].result)
+
+
+def test_async_server_dedup_distinguishes_config(rng):
+    """Same operands, different kernel/phases/semiring → no coalescing."""
+    eng, _ = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2, algorithm="msa"),
+            Request(a="A", b="B", mask="M", phases=1, algorithm="msa"),
+            Request(a="A", b="B", mask="M", phases=2, algorithm="hash"),
+            Request(a="A", b="B", mask="M", phases=2, algorithm="msa",
+                    semiring="plus_pair")]
+
+    async def main():
+        async with AsyncServer(eng, workers=1) as srv:
+            return await serve_all(srv, reqs), srv
+
+    _, srv = asyncio.run(main())
+    assert srv.stats.coalesced == 0 and srv.stats.completed == 4
+
+
+def test_async_server_dedup_propagates_primary_failure(rng):
+    """Followers of a failing primary re-raise the same engine error."""
+    from repro.errors import AlgorithmError
+
+    eng, _ = _server_engine(rng)
+    # no mask + complemented raises in the worker, after admission
+    reqs = [Request(a="A", b="B", complemented=True) for _ in range(4)]
+
+    async def main():
+        async with AsyncServer(eng, workers=1) as srv:
+            return await asyncio.gather(
+                *[srv.submit(r) for r in reqs], return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert all(isinstance(r, AlgorithmError) for r in results)
+
+
+def test_async_server_dedup_off_executes_each(rng):
+    eng, _ = _server_engine(rng)
+    reqs = [Request(a="A", b="B", mask="M", phases=2) for _ in range(6)]
+
+    async def main():
+        async with AsyncServer(eng, workers=2, dedup=False) as srv:
+            return await serve_all(srv, reqs), srv
+
+    resps, srv = asyncio.run(main())
+    assert srv.stats.coalesced == 0
+    assert srv.stats.completed == 6
+    assert not any(r.stats.coalesced for r in resps)
+
+
+def test_warm_requests_report_direct_write(rng):
+    """Two-phase engine requests on a fused kernel flag the direct-write
+    numeric path in their telemetry (cold and warm alike — the cold pass
+    also writes through its freshly built plan)."""
+    eng, _ = _server_engine(rng)
+    req = Request(a="A", b="B", mask="M", phases=2, algorithm="esc")
+    cold = eng.submit(req)
+    warm = eng.submit(req)
+    assert cold.stats.direct_write and warm.stats.direct_write
+    one_phase = eng.submit(Request(a="A", b="B", mask="M", phases=1,
+                                   algorithm="esc"))
+    assert not one_phase.stats.direct_write
+    unfused = eng.submit(Request(a="A", b="B", mask="M", phases=2,
+                                 algorithm="mca"))
+    assert not unfused.stats.direct_write
