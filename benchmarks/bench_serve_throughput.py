@@ -179,7 +179,7 @@ def main() -> None:
     emit(render_table(["case", "plans", "plan hits", "cold (ms)",
                        "restarted (ms)", "speedup", "gate ≥1.5x"], rows))
 
-    prev = latest_trajectory_run(ARTIFACT)
+    prev = latest_trajectory_run(ARTIFACT, bench="serve_throughput")
     append_trajectory_run(ARTIFACT, "serve_throughput", results)
     emit(f"\nappended run to {ARTIFACT.name} ({len(results)} results)")
     if prev is not None:

@@ -1,0 +1,235 @@
+"""Sharded serving vs the single-process process-pool stitch path.
+
+The shard layer exists to give process-level parallelism the direct-write
+numeric path: before PR 5, a process-pool request forked a fresh pool,
+pickled every chunk's RowBlock back through a pipe, and stitched — paying
+pool startup + serialization + concat on every product. The shard
+coordinator amortizes the pool across requests and replaces the pipe with
+shared memory (workers scatter straight into the output CSR), so the warm
+serving path should beat the process-pool stitch path even at equal
+parallelism.
+
+This bench measures exactly that claim on the gate workload
+(**tc-rmat-s13-e8**, the repeated-mask TC product ``L ⊙ (L·L)`` with the
+auto-selected ``esc`` kernel, 2P, warm plans):
+
+* ``procpool-stitch`` — ``parallel_masked_spgemm`` on a fresh
+  :class:`~repro.parallel.executor.ProcessExecutor` per request (the PR-4
+  state of the art for multi-process numeric execution);
+* ``shard-direct`` — warm :meth:`ShardCoordinator.multiply` on the
+  persistent pool, operands pre-shared, plan pre-split;
+* ``inprocess-direct`` — the serial direct-write path, for scale.
+
+Every mode's output is checked bit-identical before timings count, and the
+segment-hygiene invariant (nothing left in ``/dev/shm`` after ``close()``)
+is part of the gate row.
+
+``main()`` appends one ``shard_scaling`` run to ``BENCH_service.json``
+(multi-bench trajectory envelope — see ``benchmarks/common.py``). Gate
+(ISSUE 5): warm sharded serving ≥ **1.2×** the process-pool stitch path.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import append_trajectory_run, emit, latest_trajectory_run, tc_workload
+from repro.bench import render_table
+from repro.bench.metrics import latency_percentiles
+from repro.core import build_plan
+from repro.graphs import rmat
+from repro.parallel.executor import ProcessExecutor
+from repro.parallel.runner import parallel_masked_spgemm
+from repro.semiring import PLUS_PAIR
+from repro.shard import ShardCoordinator, shared_memory_available
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: acceptance gate (ISSUE 5): warm sharded vs process-pool stitch
+GATE_MIN_SPEEDUP = 1.2
+
+CASE_SCALE, CASE_EDGE = 13, 8
+ALGO = "esc"          # auto-select's pick for the short-row TC regime
+NSHARDS = 2
+REQUESTS = 8          # timed warm requests per mode
+WARMUP = 2
+
+
+def _case_name(scale=CASE_SCALE, edge=CASE_EDGE):
+    return f"tc-rmat-s{scale}-e{edge}-{ALGO}2p"
+
+
+def _workload(scale=CASE_SCALE, edge=CASE_EDGE):
+    L, mask = tc_workload(rmat(scale, edge, rng=7000 + scale))
+    plan = build_plan(L, L, mask, algorithm=ALGO, phases=2)
+    return L, mask, plan
+
+
+def _time_mode(fn, baseline, *, requests=REQUESTS, warmup=WARMUP):
+    """Run ``fn`` warm; returns (latencies, result). Bit-identity against
+    ``baseline`` is asserted on every repeat before its time is recorded."""
+    lat = []
+    out = None
+    for i in range(warmup + requests):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        if baseline is not None:
+            assert out.same_pattern(baseline) and \
+                np.array_equal(out.data, baseline.data), "NOT bit-identical"
+        if i >= warmup:
+            lat.append(dt)
+    return lat, out
+
+
+def _mode_row(case, mode, shards, latencies):
+    pct = latency_percentiles(latencies, percentiles=(50, 95))
+    wall = float(np.sum(latencies))
+    return {"case": case, "mode": mode, "shards": shards,
+            "requests": len(latencies), "wall_seconds": wall,
+            "rps": len(latencies) / wall,
+            "mean_ms": float(np.mean(latencies)) * 1e3,
+            "p50_ms": pct[50] * 1e3, "p95_ms": pct[95] * 1e3}
+
+
+def bench_case(scale=CASE_SCALE, edge=CASE_EDGE, *, nshards=NSHARDS,
+               requests=REQUESTS):
+    """All modes for one graph; returns (mode rows, gate row)."""
+    L, mask, plan = _workload(scale, edge)
+    case = _case_name(scale, edge)
+
+    # reference result (serial direct write) — every mode must match it
+    baseline = parallel_masked_spgemm(L, L, mask, algorithm=ALGO,
+                                      semiring=PLUS_PAIR, phases=2, plan=plan)
+
+    serial_lat, _ = _time_mode(
+        lambda: parallel_masked_spgemm(L, L, mask, algorithm=ALGO,
+                                       semiring=PLUS_PAIR, phases=2,
+                                       plan=plan),
+        baseline, requests=requests)
+
+    # process-pool stitch: a fresh fork pool per request, RowBlocks pickled
+    # back, stitched — how multi-process numeric ran before the shard layer
+    def procpool():
+        ex = ProcessExecutor(nshards)
+        try:
+            return parallel_masked_spgemm(L, L, mask, algorithm=ALGO,
+                                          semiring=PLUS_PAIR, phases=2,
+                                          plan=plan, executor=ex)
+        finally:
+            ex.close()
+
+    stitch_lat, _ = _time_mode(procpool, baseline, requests=requests)
+
+    # sharded direct write: persistent pool, shared operands, warm splits
+    coord = ShardCoordinator(nshards)
+    try:
+        a_key, _ = coord._adhoc_handle(L)
+        m_key, _ = coord._adhoc_handle(mask)
+        shard_lat, _ = _time_mode(
+            lambda: coord.multiply(a_key, a_key, m_key, mask, plan,
+                                   PLUS_PAIR, plan_cache_key=(case,)),
+            baseline, requests=requests)
+        names = coord.store.live_segment_names()
+    finally:
+        coord.close()
+    shm = Path("/dev/shm")
+    unlinked = not shm.is_dir() or not any(
+        (shm / n.lstrip("/")).exists() for n in names)
+
+    rows = [_mode_row(case, "inprocess-direct", 0, serial_lat),
+            _mode_row(case, "procpool-stitch", nshards, stitch_lat),
+            _mode_row(case, "shard-direct", nshards, shard_lat)]
+    speedup = float(np.mean(stitch_lat) / np.mean(shard_lat))
+    gate = {"case": case, "mode": "shard-gate", "shards": nshards,
+            "requests": len(shard_lat),
+            "stitch_mean_ms": float(np.mean(stitch_lat)) * 1e3,
+            "shard_mean_ms": float(np.mean(shard_lat)) * 1e3,
+            "speedup_vs_stitch": speedup, "bit_identical": True,
+            "segments_unlinked": bool(unlinked),
+            "gate_min": GATE_MIN_SPEEDUP,
+            "gate_pass": bool(speedup >= GATE_MIN_SPEEDUP and unlinked)}
+    return rows, gate
+
+
+def main() -> None:
+    if not shared_memory_available():
+        emit("no usable shared memory on this machine; shard bench skipped")
+        raise SystemExit(0)
+    emit(f"[Shard] warm sharded serving vs process-pool stitch "
+         f"(repeated-mask TC, {ALGO}-2P, {NSHARDS} workers)")
+    emit("procpool-stitch = fresh fork pool per request + pickled RowBlocks "
+         "+ stitch; shard-direct = persistent pool + shared-memory direct "
+         "write\n")
+    rows, gate = bench_case()
+    table = [[r["case"], r["mode"], r["shards"], r["requests"], r["rps"],
+              r["mean_ms"], r["p50_ms"], r["p95_ms"]] for r in rows]
+    emit(render_table(["case", "mode", "shards", "reqs", "req/s",
+                       "mean (ms)", "p50 (ms)", "p95 (ms)"], table))
+    emit(f"\n[Shard] gate: shard-direct vs procpool-stitch on {gate['case']}")
+    emit(render_table(
+        ["case", "stitch (ms)", "shard (ms)", "speedup", "segments",
+         f"gate ≥{GATE_MIN_SPEEDUP}x"],
+        [[gate["case"], gate["stitch_mean_ms"], gate["shard_mean_ms"],
+          gate["speedup_vs_stitch"],
+          "unlinked" if gate["segments_unlinked"] else "LEAKED",
+          "PASS" if gate["gate_pass"] else "FAIL"]]))
+
+    prev = latest_trajectory_run(ARTIFACT, bench="shard_scaling")
+    append_trajectory_run(ARTIFACT, "shard_scaling", rows + [gate])
+    emit(f"\nappended run to {ARTIFACT.name} ({len(rows) + 1} results)")
+    if prev is not None:
+        drift = {r["case"]: r["speedup_vs_stitch"]
+                 for r in prev["results"] if r.get("mode") == "shard-gate"}
+        if gate["case"] in drift:
+            emit(f"  shard-speedup drift [{gate['case']}]: "
+                 f"{drift[gate['case']]:.2f}x → "
+                 f"{gate['speedup_vs_stitch']:.2f}x")
+    if gate["gate_pass"]:
+        emit(f"acceptance gate: warm sharded serving "
+             f"{gate['speedup_vs_stitch']:.2f}x over the process-pool "
+             f"stitch path (≥{GATE_MIN_SPEEDUP}x) with all segments "
+             f"unlinked → PASS")
+    else:
+        emit("acceptance gate: FAIL")
+        raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark face (`pytest benchmarks/ --benchmark-only -k shard`)
+# ----------------------------------------------------------------------- #
+def test_shard_warm_stream(benchmark):
+    """CI smoke: a warm sharded stream on a small grid stays bit-identical
+    and leaks nothing. Skips cleanly on runners without shared memory."""
+    import pytest
+
+    if not shared_memory_available():
+        pytest.skip("no usable shared memory on this runner")
+    L, mask, plan = _workload(scale=8, edge=4)
+    baseline = parallel_masked_spgemm(L, L, mask, algorithm=ALGO,
+                                      semiring=PLUS_PAIR, phases=2, plan=plan)
+    coord = ShardCoordinator(2)
+    try:
+        a_key, _ = coord._adhoc_handle(L)
+        m_key, _ = coord._adhoc_handle(mask)
+
+        def run():
+            return coord.multiply(a_key, a_key, m_key, mask, plan,
+                                  PLUS_PAIR, plan_cache_key=("smoke",))
+
+        out = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+        assert out.same_pattern(baseline)
+        assert np.array_equal(out.data, baseline.data)
+        names = coord.store.live_segment_names()
+    finally:
+        coord.close()
+    shm = Path("/dev/shm")
+    assert not shm.is_dir() or not any(
+        (shm / n.lstrip("/")).exists() for n in names)
+
+
+if __name__ == "__main__":
+    main()

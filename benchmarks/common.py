@@ -153,27 +153,41 @@ TRAJECTORY_SCHEMA = "repro-perf-trajectory-v1"
 def append_trajectory_run(artifact: Path, bench: str,
                           results: list[dict]) -> None:
     """Append one timestamped run to a trajectory artifact, preserving the
-    runs already recorded there. A corrupt or foreign file (wrong schema, or
-    a different bench's artifact at the same path) starts a fresh
-    trajectory rather than poisoning history."""
+    runs already recorded there. A corrupt file (or one with a foreign
+    schema) starts a fresh trajectory rather than poisoning history.
+
+    One artifact may carry runs from *several* benches (e.g.
+    ``BENCH_service.json`` holds both the serve-throughput faces and the
+    shard-scaling faces): each run is tagged with its ``bench``, and the
+    doc-level ``bench`` field names the first owner for back-compat with
+    older readers. Use ``latest_trajectory_run(..., bench=...)`` to read a
+    specific bench's most recent run.
+    """
     doc = {"schema": TRAJECTORY_SCHEMA, "bench": bench, "runs": []}
     if artifact.exists():
         try:
             prev = json.loads(artifact.read_text())
-            if (prev.get("schema") == TRAJECTORY_SCHEMA
-                    and prev.get("bench") == bench):
+            if prev.get("schema") == TRAJECTORY_SCHEMA:
                 doc = prev
         except (json.JSONDecodeError, OSError):
             pass
-    doc["runs"].append({"timestamp": int(time.time()), "results": results})
+    doc["runs"].append({"timestamp": int(time.time()), "bench": bench,
+                        "results": results})
     artifact.write_text(json.dumps(doc, indent=2) + "\n")
 
 
-def latest_trajectory_run(artifact: Path) -> dict | None:
-    """The most recent run recorded in a trajectory artifact, or None."""
+def latest_trajectory_run(artifact: Path, bench: str | None = None
+                          ) -> dict | None:
+    """The most recent run recorded in a trajectory artifact, or None.
+
+    ``bench`` filters to that bench's runs (runs written before the
+    multi-bench envelope carry no tag and match the doc-level owner)."""
     try:
         doc = json.loads(artifact.read_text())
     except (OSError, json.JSONDecodeError):
         return None
     runs = doc.get("runs") or []
+    if bench is not None:
+        owner = doc.get("bench")
+        runs = [r for r in runs if r.get("bench", owner) == bench]
     return runs[-1] if runs else None

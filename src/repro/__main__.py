@@ -223,32 +223,41 @@ def cmd_serve(args) -> int:
         raise SystemExit("provide a workload.json or --smoke")
 
     engine = Engine(result_cache_bytes=(int(args.result_cache_mb * 2**20)
-                                        if args.result_cache_mb else None))
-    if args.plans:
-        try:
-            n = engine.load_plans(args.plans)
-            print(f"warm start: restored {n} plans from {args.plans}")
-        except PlanStoreError:
-            print(f"cold start: no usable plan store at {args.plans} "
-                  f"(will be written on shutdown)")
+                                        if args.result_cache_mb else None),
+                    shards=(args.shards or None))
+    if args.shards and engine.shard_degraded:
+        print(f"shards: --shards {args.shards} requested but shared memory "
+              f"is unavailable; serving in-process instead")
+    try:
+        if args.plans:
+            try:
+                n = engine.load_plans(args.plans)
+                print(f"warm start: restored {n} plans from {args.plans}")
+            except PlanStoreError:
+                print(f"cold start: no usable plan store at {args.plans} "
+                      f"(will be written on shutdown)")
 
-    responses, failures, server, seconds = _serve_once(spec, args,
-                                                       engine=engine)
-    print(render_serve_report(engine, server, responses, seconds))
-    for tag, exc in failures[:5]:
-        print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
-    if len(failures) > 5:
-        print(f"... and {len(failures) - 5} more failures")
+        responses, failures, server, seconds = _serve_once(spec, args,
+                                                           engine=engine)
+        print(render_serve_report(engine, server, responses, seconds))
+        for tag, exc in failures[:5]:
+            print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
+        if len(failures) > 5:
+            print(f"... and {len(failures) - 5} more failures")
 
-    # persist even after partial failure: the successful requests' warm
-    # plans are exactly what the next start should not have to rebuild
-    if args.plans:
-        n = engine.save_plans(args.plans)
-        print(f"persisted {n} plans to {args.plans}")
+        # persist even after partial failure: the successful requests' warm
+        # plans are exactly what the next start should not have to rebuild
+        if args.plans:
+            n = engine.save_plans(args.plans)
+            print(f"persisted {n} plans to {args.plans}")
 
-    if args.smoke:
-        return _check_smoke(engine, server, responses, args)
-    return 1 if failures else 0
+        if args.smoke:
+            return _check_smoke(engine, server, responses, args)
+        return 1 if failures else 0
+    finally:
+        # shard pools and shared segments must not outlive the serve run —
+        # the one place `/dev/shm` space could otherwise leak
+        engine.close()
 
 
 def _check_smoke(engine, server, responses, args) -> int:
@@ -271,15 +280,23 @@ def _check_smoke(engine, server, responses, args) -> int:
     print(f"\nsmoke: {warm}/{n} requests served warm "
           f"({coalesced} coalesced; need ≥ {n - 1}) → "
           f"{'PASS' if ok else 'FAIL'}")
+    if engine.shards is not None:
+        print(f"smoke shards: {engine.stats.sharded}/{executed} executed "
+              f"requests ran on the {engine.shards.nshards}-worker pool")
 
     # restart leg: persist plans, restore into a fresh engine (result cache
     # off so every request exercises the plan path), expect zero misses
+    ok3 = True
     with tempfile.TemporaryDirectory() as tmp:
         plan_path = Path(tmp) / "plans.npz"
         saved = engine.save_plans(plan_path)
-        restarted = Engine()
-        restored = restarted.load_plans(plan_path)
-        responses2, _, _, _ = _serve_once(_SMOKE_SPEC, args, engine=restarted)
+        restarted = Engine(shards=(args.shards or None))
+        try:
+            restored = restarted.load_plans(plan_path)
+            responses2, _, _, _ = _serve_once(_SMOKE_SPEC, args,
+                                              engine=restarted)
+        finally:
+            restarted.close()
     misses = restarted.stats.plan_misses
     executed2 = sum(1 for r in responses2 if not r.stats.coalesced)
     ok2 = (restored == saved and misses == 0
@@ -287,7 +304,20 @@ def _check_smoke(engine, server, responses, args) -> int:
     print(f"smoke restart: {restored} plans restored, "
           f"{restarted.stats.plan_hits} hits / {misses} misses after warm "
           f"start → {'PASS' if ok2 else 'FAIL'}")
-    return 0 if ok and ok2 else 1
+    if args.shards and engine.shards is not None:
+        # shutdown hygiene gate: close() must verifiably unlink every
+        # segment the serve run created
+        names = engine.shards.store.live_segment_names()
+        engine.close()
+        shm_dir = Path("/dev/shm")
+        leaked = [nm for nm in names
+                  if shm_dir.is_dir()
+                  and (shm_dir / nm.lstrip("/")).exists()]
+        ok3 = not leaked
+        print(f"smoke shard shutdown: {len(names)} segments unlinked"
+              f"{'' if ok3 else f', LEAKED {leaked}'} → "
+              f"{'PASS' if ok3 else 'FAIL'}")
+    return 0 if ok and ok2 and ok3 else 1
 
 
 def cmd_suite(args) -> int:
@@ -373,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(CI gate; exits nonzero on failure)")
     sv.add_argument("--workers", type=int, default=2,
                     help="async worker pool size (default 2)")
+    sv.add_argument("--shards", type=int, default=0,
+                    help="shard-worker processes for the numeric pass "
+                         "(shared-memory direct write; 0 = in-process). "
+                         "Degrades to in-process execution when shared "
+                         "memory is unavailable")
     sv.add_argument("--max-inflight", type=int, default=64,
                     help="admission bound: admitted-but-unfinished requests")
     sv.add_argument("--max-queued-mflops", type=float, default=0,

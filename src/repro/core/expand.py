@@ -28,6 +28,9 @@ from ..sparse.csr import CSRMatrix
 from ..validation import INDEX_DTYPE
 
 _INT64_MAX = np.iinfo(np.int64).max
+#: largest key value the int32 fast path may produce (keys range over
+#: ``[0, chunk_rows * ncols)``, so the test is against the max key + 1)
+_INT32_MAX = np.iinfo(np.int32).max
 
 
 def concat_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -148,11 +151,25 @@ def flatten_rows_pattern(indptr: np.ndarray, indices: np.ndarray,
 
 
 def composite_keys(seg: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
-    """Fuse (chunk-local row, column) into one sortable int64 key
-    ``t * ncols + col``. Callers must have bounded the chunk with
-    :func:`key_safe_blocks` so the keys cannot overflow int64."""
-    prow = np.repeat(np.arange(seg.size - 1, dtype=np.int64), np.diff(seg))
-    return prow * np.int64(ncols) + cols
+    """Fuse (chunk-local row, column) into one sortable key ``t * ncols +
+    col``. Callers must have bounded the chunk with :func:`key_safe_blocks`
+    so the keys cannot overflow int64.
+
+    Keys are **int32 whenever the chunk's key space fits** (``chunk_rows ×
+    ncols < 2^31``) — which the cache-budget chunk sizing guarantees in
+    practice — halving the traffic of every downstream sort/searchsorted
+    pass; the int64 fallback covers huge chunks. The dtype is a pure
+    function of ``(seg.size, ncols)``, so the two key streams every fused
+    kernel intersects (products and flattened mask, built over the same
+    rows) always agree.
+    """
+    nrows_chunk = seg.size - 1
+    # max(…, 1): a zero-row chunk must not pick int32 for a cast-unsafe
+    # ncols (the arrays are empty either way, but np.int32(ncols) is not)
+    dtype = (np.int32 if max(nrows_chunk, 1) * int(ncols) <= _INT32_MAX
+             else np.int64)
+    prow = np.repeat(np.arange(nrows_chunk, dtype=dtype), np.diff(seg))
+    return prow * dtype(ncols) + cols.astype(dtype, copy=False)
 
 
 def sorted_membership(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:

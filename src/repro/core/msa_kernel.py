@@ -71,7 +71,9 @@ def _fused_numeric(A: CSRMatrix, B: CSRMatrix, mask: Mask, semiring: Semiring,
     if bj.size == 0:
         return empty_block(rows.size)
     m_prow = np.repeat(np.arange(rows.size, dtype=np.int64), np.diff(mseg))
-    mkeys = m_prow * np.int64(ncols) + mcols
+    # composite_keys on both streams: same (rows, ncols) → same dtype, so
+    # the membership searchsorted runs on int32 whenever the product keys do
+    mkeys = composite_keys(mseg, mcols, ncols)
     keys = composite_keys(seg, bj, ncols)
     # chunk-wide ALLOWED test: product key present in the mask stream?
     allowed = sorted_membership(mkeys, keys)
@@ -143,7 +145,7 @@ def _fused_symbolic(A: CSRMatrix, B: CSRMatrix, mask: Mask,
     if bj.size == 0:
         return sizes
     m_prow = np.repeat(np.arange(rows.size, dtype=np.int64), np.diff(mseg))
-    mkeys = m_prow * np.int64(ncols) + mcols
+    mkeys = composite_keys(mseg, mcols, ncols)  # dtype matches `keys`
     keys = composite_keys(seg, bj, ncols)
     allowed = sorted_membership(mkeys, keys)
     touched = np.zeros(mkeys.size, dtype=bool)

@@ -120,6 +120,7 @@ def parallel_masked_spgemm(
     plan=None,
     plan_sink: Optional[list] = None,
     direct_write: bool = True,
+    backend: str = "local",
 ) -> CSRMatrix:
     """Row-parallel ``C = M ⊙ (A·B)`` on the given executor.
 
@@ -130,7 +131,27 @@ def parallel_masked_spgemm(
     ``plan_sink`` when given) that feeds the direct-write numeric pass.
     ``direct_write=False`` forces the stitch path — the A/B knob the chunk
     benchmarks use.
+
+    ``backend`` selects the execution substrate: ``"local"`` (this runner's
+    chunked executor path) or ``"shard"``, which routes the product through
+    :func:`repro.shard.shard_masked_spgemm` — a transient shard-worker pool
+    whose workers scatter into a shared-memory output CSR (``executor``'s
+    ``nworkers`` sizes the pool; the executor itself is not used).
+    Ineligible requests degrade back to the local path inside the shard
+    layer, so results are identical either way.
     """
+    if backend not in ("local", "shard"):
+        raise AlgorithmError(
+            f"unknown backend {backend!r}; use 'local' or 'shard'")
+    if backend == "shard":
+        from ..shard import shard_masked_spgemm
+
+        nshards = executor.nworkers if executor is not None else 2
+        return shard_masked_spgemm(
+            A, B, mask, algorithm=algorithm, semiring=semiring,
+            phases=phases, nshards=max(int(nshards), 1), plan=plan,
+            plan_sink=plan_sink, executor=executor,
+            direct_write=direct_write)
     out_shape = check_multiplicable(A.shape, B.shape)
     mask.check_output_shape(out_shape)
     spec = registry.get_spec(algorithm)

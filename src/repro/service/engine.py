@@ -72,6 +72,9 @@ class EngineStats:
     #: baseline requests — never planned, excluded from hit/miss accounting
     unplanned: int = 0
     symbolic_skipped: int = 0
+    #: numeric passes executed on the shard-worker pool (shared-memory
+    #: direct write); the complement ran in-process
+    sharded: int = 0
     #: requests served whole from the result cache (no plan lookup, no
     #: numeric pass) — also excluded from plan hit/miss accounting
     result_hits: int = 0
@@ -106,6 +109,8 @@ class EngineStats:
             self.cold_latencies.append(stats.total_seconds)
         if stats.symbolic_skipped:
             self.symbolic_skipped += 1
+        if stats.sharded:
+            self.sharded += 1
         self.plan_seconds += stats.plan_seconds
         self.numeric_seconds += stats.numeric_seconds
 
@@ -127,6 +132,19 @@ class Engine:
     executor : optional :mod:`repro.parallel` executor used for the numeric
         pass of every request (row parallelism *within* a product;
         :class:`BatchExecutor` adds parallelism *across* products).
+    shards : optional shard-worker pool size. When set (and shared memory is
+        usable — see :func:`repro.shard.shared_memory_available`), operands
+        are mirrored into shared-memory segments at registration and every
+        eligible request's numeric pass runs on a persistent
+        :class:`~repro.shard.ShardCoordinator` pool, each worker scattering
+        its row range straight into a shared output CSR
+        (``RequestStats.sharded``). Ineligible requests (baselines,
+        non-direct-write kernels, custom semirings) and environments without
+        shared memory degrade to the in-process path —
+        :attr:`shard_degraded` reports the latter.
+    result_admit_flops_per_byte : admission threshold for the default result
+        cache (see :class:`ResultCache`): results estimated to save fewer
+        flops per cached byte are not admitted. 0 admits everything.
     """
 
     def __init__(self, store: MatrixStore | None = None,
@@ -135,15 +153,47 @@ class Engine:
                  plan_capacity: int = 256,
                  result_cache: ResultCache | None = None,
                  result_cache_bytes: int | None = None,
-                 executor=None):
+                 result_admit_flops_per_byte: float = 0.0,
+                 executor=None,
+                 shards: int | None = None):
         self.store = store if store is not None else MatrixStore(budget_bytes)
         self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
         if result_cache is None and result_cache_bytes is not None:
-            result_cache = ResultCache(result_cache_bytes)
+            result_cache = ResultCache(
+                result_cache_bytes,
+                min_flops_per_byte=result_admit_flops_per_byte)
         self.results = result_cache
         self.executor = executor
         self.stats = EngineStats()
         self._lock = threading.Lock()
+        self.shards = None
+        self.shard_degraded = False
+        if shards:
+            from ..shard import ShardCoordinator, shared_memory_available
+
+            if shared_memory_available():
+                self.shards = ShardCoordinator(shards)
+            else:
+                self.shard_degraded = True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release owned multi-process resources: terminate the shard pool
+        and unlink every shared-memory segment. Idempotent, and safe (a
+        no-op) on engines without sharding — callers can put it in a
+        ``finally`` unconditionally. The executor is caller-owned and stays
+        open."""
+        coord, self.shards = self.shards, None
+        if coord is not None:
+            coord.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # store facade
@@ -165,8 +215,28 @@ class Engine:
         entry.fingerprint
         if self.results is not None:
             entry.value_fingerprint
+        if self.shards is not None:
+            from ..shard import ShardError
+
+            try:
+                self.shards.share(key, value)
+            except ShardError:
+                # no segment headroom for this operand: it simply serves
+                # in-process (requests naming it fall back per-request)
+                self.shard_degraded = True
+            # reconcile with the in-process store's byte-budget LRU: any
+            # operand it silently evicted during this register must drop
+            # its shared segment too, or /dev/shm grows without bound
+            # under operand churn
+            with self._lock:
+                evicted = [k for k in self.shards.store.keys()
+                           if k not in self.store]
+            for k in evicted:
+                self.shards.evict(k)
 
     def evict(self, key: str) -> bool:
+        if self.shards is not None:
+            self.shards.evict(key)
         with self._lock:
             return self.store.evict(key)
 
@@ -324,15 +394,46 @@ class Engine:
                 row_sizes_known=plan.row_sizes is not None)
 
         t0 = time.perf_counter()
-        result = masked_spgemm(A, B, mask, algorithm=algorithm,
-                               semiring=semiring, phases=phases,
-                               executor=self.executor, plan=plan)
+        result = None
+        if (self.shards is not None and request is not None
+                and plan is not None and plan.row_sizes is not None
+                and self.shards.eligible(plan.algorithm, semiring)):
+            from ..shard import ShardError
+
+            try:
+                # store-keyed request on a fused kernel: numeric pass runs
+                # on the shard pool, workers scattering into a shared
+                # output CSR (the multi-process direct-write path)
+                result = self.shards.multiply(
+                    request.a, request.b, request.mask, mask, plan,
+                    semiring, plan_cache_key=key)
+                stats.sharded = True
+                stats.direct_write = True
+            except (ShardError, OSError):
+                # segment pressure / missing operand segment (incl. a
+                # worker's attach losing a race with re-registration, which
+                # surfaces as FileNotFoundError) / closed pool: degrade this
+                # request to the in-process path. Kernel-level errors
+                # (stale plan etc.) propagate — they would fail in-process
+                # identically and must stay loud
+                self.shard_degraded = True
+        if result is None:
+            result = masked_spgemm(A, B, mask, algorithm=algorithm,
+                                   semiring=semiring, phases=phases,
+                                   executor=self.executor, plan=plan)
         stats.numeric_seconds = time.perf_counter() - t0
         stats.total_seconds = time.perf_counter() - t_start
         stats.output_nnz = result.nnz
+        flops = None
+        if rkey is not None and self.results.min_flops_per_byte > 0:
+            # admission estimate, computed outside the lock (O(nnz(A)))
+            from ..core.expand import total_flops
+
+            flops = total_flops(A, B)
         with self._lock:
             if rkey is not None:
-                self.results.put(rkey, result, stats.algorithm or algorithm)
+                self.results.put(rkey, result, stats.algorithm or algorithm,
+                                 flops=flops)
             self.stats.record(stats)
         return Response(result=result, stats=stats, tag=tag, request=request)
 

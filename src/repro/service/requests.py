@@ -83,6 +83,8 @@ class RequestStats:
     result_cache_hit: bool = False # whole numeric result came from the cache
     direct_write: bool = False     # numeric pass wrote straight into the
                                    # final CSR arrays (two-phase, fused kernel)
+    sharded: bool = False          # numeric pass ran on the shard-worker
+                                   # pool (shared-memory direct write)
     coalesced: bool = False        # response shared with an identical
                                    # in-flight request (async server dedup)
     plan_seconds: float = 0.0      # auto-select + symbolic (0 on warm hits)

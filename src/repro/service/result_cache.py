@@ -68,18 +68,33 @@ class ResultCache:
     budget_bytes : ceiling on summed result bytes. Admitting past it evicts
         least-recently-used entries; a result larger than the whole budget is
         not admitted at all (counted in ``oversize_rejects``).
+    min_flops_per_byte : cost-aware admission threshold. A cache hit saves
+        the numeric pass — roughly the request's partial-product count
+        (flops) — at the price of the result's bytes evicting other
+        entries' savings. Results whose estimated ``flops / bytes`` falls
+        below the threshold are not admitted (counted in
+        ``policy_rejects``), so huge low-reuse outputs stop flushing hot
+        small ones. 0 (default) admits everything under budget; callers
+        that cannot estimate flops pass ``flops=None`` and bypass the
+        policy (admission stays budget-only for them).
     """
 
-    def __init__(self, budget_bytes: int = 256 << 20):
+    def __init__(self, budget_bytes: int = 256 << 20, *,
+                 min_flops_per_byte: float = 0.0):
         if budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        if min_flops_per_byte < 0:
+            raise ValueError(f"min_flops_per_byte must be >= 0, "
+                             f"got {min_flops_per_byte}")
         self.budget_bytes = budget_bytes
+        self.min_flops_per_byte = float(min_flops_per_byte)
         self._results: OrderedDict[ResultKey, CachedResult] = OrderedDict()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.oversize_rejects = 0
+        self.policy_rejects = 0
 
     def get(self, key: ResultKey) -> CachedResult | None:
         entry = self._results.get(key)
@@ -90,11 +105,18 @@ class ResultCache:
         self.hits += 1
         return entry
 
-    def put(self, key: ResultKey, matrix: CSRMatrix, algorithm: str) -> bool:
-        """Admit a result; returns False when it exceeds the whole budget."""
+    def put(self, key: ResultKey, matrix: CSRMatrix, algorithm: str, *,
+            flops: int | None = None) -> bool:
+        """Admit a result; returns False when it exceeds the whole budget or
+        fails the flops-per-byte admission policy (``flops`` is the caller's
+        estimate of the numeric work a future hit would save)."""
         nbytes = matrix_nbytes(matrix)
         if nbytes > self.budget_bytes:
             self.oversize_rejects += 1
+            return False
+        if (self.min_flops_per_byte > 0 and flops is not None
+                and flops < self.min_flops_per_byte * nbytes):
+            self.policy_rejects += 1
             return False
         old = self._results.pop(key, None)
         if old is not None:

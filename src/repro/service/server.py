@@ -104,6 +104,9 @@ class ServerStats:
     #: requests served by awaiting an identical in-flight request's future
     #: (never admitted, never executed)
     coalesced: int = 0
+    #: completed requests whose numeric pass ran on the engine's
+    #: shard-worker pool (``RequestStats.sharded``)
+    sharded: int = 0
     max_queue_depth: int = 0
     max_inflight_seen: int = 0
     #: bounded windows, same rationale as EngineStats
@@ -183,14 +186,32 @@ class AsyncServer:
         return self
 
     async def close(self) -> None:
-        """Graceful shutdown: refuse new work, drain the queue, join workers."""
+        """Graceful shutdown: refuse new work, drain the queue, join workers.
+
+        Robust on failure paths: workers are joined with
+        ``return_exceptions=True`` and any queued request left unresolved
+        (a worker task that died mid-drain) gets :class:`ServerClosed` set
+        on its future, so no submitter can hang on shutdown. The first
+        worker-task error (there should be none — workers attribute
+        failures per request) is re-raised after cleanup completes.
+        """
         if self._cond is None:
             return
         async with self._cond:
             self._closed = True
             self._cond.notify_all()
-        await asyncio.gather(*self._tasks)
+        results = await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        async with self._cond:
+            leftovers, self._pending = list(self._pending), deque()
+            self._queued_flops = 0
+        for pending in leftovers:  # pragma: no cover - worker-death path
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServerClosed("server worker died before this request ran"))
+        errors = [r for r in results if isinstance(r, BaseException)]
+        if errors:  # pragma: no cover - workers catch per-batch failures
+            raise errors[0]
 
     async def __aenter__(self) -> "AsyncServer":
         return await self.start()
@@ -360,14 +381,23 @@ class AsyncServer:
             if batch is None:
                 return
             t_exec = time.perf_counter()
-            results = await asyncio.to_thread(
-                self._run_batch, [p.request for p in batch])
+            try:
+                results = await asyncio.to_thread(
+                    self._run_batch, [p.request for p in batch])
+            except Exception as e:
+                # batch-level failure (BatchExecutor plumbing): attribute it
+                # to every request in the batch and keep the worker alive —
+                # dying here would strand the futures of everything still
+                # queued behind this batch. CancelledError and friends are
+                # BaseException and deliberately NOT caught: a cancelled
+                # worker must die promptly (close() fails its leftovers)
+                results = [e] * len(batch)
             t_done = time.perf_counter()
             async with self._cond:
                 self.stats.batches += 1
                 for pending, result in zip(batch, results):
                     self._inflight -= 1
-                    if isinstance(result, Exception):
+                    if isinstance(result, BaseException):
                         self.stats.failed += 1
                         if not pending.future.cancelled():
                             pending.future.set_exception(result)
@@ -375,6 +405,8 @@ class AsyncServer:
                     result.stats.queued_seconds = t_exec - pending.t_admit
                     result.stats.total_seconds = t_done - pending.t_admit
                     self.stats.completed += 1
+                    if result.stats.sharded:
+                        self.stats.sharded += 1
                     self.stats.queue_waits.append(result.stats.queued_seconds)
                     self.stats.latencies.append(result.stats.total_seconds)
                     if not pending.future.cancelled():

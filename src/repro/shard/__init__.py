@@ -1,0 +1,61 @@
+"""Sharded multi-process execution: shared-memory operand stores and
+row-partitioned plans.
+
+This package scales masked SpGEMM past one interpreter without giving up
+the direct-write numeric path PR 4 built. The pieces:
+
+* :mod:`~repro.shard.memory` — shared-memory segment layout, attach-by-name
+  plumbing, and lifecycle bookkeeping (creators own names, attachments are
+  pure views, result mappings die with the arrays viewing them);
+* :class:`ShardedMatrixStore` — key → shared-segment operand registry
+  (the multi-process face of :class:`repro.service.store.MatrixStore`);
+* :class:`ShardPlanner` / :class:`ShardPlan` — deterministic balanced row
+  partitioning of :class:`~repro.core.plan.SymbolicPlan` row sizes (the 1D
+  decomposition of Buluç–Gilbert), memoized under the same
+  fingerprint-based keys the plan cache uses, so shard plans stay
+  location-independent and persistence rides the existing
+  :class:`~repro.service.plan.PlanStore`;
+* :class:`ShardCoordinator` — persistent worker pool dispatching per-shard
+  ``numeric_rows_into`` scatters straight into a shared output CSR;
+* :func:`shard_masked_spgemm` — the one-shot face
+  (``parallel_masked_spgemm(backend="shard")`` routes here);
+* :func:`shared_memory_available` — the degradation probe: no usable
+  shared memory means callers fall back to in-process execution.
+
+Results are bit-identical to the in-process tiers — the same kernels run
+on the same contiguous row ranges; only the memory they scatter into is a
+shared mapping instead of a private allocation.
+
+Quickstart (service-level; see ``Engine(shards=N)`` for the usual entry)::
+
+    from repro import csr_random
+    from repro.shard import shard_masked_spgemm
+
+    A = csr_random(500, 500, density=0.02, rng=0)
+    M = csr_random(500, 500, density=0.05, rng=1)
+    C = shard_masked_spgemm(A, A, M, algorithm="esc", nshards=2)
+"""
+
+from .coordinator import ShardCoordinator, shard_masked_spgemm
+from .memory import (
+    MatrixHandle,
+    SegmentRegistry,
+    ShardError,
+    shared_memory_available,
+)
+from .planner import ShardPlan, ShardPlanner, split_row_sizes, split_rows
+from .store import ShardedMatrixStore
+
+__all__ = [
+    "ShardCoordinator",
+    "shard_masked_spgemm",
+    "ShardedMatrixStore",
+    "ShardPlan",
+    "ShardPlanner",
+    "split_row_sizes",
+    "split_rows",
+    "MatrixHandle",
+    "SegmentRegistry",
+    "ShardError",
+    "shared_memory_available",
+]

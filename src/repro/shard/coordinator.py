@@ -1,0 +1,360 @@
+"""Shard coordinator: a persistent worker pool executing row-partitioned
+masked SpGEMM through shared memory.
+
+``ShardCoordinator`` is the execution half of :mod:`repro.shard`. It owns
+
+* a :class:`~repro.shard.store.ShardedMatrixStore` of operand segments,
+* a :class:`~repro.shard.planner.ShardPlanner` memoizing row partitions,
+* a **persistent** process pool of ``nshards`` workers (created lazily on
+  first dispatch, reused across requests — unlike
+  :class:`repro.parallel.executor.ProcessExecutor`, which forks a fresh
+  pool per call and pays the fork + teardown on every product).
+
+One product (:meth:`multiply`) runs as:
+
+1. split the two-phase plan's row sizes into balanced contiguous shard
+   plans (memoized per plan key);
+2. allocate one shared output segment sized to the plan's exact nnz and
+   compute the output ``indptr`` coordinator-side (one cumsum);
+3. dispatch one :func:`repro.shard.worker.numeric_task` per shard — each
+   worker scatters its rows straight into the shared ``cols``/``vals`` via
+   the kernel's ``numeric_rows_into``, closing the "process pools keep the
+   stitch path" gap from PR 4: children *can* write the final arrays when
+   the arrays are a shared mapping;
+4. assemble the result **without copying**: the returned
+   :class:`~repro.sparse.csr.CSRMatrix` views the shared segment, whose
+   name is unlinked immediately (crash hygiene) while the memory lives
+   until the last view is garbage collected
+   (:func:`repro.shard.memory.adopt_arrays`).
+
+Failure and lifecycle behaviour is deliberately boring: any worker error
+unlinks the request's output segment before propagating; :meth:`close`
+terminates the pool and unlinks every owned segment, is idempotent, and is
+also registered via ``weakref.finalize`` so an abandoned coordinator cannot
+leak ``/dev/shm`` space for the life of the process.
+
+:func:`shard_masked_spgemm` is the one-shot functional face (what
+``parallel_masked_spgemm(backend="shard")`` routes to); long-lived services
+use the coordinator through :class:`repro.service.engine.Engine`
+(``Engine(shards=N)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import weakref
+
+import numpy as np
+
+from ..core import registry
+from ..core.plan import SymbolicPlan
+from ..errors import AlgorithmError
+from ..mask import Mask
+from ..semiring import PLUS_TIMES, Semiring
+from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE, check_multiplicable
+from . import worker as worker_mod
+from .memory import (
+    MatrixHandle,
+    ShardError,
+    adopt_arrays,
+    create_output,
+    output_arrays,
+    shared_memory_available,
+)
+from .planner import ShardPlanner, split_rows
+from .store import ShardedMatrixStore
+
+_ADHOC_KEYS = itertools.count()
+
+
+def _pool_context():
+    """Prefer ``fork`` (workers inherit the import state; startup is
+    milliseconds); fall back to ``spawn`` where fork is unavailable. Both
+    work — segments are attached by *name*, never inherited."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ShardCoordinator:
+    """Row-partitioned masked-SpGEMM execution across a persistent pool.
+
+    Parameters
+    ----------
+    nshards : worker-pool size = number of row partitions per product.
+    store : optional pre-built :class:`ShardedMatrixStore` (a fresh one by
+        default; :class:`~repro.service.engine.Engine` shares its own).
+    """
+
+    def __init__(self, nshards: int, *, store: ShardedMatrixStore | None = None):
+        if nshards <= 0:
+            raise ShardError(f"nshards must be positive, got {nshards}")
+        self.nshards = int(nshards)
+        self.store = store if store is not None else ShardedMatrixStore()
+        self.planner = ShardPlanner(self.nshards)
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        #: requests executed / shard tasks dispatched (engine telemetry)
+        self.products = 0
+        self.tasks = 0
+        self._finalizer = weakref.finalize(self, ShardCoordinator._cleanup,
+                                           self.store)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        if self._closed:
+            raise ShardError("coordinator is closed")
+        if self._pool is None:
+            # locked: concurrent first dispatches (async-server worker
+            # threads) must not each fork a pool and orphan all but one
+            with self._pool_lock:
+                if self._pool is None and not self._closed:
+                    ctx = _pool_context()
+                    self._pool = ctx.Pool(processes=self.nshards,
+                                          initializer=worker_mod.reset_caches)
+        if self._pool is None:  # pragma: no cover - closed during the race
+            raise ShardError("coordinator is closed")
+        return self._pool
+
+    @staticmethod
+    def _cleanup(store: ShardedMatrixStore) -> None:
+        store.close()
+
+    def close(self) -> None:
+        """Terminate the pool and unlink every owned segment. Idempotent —
+        called from engine shutdown, ``with`` exits, and error paths alike.
+
+        The pool swap happens under ``_pool_lock`` so a concurrent first
+        dispatch cannot fork a pool *after* close() checked and found none
+        (the orphaned-workers race)."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self.store.close()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # eligibility
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def eligible(algorithm: str, semiring: Semiring) -> bool:
+        """Can this request run sharded? Requires a direct-write kernel
+        (``numeric_rows_into``) and a registered semiring (task messages
+        carry semirings by name — same constraint as the process executor).
+        """
+        if semiring.name not in _SEMIRING_REGISTRY:
+            return False
+        try:
+            spec = registry.get_spec(algorithm)
+        except AlgorithmError:
+            return False
+        return spec.numeric_into is not None
+
+    # ------------------------------------------------------------------ #
+    # operand plumbing
+    # ------------------------------------------------------------------ #
+    def share(self, key: str, value: CSRMatrix | Mask) -> MatrixHandle:
+        """Register (or replace) an operand segment under a store key."""
+        return self.store.register(key, value)
+
+    def evict(self, key: str) -> bool:
+        return self.store.evict(key)
+
+    def _adhoc_handle(self, value) -> tuple[str, MatrixHandle]:
+        key = f"__adhoc_{next(_ADHOC_KEYS)}"
+        return key, self.store.register(key, value)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def symbolic(self, a_key: str, b_key: str, mask_key: str | None,
+                 mask: Mask, out_shape, algorithm: str,
+                 weights: np.ndarray | None = None) -> np.ndarray:
+        """Sharded symbolic pass: exact per-row output sizes (cold path)."""
+        a_h = self.store.handle(a_key)
+        b_h = self.store.handle(b_key)
+        m_h = self.store.handle(mask_key) if mask_key is not None else None
+        ranges = split_rows(out_shape[0], self.nshards, weights)
+        if not ranges:
+            return np.zeros(0, dtype=INDEX_DTYPE)
+        tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
+                  algorithm, lo, hi) for lo, hi in ranges]
+        parts = self._ensure_pool().map(worker_mod.symbolic_task, tasks)
+        self.tasks += len(tasks)
+        return np.concatenate(parts).astype(INDEX_DTYPE, copy=False)
+
+    def multiply(self, a_key: str, b_key: str, mask_key: str | None,
+                 mask: Mask, plan: SymbolicPlan, semiring: Semiring, *,
+                 plan_cache_key: tuple | None = None,
+                 weights: np.ndarray | None = None) -> CSRMatrix:
+        """Execute one two-phase product across the shard pool.
+
+        ``plan`` must carry row sizes (the engine always has them by numeric
+        time); ``plan_cache_key`` keys the partition memo so warm serving
+        splits each plan exactly once.
+        """
+        if plan.row_sizes is None:
+            raise ShardError("sharded numeric execution needs a two-phase "
+                             "plan with row sizes")
+        if not self.eligible(plan.algorithm, semiring):
+            raise ShardError(
+                f"algorithm {plan.algorithm!r} / semiring {semiring.name!r} "
+                f"cannot run sharded (needs numeric_rows_into and a "
+                f"registered semiring)"
+            )
+        a_h = self.store.handle(a_key)
+        b_h = self.store.handle(b_key)
+        m_h = self.store.handle(mask_key) if mask_key is not None else None
+        out_shape = plan.shape
+        nrows = out_shape[0]
+        nnz = plan.nnz
+        if nnz == 0 or nrows == 0:
+            indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+            self.products += 1
+            return CSRMatrix(indptr, np.empty(0, dtype=INDEX_DTYPE),
+                             np.empty(0, dtype=np.float64), out_shape,
+                             check=False)
+
+        shard_plans = self.planner.split(plan, key=plan_cache_key,
+                                         weights=weights)
+        out_handle, out_seg = create_output(nrows, nnz)
+        self.store.registry.track(out_seg)
+        indptr, cols, vals = output_arrays(out_handle, out_seg)
+        # the shared indptr comes from *this* plan's row sizes, not the
+        # memoized shard plans: the memo may only reuse partition
+        # boundaries, or a poisoned cache entry with the right key could
+        # smuggle stale offsets past the kernels' size validation
+        indptr[0] = 0
+        np.cumsum(plan.row_sizes, out=indptr[1:])
+        try:
+            tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
+                      plan.algorithm, semiring.name, sp.row_lo, sp.row_hi,
+                      out_handle) for sp in shard_plans]
+            self._ensure_pool().map(worker_mod.numeric_task, tasks)
+        except BaseException:
+            # worker failure (stale plan, kernel error, dead pool): the
+            # output segment must not outlive the request it belonged to
+            del indptr, cols, vals
+            self.store.registry.unlink(out_handle.name)
+            raise
+        self.tasks += len(tasks)
+        self.products += 1
+
+        # hand the mapping's lifetime to the result arrays, then retire the
+        # *name* immediately: nothing to clean if we crash later, and the
+        # memory itself lives exactly as long as the result does
+        adopt_arrays(out_seg, indptr, cols, vals)
+        self.store.registry.unlink(out_handle.name)
+        return CSRMatrix(indptr, cols, vals, out_shape, check=False)
+
+
+# --------------------------------------------------------------------- #
+# one-shot functional face
+# --------------------------------------------------------------------- #
+def shard_masked_spgemm(
+    A: CSRMatrix,
+    B: CSRMatrix,
+    mask: Mask | CSRMatrix | None = None,
+    *,
+    algorithm: str = "auto",
+    semiring: Semiring = PLUS_TIMES,
+    phases: int = 2,
+    nshards: int = 2,
+    plan: SymbolicPlan | None = None,
+    plan_sink: list | None = None,
+    coordinator: ShardCoordinator | None = None,
+    executor=None,
+    direct_write: bool = True,
+) -> CSRMatrix:
+    """One-shot sharded ``C = M ⊙ (A·B)`` — the ``backend="shard"`` face of
+    :func:`repro.parallel.runner.parallel_masked_spgemm`.
+
+    Shares the operands, runs the (sharded) symbolic pass when no plan is
+    supplied, executes the numeric pass across the pool, and tears the
+    transient coordinator down. Requests the shard layer cannot take
+    (one-phase, non-direct-write kernels, unregistered semirings, no shared
+    memory) fall back to the in-process runner — graceful degradation, same
+    results. ``executor`` and ``direct_write`` exist *for* that fallback
+    (forwarded untouched, so a degraded ``backend="shard"`` call is never
+    slower than ``backend="local"`` would have been); the sharded path
+    itself uses neither.
+    """
+    out_shape = check_multiplicable(A.shape, B.shape)
+    if mask is None:
+        mask = Mask.full(out_shape)
+    elif isinstance(mask, CSRMatrix):
+        mask = Mask.from_matrix(mask)
+    mask.check_output_shape(out_shape)
+    algorithm = algorithm.lower()
+    if plan is not None:
+        plan.check_output_shape(out_shape)
+        if algorithm not in ("auto", plan.algorithm):
+            raise AlgorithmError(
+                f"plan was built for algorithm {plan.algorithm!r}, "
+                f"got algorithm={algorithm!r}"
+            )
+        algorithm = plan.algorithm
+    elif algorithm == "auto":
+        algorithm = registry.auto_select(A, B, mask)
+
+    degrade = (phases != 2
+               or not ShardCoordinator.eligible(algorithm, semiring)
+               or not shared_memory_available())
+    if degrade:
+        from ..parallel.runner import parallel_masked_spgemm
+
+        return parallel_masked_spgemm(
+            A, B, mask, algorithm=algorithm, semiring=semiring,
+            phases=phases, executor=executor, plan=plan,
+            plan_sink=plan_sink, direct_write=direct_write)
+
+    own = coordinator is None
+    coord = coordinator if coordinator is not None \
+        else ShardCoordinator(nshards)
+    shared_keys: list[str] = []
+    try:
+        a_key, _ = coord._adhoc_handle(A)
+        shared_keys.append(a_key)
+        if B is A:
+            b_key = a_key
+        else:
+            b_key, _ = coord._adhoc_handle(B)
+            shared_keys.append(b_key)
+        mask_key = None
+        # the "full" mask (empty pattern, complemented) needs no segment —
+        # workers rebuild it locally from the shape
+        if mask.nnz or not mask.complemented:
+            mask_key, _ = coord._adhoc_handle(mask)
+            shared_keys.append(mask_key)
+        if plan is None or plan.row_sizes is None:
+            row_sizes = coord.symbolic(a_key, b_key, mask_key, mask,
+                                       out_shape, algorithm)
+            plan = SymbolicPlan(algorithm=algorithm, phases=2,
+                                shape=out_shape, row_sizes=row_sizes)
+            if plan_sink is not None:
+                plan_sink.append(plan)
+        # the result views its own (already-unlinked) output segment, so
+        # tearing the transient coordinator down below cannot touch it
+        return coord.multiply(a_key, b_key, mask_key, mask, plan, semiring)
+    finally:
+        if own:
+            coord.close()
+        else:
+            for key in shared_keys:
+                coord.evict(key)

@@ -1,0 +1,308 @@
+"""Shared-memory segments for zero-copy operand exchange between processes.
+
+The sharded execution layer (:mod:`repro.shard`) moves CSR arrays between
+the coordinator and its worker processes through POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) instead of pickling them over pipes.
+One matrix becomes one segment laid out as::
+
+    [ indptr : int64 ] [ indices : int64 ] [ data : float64 (matrices only) ]
+
+and the only thing that ever crosses a pipe is a :class:`MatrixHandle` — a
+few ints plus the segment name. Workers attach by name and build zero-copy
+:class:`~repro.sparse.csr.CSRMatrix` / :class:`~repro.mask.Mask` views over
+the mapping; the coordinator likewise maps worker-written output segments
+straight into the final result arrays, so a sharded product is assembled
+without a single stitch copy on either side.
+
+Lifecycle rules (the part that makes shared memory safe to operate):
+
+* every segment a process *creates* is tracked until it is explicitly
+  unlinked — :class:`SegmentRegistry` owns that bookkeeping and its
+  :meth:`~SegmentRegistry.close` is idempotent, so shutdown and crash paths
+  can both call it;
+* *attachments* never own the name: :func:`attach` unregisters the mapping
+  from this process's ``resource_tracker`` so a worker exiting can never
+  unlink a segment the coordinator still serves from (the stdlib registers
+  attachments exactly like creations, which is wrong for our topology);
+* result arrays handed to callers keep their mapping alive through
+  :func:`adopt_arrays` finalizers — the segment *name* is unlinked eagerly
+  (freeing it for reuse and for crash cleanup), while the memory itself
+  lives until the last array viewing it is garbage collected.
+
+:func:`shared_memory_available` is the degradation probe: callers that
+cannot get a segment (no ``/dev/shm``, no headroom, sealed sandbox) fall
+back to the in-process path instead of failing.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..errors import ReproError
+from ..mask import Mask
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE
+
+VALUE_DTYPE = np.float64
+_ITEM = 8  # bytes per element for both int64 and float64
+
+
+class ShardError(ReproError):
+    """Sharded-execution failure: segment allocation, worker dispatch, or
+    lifecycle misuse."""
+
+
+def shared_memory_available(nbytes: int = 4096) -> bool:
+    """Can this process create (and immediately release) a shared segment?
+
+    The probe is how :class:`~repro.service.engine.Engine` and the CI smoke
+    decide between sharded and in-process execution — environments without
+    ``/dev/shm`` headroom degrade gracefully instead of erroring per request.
+    """
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+    except (OSError, ValueError):
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:  # pragma: no cover - probe segment vanished underneath us
+        pass
+    return True
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* taking ownership of its name.
+
+    The stdlib registers every mapping with the ``resource_tracker``, which
+    is wrong for attachers twice over: a *spawned* worker's own tracker
+    would unlink coordinator-owned segments when the worker exits, and a
+    *forked* worker shares the coordinator's tracker, so an attach-side
+    register/unregister pair races the creator's (the tracker logs KeyError
+    tracebacks when an unregister arrives twice). Suppress the registration
+    at the source instead: attachments are pure views, creators own names.
+    """
+    saved = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = saved
+
+
+def _close_quietly(seg: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating still-exported views.
+
+    When two arrays view one segment and the first is collected, the mapping
+    must stay open for the second; its finalizer closes for real once the
+    last view is gone.
+    """
+    try:
+        seg.close()
+    except BufferError:
+        pass
+
+
+class _AdoptedSegment(shared_memory.SharedMemory):
+    """A mapping whose lifetime belongs to the arrays viewing it.
+
+    ``close`` tolerates still-exported views (arrays outliving the segment
+    object, e.g. results alive at interpreter shutdown) so neither the
+    finalizers nor ``__del__`` can raise — the OS reclaims the pages when
+    the process exits regardless.
+    """
+
+    def close(self):  # noqa: D102 - behaviour documented in class docstring
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
+def adopt_arrays(seg: shared_memory.SharedMemory, *arrays: np.ndarray) -> None:
+    """Tie a mapping's lifetime to the arrays viewing it.
+
+    Each array gets a finalizer holding a strong reference to ``seg``; the
+    mapping is closed when the last viewing array is garbage collected. The
+    caller is expected to have unlinked (or to later unlink) the *name*
+    separately — names and mappings have independent lifetimes by design.
+    """
+    seg.__class__ = _AdoptedSegment  # make every later close() tolerant
+    for arr in arrays:
+        weakref.finalize(arr, _close_quietly, seg)
+
+
+# --------------------------------------------------------------------- #
+# matrix <-> segment layout
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MatrixHandle:
+    """Picklable description of one matrix/mask living in a shared segment.
+
+    ``kind`` is ``"csr"`` (indptr + indices + data) or ``"mask"`` (pattern
+    only — the mask's ``complemented`` flag travels with the *request*, not
+    the segment, so one stored pattern serves both polarities).
+    """
+
+    name: str
+    kind: str                 # "csr" | "mask"
+    shape: tuple[int, int]
+    nnz: int
+
+    @property
+    def nbytes(self) -> int:
+        n = (self.shape[0] + 1 + self.nnz) * _ITEM
+        if self.kind == "csr":
+            n += self.nnz * _ITEM
+        return n
+
+
+def _layout(handle: MatrixHandle, buf) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    nrows = handle.shape[0]
+    indptr = np.frombuffer(buf, dtype=INDEX_DTYPE, count=nrows + 1, offset=0)
+    off = (nrows + 1) * _ITEM
+    indices = np.frombuffer(buf, dtype=INDEX_DTYPE, count=handle.nnz, offset=off)
+    data = None
+    if handle.kind == "csr":
+        off += handle.nnz * _ITEM
+        data = np.frombuffer(buf, dtype=VALUE_DTYPE, count=handle.nnz, offset=off)
+    return indptr, indices, data
+
+
+def share_matrix(value: CSRMatrix | Mask) -> tuple[MatrixHandle, shared_memory.SharedMemory]:
+    """Copy a matrix/mask into a fresh shared segment; returns its handle and
+    the owning :class:`SharedMemory` (the caller tracks + eventually unlinks).
+
+    This is the one copy in the sharded pipeline — paid once per
+    registration, after which every worker maps the same pages zero-copy.
+    """
+    kind = "csr" if isinstance(value, CSRMatrix) else "mask"
+    handle = MatrixHandle(name="", kind=kind, shape=tuple(value.shape),
+                          nnz=int(value.indices.size))
+    try:
+        seg = shared_memory.SharedMemory(create=True,
+                                         size=max(handle.nbytes, 1))
+    except (OSError, ValueError) as e:
+        raise ShardError(f"cannot allocate {handle.nbytes}-byte shared "
+                         f"segment: {e}") from e
+    handle = MatrixHandle(name=seg.name, kind=kind, shape=handle.shape,
+                          nnz=handle.nnz)
+    indptr, indices, data = _layout(handle, seg.buf)
+    indptr[:] = value.indptr
+    indices[:] = value.indices
+    if data is not None:
+        data[:] = value.data
+    # drop our temporary views so seg.close() later cannot hit BufferError
+    del indptr, indices, data
+    return handle, seg
+
+
+def attach_matrix(handle: MatrixHandle,
+                  seg: shared_memory.SharedMemory) -> CSRMatrix:
+    """Zero-copy :class:`CSRMatrix` over an attached segment (``check=False``:
+    the creator validated; re-validating per task would be O(nnz))."""
+    indptr, indices, data = _layout(handle, seg.buf)
+    return CSRMatrix(indptr, indices, data, handle.shape, check=False)
+
+
+def attach_mask(handle: MatrixHandle, seg: shared_memory.SharedMemory, *,
+                complemented: bool) -> Mask:
+    """Zero-copy :class:`Mask` over an attached segment.
+
+    Built via ``__new__`` to skip ``Mask.__init__``'s validation round trip
+    (it materializes a throwaway all-ones CSR, O(nnz) per call — the creator
+    already validated this pattern once).
+    """
+    indptr, indices, _ = _layout(handle, seg.buf)
+    m = Mask.__new__(Mask)
+    m.shape = handle.shape
+    m.indptr = indptr
+    m.indices = indices
+    m.complemented = bool(complemented)
+    return m
+
+
+# --------------------------------------------------------------------- #
+# output segments
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OutputHandle:
+    """One sharded product's shared output CSR, laid out as
+    ``[indptr : int64 (nrows+1)] [cols : int64 (nnz)] [vals : float64 (nnz)]``.
+
+    The coordinator writes ``indptr`` (one cumsum of the plan's row sizes)
+    before dispatch; workers slice their absolute destination offsets
+    straight out of the mapping, so task messages carry only a row range —
+    no per-shard offset arrays cross a pipe, and the assembled result views
+    all three arrays zero-copy.
+    """
+
+    name: str
+    nrows: int
+    nnz: int
+
+
+def create_output(nrows: int, nnz: int
+                  ) -> tuple[OutputHandle, shared_memory.SharedMemory]:
+    """Allocate the shared ``indptr``/``cols``/``vals`` arrays for one
+    sharded product."""
+    nbytes = (nrows + 1 + 2 * nnz) * _ITEM
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+    except (OSError, ValueError) as e:
+        raise ShardError(f"cannot allocate {nbytes}-byte shared "
+                         f"output segment: {e}") from e
+    return OutputHandle(name=seg.name, nrows=nrows, nnz=nnz), seg
+
+
+def output_arrays(handle: OutputHandle, seg: shared_memory.SharedMemory
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    indptr = np.frombuffer(seg.buf, dtype=INDEX_DTYPE,
+                           count=handle.nrows + 1, offset=0)
+    off = (handle.nrows + 1) * _ITEM
+    cols = np.frombuffer(seg.buf, dtype=INDEX_DTYPE, count=handle.nnz,
+                         offset=off)
+    vals = np.frombuffer(seg.buf, dtype=VALUE_DTYPE, count=handle.nnz,
+                         offset=off + handle.nnz * _ITEM)
+    return indptr, cols, vals
+
+
+# --------------------------------------------------------------------- #
+# creator-side bookkeeping
+# --------------------------------------------------------------------- #
+class SegmentRegistry:
+    """Tracks every segment this process created so shutdown (or a crash
+    handler) can unlink all of them exactly once. ``unlink`` and ``close``
+    are idempotent — exception paths and normal teardown may both run."""
+
+    def __init__(self):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def track(self, seg: shared_memory.SharedMemory) -> None:
+        self._segments[seg.name] = seg
+
+    def unlink(self, name: str) -> bool:
+        """Unlink one segment by name; returns whether it was tracked."""
+        seg = self._segments.pop(name, None)
+        if seg is None:
+            return False
+        _close_quietly(seg)
+        try:
+            seg.unlink()
+        except OSError:  # pragma: no cover - already gone (crashed worker etc.)
+            pass
+        return True
+
+    def live_names(self) -> list[str]:
+        return list(self._segments)
+
+    def close(self) -> None:
+        for name in list(self._segments):
+            self.unlink(name)
+
+    def __len__(self) -> int:
+        return len(self._segments)

@@ -1,0 +1,141 @@
+"""Row partitioning of symbolic plans across shard workers.
+
+The sharded layer uses the classic 1D row decomposition of parallel SpGEMM
+(Buluç & Gilbert): output rows are split into contiguous ranges, shard *s*
+computes ``C[lo_s:hi_s, :]`` from its rows of A and the mask against all of
+B. A :class:`~repro.core.plan.SymbolicPlan` already carries everything the
+decomposition needs — exact per-row output sizes — so a :class:`ShardPlan`
+is just a *view* of the full plan restricted to one row range, plus the
+global nnz offsets that make its slice of the output CSR arrays disjoint
+from every other shard's.
+
+Two properties matter for the service layer:
+
+* **determinism** — the split is a pure function of ``(row_sizes, weights,
+  nshards)``, so the same persisted plan always shards the same way on any
+  host. Shard plans therefore need no persistence of their own: the full
+  plan rides the existing fingerprint-keyed
+  :class:`~repro.service.plan.PlanStore`, and the split is recomputed (and
+  memoized) per process. Location independence falls out of the same
+  fingerprint keying the plan cache already uses.
+* **balance** — ranges are cut by :func:`repro.parallel.partition.
+  balanced_partition` over per-row *work* estimates (flops when the caller
+  has them, planned output sizes otherwise), not equal row counts: skewed
+  degree distributions would otherwise starve most shards (the paper's
+  challenge (iv)).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.plan import SymbolicPlan
+from ..parallel.partition import balanced_partition
+from ..validation import INDEX_DTYPE
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's share of a two-phase plan: a contiguous row range plus
+    the absolute output nnz interval its rows occupy.
+
+    Only scalars are carried — the destination *offsets* a worker needs are
+    a slice of the output ``indptr`` the coordinator writes into the shared
+    output segment per request (deriving them from the executing plan, not
+    from this memoized split, is what keeps the kernels' stale-plan
+    validation airtight; see ``ShardCoordinator.multiply``).
+    """
+
+    shard: int
+    row_lo: int
+    row_hi: int               # exclusive
+    nnz_lo: int
+    nnz_hi: int               # exclusive
+
+    @property
+    def nrows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def nnz(self) -> int:
+        return self.nnz_hi - self.nnz_lo
+
+
+def split_row_sizes(row_sizes: np.ndarray, nshards: int,
+                    weights: np.ndarray | None = None) -> list[ShardPlan]:
+    """Cut exact per-row output sizes into ≤ ``nshards`` balanced contiguous
+    shard plans (fewer when there are fewer rows than shards; never zero for
+    a non-empty output space)."""
+    if nshards <= 0:
+        raise ValueError(f"nshards must be positive, got {nshards}")
+    row_sizes = np.asarray(row_sizes)
+    indptr = np.zeros(row_sizes.size + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_sizes, out=indptr[1:])
+    w = np.asarray(weights, dtype=np.float64) if weights is not None \
+        else row_sizes.astype(np.float64)
+    chunks = balanced_partition(w, nshards)
+    plans = []
+    for s, chunk in enumerate(chunks):
+        lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+        plans.append(ShardPlan(shard=s, row_lo=lo, row_hi=hi,
+                               nnz_lo=int(indptr[lo]), nnz_hi=int(indptr[hi])))
+    return plans
+
+
+def split_rows(nrows: int, nshards: int,
+               weights: np.ndarray | None = None) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` row ranges for plan-less (symbolic) dispatch."""
+    if nrows == 0:
+        return []
+    w = (np.asarray(weights, dtype=np.float64) if weights is not None
+         else np.ones(nrows))
+    return [(int(c[0]), int(c[-1]) + 1)
+            for c in balanced_partition(w, nshards)]
+
+
+class ShardPlanner:
+    """Memoizing splitter: ``(plan identity, nshards) → [ShardPlan]``.
+
+    The memo is keyed on the *plan cache key* (content fingerprints — see
+    :func:`repro.service.plan.plan_key`) when the caller has one; ad-hoc
+    plans without a key are split fresh every call — an object-identity
+    fallback would hand a recycled ``id()`` another plan's stale partition.
+    Splitting is cheap (one cumsum + one partition), so the memo is a small
+    LRU purely to keep the warm serving path free of per-request work.
+    """
+
+    def __init__(self, nshards: int, *, capacity: int = 128):
+        if nshards <= 0:
+            raise ValueError(f"nshards must be positive, got {nshards}")
+        self.nshards = int(nshards)
+        self.capacity = int(capacity)
+        self._memo: OrderedDict[tuple, list[ShardPlan]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def split(self, plan: SymbolicPlan, *, key: tuple | None = None,
+              weights: np.ndarray | None = None) -> list[ShardPlan]:
+        if plan.row_sizes is None:
+            raise ValueError("only two-phase plans (with row sizes) shard; "
+                             "run the symbolic pass first")
+        if key is None or weights is not None:
+            # no key → an id()-based memo could hand a recycled object
+            # another plan's stale partition; explicit weights → the memo
+            # key doesn't capture them, so a cached split could silently
+            # carry a different weighting's balance. Both split fresh.
+            return split_row_sizes(plan.row_sizes, self.nshards, weights)
+        memo_key = (key, self.nshards)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self._memo.move_to_end(memo_key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        plans = split_row_sizes(plan.row_sizes, self.nshards)
+        self._memo[memo_key] = plans
+        while len(self._memo) > self.capacity:
+            self._memo.popitem(last=False)
+        return plans

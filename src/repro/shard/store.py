@@ -1,0 +1,101 @@
+"""Shared-memory operand store for sharded execution.
+
+``ShardedMatrixStore`` is the multi-process sibling of
+:class:`repro.service.store.MatrixStore`: the same key → matrix namespace,
+but entries live in named shared-memory segments
+(:func:`repro.shard.memory.share_matrix`) so shard workers map them
+zero-copy instead of receiving pickled arrays. The physical layout is one
+segment per matrix; the *row partition* is logical — each shard's plan
+(:class:`repro.shard.planner.ShardPlan`) restricts workers to their
+contiguous row range of A and the mask, while B is read shared by all
+shards, the standard 1D SpGEMM decomposition (workers only fault the pages
+their row range actually touches).
+
+Registration semantics mirror the in-process store: re-registering a key
+replaces its segment (the old one is unlinked immediately — workers attach
+per task by name, so they can never see a torn update), and eviction
+unlinks. :meth:`close` unlinks everything and is idempotent; the engine
+calls it from both graceful shutdown and exception paths.
+"""
+
+from __future__ import annotations
+
+from ..mask import Mask
+from ..sparse.csr import CSRMatrix
+from .memory import MatrixHandle, SegmentRegistry, ShardError, share_matrix
+
+
+class ShardedMatrixStore:
+    """Key → shared-segment registry for shard-worker operands."""
+
+    def __init__(self):
+        self._handles: dict[str, MatrixHandle] = {}
+        self._registry = SegmentRegistry()
+        self.shared_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    def register(self, key: str, value: CSRMatrix | Mask) -> MatrixHandle:
+        """Copy ``value`` into a fresh segment under ``key`` (replacing and
+        unlinking any previous segment for the key)."""
+        if not isinstance(value, (CSRMatrix, Mask)):
+            raise ShardError(
+                f"shard store values must be CSRMatrix or Mask, "
+                f"got {type(value).__name__}"
+            )
+        handle, seg = share_matrix(value)
+        self._registry.track(seg)
+        old = self._handles.get(key)
+        self._handles[key] = handle
+        if old is not None:
+            self.shared_bytes -= old.nbytes
+            self._registry.unlink(old.name)
+        self.shared_bytes += handle.nbytes
+        return handle
+
+    def handle(self, key: str) -> MatrixHandle:
+        try:
+            return self._handles[key]
+        except KeyError:
+            raise ShardError(
+                f"no shared matrix under {key!r}; "
+                f"known keys: {sorted(self._handles)}"
+            ) from None
+
+    def evict(self, key: str) -> bool:
+        handle = self._handles.pop(key, None)
+        if handle is None:
+            return False
+        self.shared_bytes -= handle.nbytes
+        self._registry.unlink(handle.name)
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._handles
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def keys(self) -> list[str]:
+        return list(self._handles)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> SegmentRegistry:
+        """The creator-side segment tracker (the coordinator also parks its
+        transient output segments here so one ``close`` covers everything)."""
+        return self._registry
+
+    def live_segment_names(self) -> list[str]:
+        """Names of every segment this store still owns — the hook the
+        lifecycle tests use to verify nothing leaks past ``close()``."""
+        return self._registry.live_names()
+
+    def close(self) -> None:
+        """Unlink every owned segment. Idempotent; safe on exception paths."""
+        self._handles.clear()
+        self.shared_bytes = 0
+        self._registry.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ShardedMatrixStore {len(self._handles)} entries, "
+                f"{self.shared_bytes} shared bytes>")

@@ -1,0 +1,196 @@
+"""Shard-worker process side: attach-by-name caches and task entry points.
+
+Each worker in the coordinator's persistent pool runs these top-level
+(picklable) functions. A task message carries only handles and a row range;
+the worker attaches the named segments (memoized per process, LRU-bounded),
+builds zero-copy CSR/Mask views, and
+
+* for a **numeric** task, runs the kernel's ``numeric_rows_into`` to scatter
+  its shard's rows *directly into the shared output arrays* at the plan's
+  absolute offsets — the multi-process completion of the direct-write path
+  (PR 4 left process pools on the stitch path because children cannot write
+  parent memory; a shared mapping is exactly how they can);
+* for a **symbolic** task, returns its row range's exact output sizes (the
+  cold-path half of plan building, parallelized the same 1D way).
+
+The attachment cache makes the warm path allocation-free: a repeated-mask
+request stream attaches each operand segment once per worker and thereafter
+pays only the kernel. Replaced segments (operand re-registration) get fresh
+names, so stale cache entries are never *wrong* — merely unused until the
+LRU evicts them.
+
+Everything here must stay import-light and fork-safe: tasks run under a
+``fork`` (or ``spawn``) pool, exceptions propagate back to the coordinator
+pickled, and attachments never own segment names (see
+:func:`repro.shard.memory.attach`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core import registry
+from ..mask import Mask
+from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
+from ..sparse.csr import CSRMatrix
+from ..validation import INDEX_DTYPE
+from .memory import (
+    MatrixHandle,
+    OutputHandle,
+    attach,
+    attach_mask,
+    attach_matrix,
+    output_arrays,
+)
+
+#: most distinct segments one worker keeps mapped; evictions close mappings
+#: (replaced operands age out here instead of pinning freed memory forever)
+ATTACH_CACHE_CAP = 64
+
+_MATRICES: OrderedDict[str, tuple] = OrderedDict()   # name -> (seg, CSRMatrix)
+_MASKS: OrderedDict[tuple, tuple] = OrderedDict()    # (name, compl) -> (seg, Mask)
+#: (operand names, algorithm, row range) -> [(lo, hi), ...] chunk boundaries
+_CHUNKS: OrderedDict[tuple, list] = OrderedDict()
+
+
+def reset_caches() -> None:
+    """Drop every cached attachment (pool initializer: a forked worker must
+    not inherit the parent's mappings bookkeeping as its own)."""
+    for cache in (_MATRICES, _MASKS):
+        for seg, _ in cache.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+        cache.clear()
+    _CHUNKS.clear()
+
+
+def _evict_lru(cache: OrderedDict) -> None:
+    while len(cache) > ATTACH_CACHE_CAP:
+        _, (seg, _) = cache.popitem(last=False)
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - view still in flight
+            pass
+
+
+def _matrix(handle: MatrixHandle) -> CSRMatrix:
+    hit = _MATRICES.get(handle.name)
+    if hit is not None:
+        _MATRICES.move_to_end(handle.name)
+        return hit[1]
+    seg = attach(handle.name)
+    m = attach_matrix(handle, seg)
+    _MATRICES[handle.name] = (seg, m)
+    _evict_lru(_MATRICES)
+    return m
+
+
+def _mask(handle: MatrixHandle | None, complemented: bool,
+          shape: tuple[int, int]) -> Mask:
+    if handle is None:
+        return Mask.full(shape)
+    key = (handle.name, bool(complemented))
+    hit = _MASKS.get(key)
+    if hit is not None:
+        _MASKS.move_to_end(key)
+        return hit[1]
+    seg = attach(handle.name)
+    m = attach_mask(handle, seg, complemented=complemented)
+    _MASKS[key] = (seg, m)
+    _evict_lru(_MASKS)
+    return m
+
+
+def _shard_chunks(A, B, mask, algorithm: str, row_lo: int, row_hi: int,
+                  cache_key: tuple) -> list[tuple[int, int]]:
+    """Cache-budget chunk boundaries for one shard's row range.
+
+    A shard processed as a single fused call streams its whole partial-
+    product working set through cache at once; the serial runner already
+    learned (PR 4) that cutting rows into :func:`~repro.parallel.partition.
+    chunk_budget`-sized pieces is measurably faster. Workers apply the same
+    sizing to their own range — memoized per (operand segments, algorithm,
+    range), so warm serving pays the O(nnz) weight estimate once.
+    """
+    hit = _CHUNKS.get(cache_key)
+    if hit is not None:
+        _CHUNKS.move_to_end(cache_key)
+        return hit
+    from ..parallel.partition import balanced_partition, budget_chunk_count
+
+    # the push-kernel estimate (flops_i + nnz(m_i)) restricted to this
+    # shard's rows — the full-matrix estimate_row_weights would redo the
+    # whole O(nnz) pass in every worker (only direct-write push kernels
+    # reach here, so the pull/inner branch is not needed)
+    a_lo, a_hi = int(A.indptr[row_lo]), int(A.indptr[row_hi])
+    lens = np.diff(B.indptr)[A.indices[a_lo:a_hi]]
+    csum = np.concatenate([[0], np.cumsum(lens)])
+    flops = (csum[A.indptr[row_lo + 1:row_hi + 1] - a_lo]
+             - csum[A.indptr[row_lo:row_hi] - a_lo]).astype(np.float64)
+    weights = flops + np.diff(mask.indptr[row_lo:row_hi + 1])
+    nchunks = budget_chunk_count(weights, 1)
+    bounds = [(row_lo + int(c[0]), row_lo + int(c[-1]) + 1)
+              for c in balanced_partition(weights, nchunks)]
+    _CHUNKS[cache_key] = bounds
+    while len(_CHUNKS) > ATTACH_CACHE_CAP:
+        _CHUNKS.popitem(last=False)
+    return bounds
+
+
+# --------------------------------------------------------------------- #
+# task entry points (top-level: must pickle under fork *and* spawn)
+# --------------------------------------------------------------------- #
+def numeric_task(args) -> int:
+    """Compute one shard's rows straight into the shared output arrays.
+
+    Returns the shard's nnz (cheap progress telemetry). Size validation
+    happens inside ``numeric_rows_into`` (via ``write_block_into``), so a
+    stale plan raises *here*, before any out-of-slice write, and the error
+    propagates to the coordinator pickled.
+    """
+    (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
+     semiring_name, row_lo, row_hi, out_handle) = args
+    A = _matrix(a_handle)
+    B = _matrix(b_handle)
+    mask = _mask(mask_handle, complemented, out_shape)
+    spec = registry.get_spec(algorithm)
+    semiring = _SEMIRING_REGISTRY[semiring_name]
+    chunk_key = (a_handle.name, b_handle.name,
+                 mask_handle.name if mask_handle else None, complemented,
+                 algorithm, row_lo, row_hi)
+    chunks = _shard_chunks(A, B, mask, algorithm, row_lo, row_hi, chunk_key)
+    out_seg = attach(out_handle.name)
+    try:
+        # absolute destination offsets are a zero-copy slice of the shared
+        # indptr the coordinator wrote before dispatch
+        indptr, out_cols, out_vals = output_arrays(out_handle, out_seg)
+        for lo, hi in chunks:
+            spec.numeric_into(A, B, mask, semiring,
+                              np.arange(lo, hi, dtype=INDEX_DTYPE),
+                              out_cols, out_vals, indptr[lo:hi + 1])
+        nnz = int(indptr[row_hi] - indptr[row_lo])
+        del indptr, out_cols, out_vals  # release buffer exports
+    finally:
+        # output segments are per-request; caching their mappings would pin
+        # every past result's memory in every worker
+        try:
+            out_seg.close()
+        except BufferError:  # pragma: no cover - exports above always freed
+            pass
+    return nnz
+
+
+def symbolic_task(args) -> np.ndarray:
+    """Exact output sizes for one shard's row range (cold-path plan build)."""
+    (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
+     row_lo, row_hi) = args
+    A = _matrix(a_handle)
+    B = _matrix(b_handle)
+    mask = _mask(mask_handle, complemented, out_shape)
+    spec = registry.get_spec(algorithm)
+    rows = np.arange(row_lo, row_hi, dtype=INDEX_DTYPE)
+    return spec.symbolic(A, B, mask, rows)

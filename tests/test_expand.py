@@ -1,8 +1,11 @@
 """Tests for the row-expansion helpers shared by push kernels."""
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.expand import (
+    composite_keys,
     concat_ranges,
     expand_row,
     expand_row_pattern,
@@ -111,3 +114,76 @@ def test_empty_matrices():
     assert per_row_flops(A, B).tolist() == [0, 0, 0, 0]
     bj, prod = expand_row(A, B, 0, PLUS_TIMES)
     assert bj.size == 0 and prod.size == 0
+
+
+# --------------------------------------------------------------------- #
+# int32 composite-key fast path (budget-sized chunks fit int32 keys)
+# --------------------------------------------------------------------- #
+class TestCompositeKeyDtype:
+    """``composite_keys`` halves sort traffic with int32 keys whenever the
+    chunk's key space ``chunk_rows * ncols`` fits, falling back to int64 at
+    the boundary — values must be identical either side of it."""
+
+    @staticmethod
+    def _keys_for(nrows, ncols, per_row=2):
+        seg = np.arange(nrows + 1, dtype=np.int64) * per_row
+        cols = np.tile(np.array([0, ncols - 1], dtype=np.int64)[:per_row],
+                       nrows)
+        return composite_keys(seg, cols, ncols)
+
+    def test_small_chunks_use_int32(self):
+        keys = self._keys_for(nrows=6, ncols=100)
+        assert keys.dtype == np.int32
+        assert keys.tolist() == [0, 99, 100, 199, 200, 299,
+                                 300, 399, 400, 499, 500, 599]
+
+    def test_boundary_exact(self):
+        # largest int32-safe key space: chunk_rows * ncols == 2^31 - 1
+        ncols = (2**31 - 1) // 3
+        assert composite_keys(np.array([0, 1, 1, 2]),
+                              np.array([0, ncols - 1]),
+                              ncols).dtype == np.int32
+        # one column more tips chunk_rows * ncols past 2^31 - 1 -> int64
+        assert composite_keys(np.array([0, 1, 1, 2]),
+                              np.array([0, ncols]),
+                              ncols + 1).dtype == np.int64
+
+    def test_values_equal_across_boundary(self):
+        # same logical (row, col) pairs, key spaces straddling the cutoff:
+        # the fused keys must decode to identical (row, col) either way
+        for ncols in ((2**31 - 1) // 4, (2**31 - 1) // 4 + 1):
+            keys = self._keys_for(nrows=4, ncols=ncols)
+            rows_back = keys.astype(np.int64) // ncols
+            cols_back = keys.astype(np.int64) % ncols
+            assert rows_back.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+            assert cols_back.tolist() == [0, ncols - 1] * 4
+
+    def test_int64_fallback_huge_ncols(self):
+        # a single row over a > 2^31 column space cannot use int32
+        ncols = 2**32
+        keys = composite_keys(np.array([0, 2]),
+                              np.array([0, ncols - 1], dtype=np.int64), ncols)
+        assert keys.dtype == np.int64
+        assert keys.tolist() == [0, ncols - 1]
+
+    def test_zero_row_chunk_any_ncols(self):
+        # empty chunks must not trip the int32 cast on a huge ncols
+        keys = composite_keys(np.array([0]), np.empty(0, dtype=np.int64),
+                              2**40)
+        assert keys.size == 0
+
+    @given(nrows=st.integers(1, 8), ncols=st.integers(1, 50),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_int64_reference(self, nrows, ncols, data):
+        lens = data.draw(st.lists(st.integers(0, 5), min_size=nrows,
+                                  max_size=nrows))
+        seg = np.concatenate([[0], np.cumsum(lens)]).astype(np.int64)
+        cols = np.array(data.draw(st.lists(st.integers(0, ncols - 1),
+                                           min_size=int(seg[-1]),
+                                           max_size=int(seg[-1]))),
+                        dtype=np.int64)
+        keys = composite_keys(seg, cols, ncols)
+        prow = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(seg))
+        ref = prow * np.int64(ncols) + cols
+        assert np.array_equal(keys.astype(np.int64), ref)

@@ -1,0 +1,555 @@
+"""Sharded multi-process execution (`repro.shard`).
+
+The PR-5 contracts:
+
+* sharded execution is **bit-identical** to the in-process tiers (and the
+  pure-Python reference) across the four fused kernels, plain and
+  complemented masks, all registered semirings — the same kernels run on
+  the same contiguous row ranges, only into a shared mapping;
+* :class:`~repro.shard.ShardPlanner` splits are deterministic, contiguous,
+  cover every row exactly once, and carry absolute offsets matching the
+  full plan's indptr;
+* lifecycle safety: ``Engine.close()`` / coordinator ``close()`` unlink
+  every created segment (verified against ``/dev/shm``), worker failures
+  clean up the request's output segment and leave the pool serviceable,
+  and everything degrades to the in-process path when shared memory or
+  eligibility is missing;
+* the service layer reports shard telemetry (``RequestStats.sharded``,
+  ``EngineStats.sharded``, ``ServerStats.sharded``).
+"""
+
+import asyncio
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import make_triple
+from repro.core import build_plan, masked_spgemm
+from repro.core.plan import SymbolicPlan
+from repro.core.reference import reference_masked_spgemm
+from repro.errors import AlgorithmError, ReproError
+from repro.mask import Mask
+from repro.parallel.runner import parallel_masked_spgemm
+from repro.semiring import MIN_PLUS, PLUS_PAIR, PLUS_TIMES
+from repro.service import AsyncServer, Engine, Request
+from repro.shard import (
+    ShardCoordinator,
+    ShardedMatrixStore,
+    ShardError,
+    ShardPlanner,
+    shard_masked_spgemm,
+    shared_memory_available,
+    split_row_sizes,
+)
+from repro.sparse import CSRMatrix, csr_random
+
+FUSED = ["esc", "msa", "hash", "heap"]
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="no usable shared memory on this machine (degradation has its "
+           "own always-on tests below)")
+
+
+def _shm_leftovers(names):
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux fallback
+        return []
+    return [n for n in names if (shm / n.lstrip("/")).exists()]
+
+
+def _assert_identical(got, want):
+    assert got.same_pattern(want)
+    assert np.array_equal(got.data, want.data)
+
+
+# --------------------------------------------------------------------- #
+# bit-identity against the in-process tiers
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("algorithm", FUSED)
+@pytest.mark.parametrize("complemented", [False, True])
+def test_shard_equals_reference(rng, algorithm, complemented):
+    A, B, M = make_triple(rng, m=40, k=30, n=35)
+    mask = Mask.from_matrix(M, complemented=complemented)
+    ref = reference_masked_spgemm(A, B, mask, algorithm)
+    got = shard_masked_spgemm(A, B, mask, algorithm=algorithm, nshards=3)
+    _assert_identical(got, ref)
+
+
+@pytest.mark.parametrize("semiring", [PLUS_TIMES, PLUS_PAIR, MIN_PLUS],
+                         ids=lambda s: s.name)
+def test_shard_all_semirings(rng, semiring):
+    A, B, M = make_triple(rng, m=35, k=30, n=30)
+    mask = Mask.from_matrix(M)
+    want = masked_spgemm(A, B, mask, algorithm="esc", semiring=semiring,
+                         phases=2)
+    got = shard_masked_spgemm(A, B, mask, algorithm="esc",
+                              semiring=semiring, nshards=2)
+    _assert_identical(got, want)
+
+
+def test_shard_tc_workload(rng):
+    """The paper's TC product L ⊙ (L·L) — the gate workload's shape."""
+    from repro.graphs import erdos_renyi
+    from repro.graphs.prep import triangle_prep
+
+    L = triangle_prep(erdos_renyi(200, 8.0, rng=7, symmetrize=True))
+    mask = Mask.from_matrix(L)
+    want = masked_spgemm(L, L, mask, algorithm="esc", semiring=PLUS_PAIR,
+                         phases=2)
+    got = shard_masked_spgemm(L, L, mask, algorithm="esc",
+                              semiring=PLUS_PAIR, nshards=2)
+    _assert_identical(got, want)
+
+
+def test_shard_empty_and_tiny(rng):
+    A = CSRMatrix.empty((6, 5))
+    B = CSRMatrix.empty((5, 7))
+    M = csr_random(6, 7, density=0.3, rng=rng)
+    got = shard_masked_spgemm(A, B, Mask.from_matrix(M), algorithm="esc",
+                              nshards=2)
+    assert got.nnz == 0 and got.shape == (6, 7)
+    # more shards than rows
+    A2, B2, M2 = make_triple(rng, m=3, k=4, n=5)
+    mask = Mask.from_matrix(M2)
+    got = shard_masked_spgemm(A2, B2, mask, algorithm="msa", nshards=8)
+    _assert_identical(got, masked_spgemm(A2, B2, mask, algorithm="msa",
+                                         phases=2))
+
+
+def test_shard_with_prebuilt_plan_and_sink(rng):
+    A, B, M = make_triple(rng, m=30)
+    mask = Mask.from_matrix(M)
+    plan = build_plan(A, B, mask, algorithm="hash", phases=2)
+    got = shard_masked_spgemm(A, B, mask, algorithm="hash", nshards=2,
+                              plan=plan)
+    _assert_identical(got, masked_spgemm(A, B, mask, algorithm="hash",
+                                         phases=2, plan=plan))
+    # no plan: the sharded symbolic pass fills the sink with an equal plan
+    sink = []
+    shard_masked_spgemm(A, B, mask, algorithm="hash", nshards=2,
+                        plan_sink=sink)
+    assert len(sink) == 1
+    assert np.array_equal(sink[0].row_sizes, plan.row_sizes)
+
+
+def test_runner_shard_backend(rng):
+    A, B, M = make_triple(rng, m=30)
+    mask = Mask.from_matrix(M)
+    want = parallel_masked_spgemm(A, B, mask, algorithm="esc", phases=2)
+    got = parallel_masked_spgemm(A, B, mask, algorithm="esc", phases=2,
+                                 backend="shard")
+    _assert_identical(got, want)
+    with pytest.raises(AlgorithmError, match="backend"):
+        parallel_masked_spgemm(A, B, mask, backend="nonesuch")
+
+
+# --------------------------------------------------------------------- #
+# planner
+# --------------------------------------------------------------------- #
+class TestShardPlanner:
+    def test_split_covers_rows_disjointly(self):
+        sizes = np.array([5, 0, 3, 7, 1, 0, 2, 4], dtype=np.int64)
+        plans = split_row_sizes(sizes, 3)
+        assert plans[0].row_lo == 0 and plans[-1].row_hi == sizes.size
+        for a, b in zip(plans, plans[1:]):
+            assert a.row_hi == b.row_lo
+        indptr = np.concatenate([[0], np.cumsum(sizes)])
+        for sp in plans:
+            assert sp.nnz_lo == indptr[sp.row_lo]
+            assert sp.nnz_hi == indptr[sp.row_hi]
+            assert sp.nnz == int(sizes[sp.row_lo:sp.row_hi].sum())
+
+    def test_split_balances_by_sizes(self):
+        # one huge row should not drag its whole half along
+        sizes = np.array([100, 1, 1, 1, 1, 1, 1, 1], dtype=np.int64)
+        plans = split_row_sizes(sizes, 2)
+        assert plans[0].row_hi == 1  # the heavy row alone
+        assert plans[1].nrows == 7
+
+    def test_split_deterministic_and_memoized(self):
+        plan = SymbolicPlan(algorithm="esc", phases=2, shape=(6, 4),
+                            row_sizes=np.array([1, 2, 3, 1, 0, 2]))
+        planner = ShardPlanner(2)
+        a = planner.split(plan, key=("k",))
+        b = planner.split(plan, key=("k",))
+        assert a is b and planner.hits == 1 and planner.misses == 1
+        again = ShardPlanner(2).split(plan, key=("k",))
+        assert [(p.row_lo, p.row_hi) for p in a] == \
+               [(p.row_lo, p.row_hi) for p in again]
+
+    def test_keyless_plans_never_memoized(self):
+        """Ad-hoc plans (no cache key) must be split fresh: an id()-based
+        memo could hand a recycled object id another plan's partition."""
+        planner = ShardPlanner(2)
+        p1 = SymbolicPlan(algorithm="esc", phases=2, shape=(4, 4),
+                          row_sizes=np.array([5, 1, 1, 1]))
+        s1 = planner.split(p1)
+        p2 = SymbolicPlan(algorithm="esc", phases=2, shape=(4, 4),
+                          row_sizes=np.array([1, 1, 1, 5]))
+        s2 = planner.split(p2)
+        assert planner.hits == 0 and planner.misses == 0
+        assert [(p.row_lo, p.row_hi) for p in s1] != \
+               [(p.row_lo, p.row_hi) for p in s2]
+
+    def test_one_phase_plan_rejected(self):
+        plan = SymbolicPlan(algorithm="esc", phases=1, shape=(4, 4))
+        with pytest.raises(ValueError, match="two-phase"):
+            ShardPlanner(2).split(plan)
+
+    def test_bad_nshards(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        with pytest.raises(ShardError):
+            ShardCoordinator(0)
+
+
+# --------------------------------------------------------------------- #
+# store + segment lifecycle
+# --------------------------------------------------------------------- #
+class TestShardedStoreLifecycle:
+    def test_register_replace_evict_unlink(self, rng):
+        store = ShardedMatrixStore()
+        A = csr_random(20, 20, density=0.2, rng=rng)
+        h1 = store.register("A", A)
+        assert not _shm_leftovers([])  # sanity: helper tolerates empty
+        assert store.handle("A") is h1 and "A" in store
+        h2 = store.register("A", A)  # replace: old segment unlinked
+        assert h2.name != h1.name
+        assert _shm_leftovers([h1.name]) == []
+        assert _shm_leftovers([h2.name]) == [h2.name]
+        assert store.evict("A") and not store.evict("A")
+        assert _shm_leftovers([h2.name]) == []
+        with pytest.raises(ShardError, match="no shared matrix"):
+            store.handle("A")
+        store.close()
+
+    def test_close_unlinks_everything_idempotently(self, rng):
+        store = ShardedMatrixStore()
+        names = [store.register(f"m{i}",
+                                csr_random(10, 10, density=0.3, rng=rng)).name
+                 for i in range(3)]
+        assert len(store.live_segment_names()) == 3
+        store.close()
+        store.close()  # idempotent
+        assert _shm_leftovers(names) == []
+        assert store.live_segment_names() == []
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ShardError, match="CSRMatrix or Mask"):
+            ShardedMatrixStore().register("x", object())
+
+    def test_result_survives_coordinator_close(self, rng):
+        """Results view their own (already unlinked) segments — closing the
+        coordinator must not invalidate previously returned matrices."""
+        A, B, M = make_triple(rng, m=25)
+        mask = Mask.from_matrix(M)
+        coord = ShardCoordinator(2)
+        try:
+            a_key, _ = coord._adhoc_handle(A)
+            b_key, _ = coord._adhoc_handle(B)
+            m_key, _ = coord._adhoc_handle(mask)
+            plan = build_plan(A, B, mask, algorithm="esc", phases=2)
+            got = coord.multiply(a_key, b_key, m_key, mask, plan, PLUS_TIMES)
+        finally:
+            coord.close()
+        want = masked_spgemm(A, B, mask, algorithm="esc", phases=2, plan=plan)
+        _assert_identical(got, want)  # read AFTER close: mapping still live
+
+    def test_closed_coordinator_refuses_work(self, rng):
+        coord = ShardCoordinator(1)
+        coord.close()
+        with pytest.raises(ShardError, match="closed"):
+            coord._ensure_pool()
+
+
+# --------------------------------------------------------------------- #
+# failure injection: worker errors must clean up and not poison the pool
+# --------------------------------------------------------------------- #
+class TestWorkerFailureCleanup:
+    def test_stale_plan_raises_and_unlinks_output(self, rng):
+        """A stale plan fails inside the *worker* (before any out-of-slice
+        write); the coordinator must propagate the error, unlink the
+        request's output segment, and keep serving later requests."""
+        A, B, M = make_triple(rng, m=30)
+        mask = Mask.from_matrix(M)
+        plan = build_plan(A, B, mask, algorithm="esc", phases=2)
+        if plan.nnz == 0:
+            pytest.skip("degenerate draw: empty output")
+        stale_sizes = plan.row_sizes.copy()
+        src = int(np.argmax(stale_sizes))
+        stale_sizes[src] -= 1
+        stale_sizes[(src + 1) % stale_sizes.size] += 1
+        stale = SymbolicPlan(algorithm="esc", phases=2, shape=plan.shape,
+                             row_sizes=stale_sizes)
+        coord = ShardCoordinator(2)
+        try:
+            a_key, _ = coord._adhoc_handle(A)
+            b_key, _ = coord._adhoc_handle(B)
+            m_key, _ = coord._adhoc_handle(mask)
+            before = set(coord.store.live_segment_names())
+            with pytest.raises(ReproError, match="stale plan"):
+                coord.multiply(a_key, b_key, m_key, mask, stale, PLUS_TIMES)
+            # no output segment left behind by the failed request
+            assert set(coord.store.live_segment_names()) == before
+            # the pool survived: the honest plan still executes
+            got = coord.multiply(a_key, b_key, m_key, mask, plan, PLUS_TIMES)
+            _assert_identical(got, masked_spgemm(A, B, mask, algorithm="esc",
+                                                 phases=2, plan=plan))
+        finally:
+            coord.close()
+        assert _shm_leftovers(list(before)) == []
+
+    def test_engine_worker_failure_keeps_segments_clean(self, rng):
+        """Same injection through the engine: the failed request surfaces
+        its error, later requests still shard, close() leaves nothing."""
+        A, B, M = make_triple(rng, m=30)
+        engine = Engine(shards=2)
+        try:
+            engine.register("A", A)
+            engine.register("B", B)
+            engine.register("M", M)
+            req = Request(a="A", b="B", mask="M", algorithm="esc", phases=2)
+            r1 = engine.submit(req)
+            assert r1.stats.sharded
+            # poison the cached plan with shifted sizes (same total nnz)
+            key = next(iter(engine.plans._plans))
+            good = engine.plans._plans[key]
+            stale_sizes = good.row_sizes.copy()
+            src = int(np.argmax(stale_sizes))
+            stale_sizes[src] -= 1
+            stale_sizes[(src + 1) % stale_sizes.size] += 1
+            engine.plans._plans[key] = SymbolicPlan(
+                algorithm=good.algorithm, phases=2, shape=good.shape,
+                row_sizes=stale_sizes)
+            with pytest.raises(ReproError, match="stale plan"):
+                engine.submit(req)
+            engine.plans._plans[key] = good
+            r2 = engine.submit(req)
+            assert r2.stats.sharded
+            _assert_identical(r2.result, r1.result)
+            names = engine.shards.store.live_segment_names()
+        finally:
+            engine.close()
+        assert _shm_leftovers(names) == []
+        engine.close()  # idempotent
+
+
+# --------------------------------------------------------------------- #
+# engine / server integration + telemetry
+# --------------------------------------------------------------------- #
+class TestEngineSharded:
+    def test_submit_sharded_bit_identical_and_counted(self, rng):
+        A, B, M = make_triple(rng, m=40, k=30, n=35)
+        plain = Engine()
+        plain.register("A", A), plain.register("B", B), plain.register("M", M)
+        req = Request(a="A", b="B", mask="M", algorithm="esc", phases=2)
+        want = plain.submit(req).result
+        with Engine(shards=2) as engine:
+            engine.register("A", A)
+            engine.register("B", B)
+            engine.register("M", M)
+            cold = engine.submit(req)
+            warm = engine.submit(req)
+            assert cold.stats.sharded and warm.stats.sharded
+            assert warm.stats.plan_cache_hit and warm.stats.direct_write
+            assert engine.stats.sharded == 2
+            _assert_identical(cold.result, want)
+            _assert_identical(warm.result, want)
+            # the planner memoized the warm split
+            assert engine.shards.planner.hits >= 1
+
+    def test_complemented_mask_request_shards(self, rng):
+        A, B, M = make_triple(rng, m=30)
+        with Engine(shards=2) as engine:
+            engine.register("A", A)
+            engine.register("B", B)
+            engine.register("M", M)
+            req = Request(a="A", b="B", mask="M", complemented=True,
+                          algorithm="esc", phases=2)
+            resp = engine.submit(req)
+            assert resp.stats.sharded
+            mask = Mask.from_matrix(M, complemented=True)
+            _assert_identical(resp.result,
+                              masked_spgemm(A, B, mask, algorithm="esc",
+                                            phases=2))
+
+    def test_ineligible_requests_fall_back_in_process(self, rng):
+        A, B, M = make_triple(rng, m=25, k=25, n=25)
+        with Engine(shards=2) as engine:
+            engine.register("A", A)
+            engine.register("M", M)
+            # mca has no numeric_rows_into -> in-process, still correct
+            resp = engine.submit(Request(a="A", b="A", mask="M",
+                                         algorithm="mca", phases=2))
+            assert not resp.stats.sharded
+            # one-phase requests carry no row sizes -> in-process
+            resp1 = engine.submit(Request(a="A", b="A", mask="M",
+                                          algorithm="esc", phases=1))
+            assert not resp1.stats.sharded
+            # ad-hoc multiply (no store keys) -> in-process
+            resp2 = engine.multiply(A, A, Mask.from_matrix(M),
+                                    algorithm="esc")
+            assert not resp2.stats.sharded
+            assert engine.stats.sharded == 0
+
+    def test_evicted_operand_falls_back_then_recovers(self, rng):
+        A, B, M = make_triple(rng, m=25, k=25, n=25)
+        with Engine(shards=1) as engine:
+            engine.register("A", A)
+            engine.register("M", M)
+            req = Request(a="A", b="A", mask="M", algorithm="esc", phases=2)
+            assert engine.submit(req).stats.sharded
+            # drop only the *shared* copy: the request must degrade, not die
+            engine.shards.evict("A")
+            resp = engine.submit(req)
+            assert not resp.stats.sharded and engine.shard_degraded
+            engine.shards.share("A", A)
+            assert engine.submit(req).stats.sharded
+
+    def test_degraded_engine_when_shm_unavailable(self, rng, monkeypatch):
+        monkeypatch.setattr("repro.shard.shared_memory_available",
+                            lambda *a, **k: False)
+        A, B, M = make_triple(rng, m=20, k=20, n=20)
+        engine = Engine(shards=2)
+        assert engine.shards is None and engine.shard_degraded
+        engine.register("A", A)
+        engine.register("M", M)
+        resp = engine.submit(Request(a="A", b="A", mask="M",
+                                     algorithm="esc", phases=2))
+        assert not resp.stats.sharded
+        engine.close()  # no-op, must not raise
+
+    def test_async_server_counts_sharded(self, rng):
+        A, B, M = make_triple(rng, m=30)
+        with Engine(shards=2) as engine:
+            engine.register("A", A)
+            engine.register("B", B)
+            engine.register("M", M)
+            reqs = [Request(a="A", b="B", mask="M", algorithm="esc",
+                            phases=2, tag=str(i)) for i in range(6)]
+
+            async def run():
+                async with AsyncServer(engine, workers=2,
+                                       dedup=False) as srv:
+                    return await asyncio.gather(
+                        *[srv.submit(r) for r in reqs])
+
+            resps = asyncio.run(run())
+            assert all(r.stats.sharded for r in resps)
+            assert engine.stats.sharded == len(reqs)
+
+    def test_store_budget_evictions_release_shared_segments(self, rng):
+        """Operands the in-process store LRU-evicts under its byte budget
+        must drop their shared segments too — /dev/shm cannot outgrow the
+        operand budget under churn."""
+        mats = [csr_random(40, 40, density=0.2, rng=rng) for _ in range(4)]
+        budget = sum(m.indptr.nbytes + m.indices.nbytes + m.data.nbytes
+                     for m in mats[:2]) + 64
+        with Engine(budget_bytes=budget, shards=1) as engine:
+            names = {}
+            for i, m in enumerate(mats):
+                engine.register(f"m{i}", m)
+                names[f"m{i}"] = engine.shards.store.handle(f"m{i}").name
+            live = set(engine.shards.store.keys())
+            assert live == set(engine.store.keys())  # mirrored exactly
+            evicted = set(names) - live
+            assert evicted  # the budget really did evict something
+            assert _shm_leftovers([names[k] for k in evicted]) == []
+
+    def test_engine_close_unlinks_all_segments(self, rng):
+        A, B, M = make_triple(rng, m=25)
+        engine = Engine(shards=2)
+        engine.register("A", A)
+        engine.register("B", B)
+        engine.register("M", M)
+        engine.submit(Request(a="A", b="B", mask="M", algorithm="esc",
+                              phases=2))
+        names = engine.shards.store.live_segment_names()
+        assert names  # operands really were shared
+        engine.close()
+        assert _shm_leftovers(names) == []
+        assert engine.shards is None
+
+
+# --------------------------------------------------------------------- #
+# degradation paths that must work even without shared memory
+# --------------------------------------------------------------------- #
+class TestDegradation:
+    def test_shard_spgemm_degrades_for_non_fused_kernel(self, rng):
+        A, B, M = make_triple(rng, m=25)
+        mask = Mask.from_matrix(M)
+        got = shard_masked_spgemm(A, B, mask, algorithm="mca", nshards=2)
+        _assert_identical(got, masked_spgemm(A, B, mask, algorithm="mca",
+                                             phases=2))
+
+    def test_shard_spgemm_degrades_for_one_phase(self, rng):
+        A, B, M = make_triple(rng, m=25)
+        mask = Mask.from_matrix(M)
+        got = shard_masked_spgemm(A, B, mask, algorithm="esc", phases=1,
+                                  nshards=2)
+        _assert_identical(got, masked_spgemm(A, B, mask, algorithm="esc",
+                                             phases=1))
+
+    def test_shard_spgemm_degrades_without_shm(self, rng, monkeypatch):
+        import repro.shard.coordinator as coord_mod
+
+        monkeypatch.setattr(coord_mod, "shared_memory_available",
+                            lambda *a, **k: False)
+        A, B, M = make_triple(rng, m=25)
+        mask = Mask.from_matrix(M)
+        got = shard_masked_spgemm(A, B, mask, algorithm="esc", nshards=2)
+        _assert_identical(got, masked_spgemm(A, B, mask, algorithm="esc",
+                                             phases=2))
+
+    def test_custom_semiring_degrades(self, rng):
+        from repro.semiring import Semiring
+        from repro.semiring.semiring import Monoid
+
+        custom = Semiring(add=Monoid(np.maximum, -np.inf, "max"),
+                          mul=np.multiply, name="custom_max_times")
+        A, B, M = make_triple(rng, m=20)
+        mask = Mask.from_matrix(M)
+        got = shard_masked_spgemm(A, B, mask, algorithm="esc",
+                                  semiring=custom, nshards=2)
+        _assert_identical(got, masked_spgemm(A, B, mask, algorithm="esc",
+                                             semiring=custom, phases=2))
+
+
+# --------------------------------------------------------------------- #
+# async-server worker hardening (satellite: shutdown on exception paths)
+# --------------------------------------------------------------------- #
+class TestServerFailureHardening:
+    def test_batch_level_failure_attributed_and_server_survives(self, rng):
+        """A batch-execution crash (not a per-request error) must fail that
+        batch's futures, keep the worker alive, and leave close() clean."""
+        A, B, M = make_triple(rng, m=20, k=20, n=20)
+        engine = Engine()
+        engine.register("A", A)
+        engine.register("M", M)
+        req = Request(a="A", b="A", mask="M", algorithm="esc", phases=2)
+
+        async def run():
+            server = AsyncServer(engine, workers=1, dedup=False)
+            await server.start()
+            boom = RuntimeError("injected batch crash")
+
+            def exploding(requests):
+                raise boom
+
+            original = server._run_batch
+            server._run_batch = exploding
+            with pytest.raises(RuntimeError, match="injected batch crash"):
+                await server.submit(req)
+            # the worker lived through it: restore and serve normally
+            server._run_batch = original
+            resp = await server.submit(req)
+            await server.close()
+            return resp
+
+        resp = asyncio.run(run())
+        assert resp.result.nnz == masked_spgemm(
+            A, A, Mask.from_matrix(M), algorithm="esc", phases=2).nnz
+        assert engine.stats.requests == 1  # the crashed batch never executed
