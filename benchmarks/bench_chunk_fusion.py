@@ -55,6 +55,10 @@ ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 #: warm-2P direct-write speedup over the stitch path on ≥ 1 face (ISSUE 4)
 GATE_CASE, GATE_MIN_SPEEDUP = "tc-rmat-s10-e8", 3.0
 DIRECT_GATE_MIN_SPEEDUP = 1.3
+#: auto-routing gate (ISSUE 6): on the large ktruss-support face the
+#: dispatcher must route to the per-row msa-loop tier and be no slower
+#: than the fused kernel it used to pick
+AUTO_GATE_CASE, AUTO_GATE_MIN_SPEEDUP = "ktruss-support-rmat-s10-e8", 1.0
 
 #: (kernel, its retained per-row loop) — loops are the fusion baselines
 LOOPS = {
@@ -159,6 +163,37 @@ def _bench_fused_vs_loop(results, rows):
     return gate
 
 
+def _bench_auto_routing(results, rows):
+    """ISSUE 6 face: the ktruss-support regime (C = E·E masked by E, long
+    skewed rows) should route ``auto`` to the per-row ``msa-loop`` tier on
+    the scale-10 point — and that routing must not lose to the fused
+    ``msa`` the dispatcher previously picked."""
+    from repro.core.registry import auto_select
+
+    emit("\n== auto routing: ktruss-support loop tier ==")
+    gate = {}
+    for s in (9, 10):
+        case = f"ktruss-support-rmat-s{s}-e8"
+        E = to_undirected_simple(rmat(s, 8, rng=7100 + s))
+        mask = Mask.from_matrix(E)
+        picked = auto_select(E, E, mask)
+        auto_run = _fused_runner(E, E, mask, PLUS_PAIR, "auto")
+        msa_run = _fused_runner(E, E, mask, PLUS_PAIR, "msa")
+        same = _bit_identical(auto_run(), msa_run())
+        t_auto = time_callable(auto_run, repeats=3, warmup=1)
+        t_msa = time_callable(msa_run, repeats=3, warmup=1)
+        speedup = t_msa / t_auto
+        results.append({"case": case, "workload": "auto-routing",
+                        "scheme": f"auto({picked})", "seconds": t_auto,
+                        "speedup_vs_msa_fused": speedup,
+                        "identical_to_loop": bool(same)})
+        rows.append([case, f"auto({picked})", t_auto * 1e3, speedup,
+                     "yes" if same else "NO"])
+        if case == AUTO_GATE_CASE:
+            gate = {"picked": picked, "speedup": speedup, "identical": same}
+    return gate
+
+
 def _bench_direct_write(results, rows):
     emit("\n== warm two-phase: direct write vs stitch ==")
     best = {}
@@ -245,6 +280,7 @@ def main() -> None:
 
     results, rows = [], []
     gate = _bench_fused_vs_loop(results, rows)
+    auto_gate = _bench_auto_routing(results, rows)
     direct = _bench_direct_write(results, rows)
     _bench_chunk_ablation(results, rows)
     emit(render_table(["case", "scheme", "time (ms)", "speedup", "note"],
@@ -268,6 +304,14 @@ def main() -> None:
     emit(f"acceptance gate [warm-2p direct write]: best "
          f"{best:.2f}x on {best_face[0]}/{best_face[1]} "
          f"(need ≥ {DIRECT_GATE_MIN_SPEEDUP}x on ≥1 face) → {verdict}")
+    ok_auto = (auto_gate.get("picked") == "msa-loop"
+               and auto_gate.get("identical", False)
+               and auto_gate.get("speedup", 0.0) >= AUTO_GATE_MIN_SPEEDUP)
+    verdict = "PASS" if ok_auto else "FAIL"
+    emit(f"acceptance gate [{AUTO_GATE_CASE}] auto routing: picked "
+         f"{auto_gate.get('picked')!r} (need 'msa-loop'), "
+         f"{auto_gate.get('speedup', 0.0):.2f}x vs fused msa "
+         f"(need ≥ {AUTO_GATE_MIN_SPEEDUP:.1f}x) → {verdict}")
 
 
 # ----------------------------------------------------------------------- #
@@ -335,6 +379,19 @@ def test_chunk_fusion_direct_write_warm(benchmark, tc_small):
                               semiring=PLUS_PAIR, phases=2, plan=plan),
         rounds=3, warmup_rounds=1)
     assert _bit_identical(got, _fused_runner(L, L, mask, PLUS_PAIR, "esc")())
+
+
+def test_chunk_fusion_auto_ktruss_loop(benchmark):
+    """Routing face: on the large ktruss-support regime ``auto`` must pick
+    the per-row msa-loop tier and stay bit-identical to fused msa."""
+    from repro.core.registry import auto_select
+
+    E = to_undirected_simple(rmat(10, 8, rng=7110))
+    mask = Mask.from_matrix(E)
+    assert auto_select(E, E, mask) == "msa-loop"
+    got = benchmark.pedantic(_fused_runner(E, E, mask, PLUS_PAIR, "auto"),
+                             rounds=3, warmup_rounds=1)
+    assert _bit_identical(got, _fused_runner(E, E, mask, PLUS_PAIR, "msa")())
 
 
 def test_chunk_fusion_budget_ablation_smoke(benchmark, tc_small):

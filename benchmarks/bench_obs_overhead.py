@@ -1,0 +1,137 @@
+"""Observability overhead — warm-2P serving latency, tracing on vs off.
+
+The observability claim (ISSUE 6): phase-level tracing and the metrics
+registry must be cheap enough to leave on in production. The hot path they
+tax most is the **warm two-phase** request — a plan hit followed by the
+numeric pass only — where each request pays a handful of span context
+managers (cache lookup, numeric, per-chunk timings), a trace-record
+allocation in the tracer ring, and the post-execution span→histogram
+harvest. Cold requests amortize the same fixed cost over far more work, so
+gating on warm-2P bounds the worst case.
+
+Protocol: one engine per mode (``tracing=True`` / ``tracing=False``), same
+repeated-mask TC workload (hash-2P on a suite R-MAT graph), one cold submit
+to populate the plan cache, then the mean per-request latency over a long
+warm stream, best-of-repeats. Gate: tracing-on adds **< 3%**.
+
+``main()`` appends a run to ``BENCH_service.json`` at the repo root (bench
+tag ``obs_overhead``) — the perf-trajectory artifact documented in
+``benchmarks/common.py`` and ``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from common import append_trajectory_run, emit, tc_workload
+from repro.bench import render_table
+from repro.graphs import load_graph
+from repro.service import Engine, Request
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: acceptance gate (ISSUE 6): warm-2P latency penalty with tracing enabled
+GATE_MAX_OVERHEAD = 0.03
+
+GRAPH, ALGO, PHASES = "rmat-s9-e8", "hash", 2
+WARM_REQUESTS, REPEATS = 300, 3
+
+
+def _engine(L, mask, *, tracing: bool) -> Engine:
+    eng = Engine(tracing=tracing)  # result cache off: warm = plan-hit numeric
+    eng.register("L", L)
+    eng.register("M", mask)
+    return eng
+
+
+def _request(tag: str = "") -> Request:
+    return Request(a="L", b="L", mask="M", algorithm=ALGO, phases=PHASES,
+                   semiring="plus_pair", tag=tag)
+
+
+def measure_warm_latency(L, mask, *, tracing: bool,
+                         requests: int = WARM_REQUESTS,
+                         repeats: int = REPEATS) -> float:
+    """Mean warm-2P seconds/request, best of ``repeats`` timed streams."""
+    eng = _engine(L, mask, tracing=tracing)
+    try:
+        eng.submit(_request("cold"))  # populate the plan cache
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for i in range(requests):
+                eng.submit(_request(str(i)))
+            best = min(best, (time.perf_counter() - t0) / requests)
+        assert eng.stats.plan_misses == 1  # every timed request was warm
+        return best
+    finally:
+        eng.close()
+
+
+def main() -> None:
+    emit("[Obs overhead] warm-2P serving latency, tracing on vs off")
+    emit(f"case: tc {GRAPH} {ALGO}-2P, {WARM_REQUESTS} warm requests x "
+         f"{REPEATS} repeats (best mean)\n")
+    L, mask = tc_workload(load_graph(GRAPH))
+    case = f"tc-{GRAPH}-{ALGO}2p"
+
+    t_off = measure_warm_latency(L, mask, tracing=False)
+    t_on = measure_warm_latency(L, mask, tracing=True)
+    overhead = t_on / t_off - 1.0
+
+    results = [
+        {"case": case, "mode": "tracing-off", "requests": WARM_REQUESTS,
+         "mean_ms": t_off * 1e3, "overhead_vs_off": 0.0},
+        {"case": case, "mode": "tracing-on", "requests": WARM_REQUESTS,
+         "mean_ms": t_on * 1e3, "overhead_vs_off": overhead,
+         "gate_max": GATE_MAX_OVERHEAD,
+         "gate_pass": bool(overhead < GATE_MAX_OVERHEAD)},
+    ]
+    emit(render_table(
+        ["case", "mode", "mean (ms)", "overhead"],
+        [[case, "tracing-off", t_off * 1e3, 0.0],
+         [case, "tracing-on", t_on * 1e3, overhead]]))
+
+    append_trajectory_run(ARTIFACT, "obs_overhead", results)
+    emit(f"\nappended run to {ARTIFACT.name} ({len(results)} results)")
+
+    verdict = "PASS" if overhead < GATE_MAX_OVERHEAD else "FAIL"
+    emit(f"acceptance gate [warm-2p tracing overhead]: {overhead * 100:+.2f}% "
+         f"(need < {GATE_MAX_OVERHEAD * 100:.0f}%) → {verdict}")
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark faces (`pytest benchmarks/ --benchmark-only -k obs`)
+# ----------------------------------------------------------------------- #
+def _warm_engine(tracing: bool):
+    L, mask = tc_workload(load_graph("rmat-s8-e4"))
+    eng = _engine(L, mask, tracing=tracing)
+    eng.submit(_request("cold"))
+    return eng
+
+
+def test_obs_overhead_tracing_off(benchmark):
+    eng = _warm_engine(False)
+    try:
+        resp = benchmark.pedantic(lambda: eng.submit(_request()),
+                                  rounds=20, warmup_rounds=3)
+        assert resp.stats.plan_cache_hit and resp.stats.trace_id == ""
+    finally:
+        eng.close()
+
+
+def test_obs_overhead_tracing_on(benchmark):
+    eng = _warm_engine(True)
+    try:
+        resp = benchmark.pedantic(lambda: eng.submit(_request()),
+                                  rounds=20, warmup_rounds=3)
+        assert resp.stats.plan_cache_hit and resp.stats.trace_id
+        rec = eng.tracer.get(resp.stats.trace_id)
+        assert rec is not None and rec.find("numeric")
+    finally:
+        eng.close()
+
+
+if __name__ == "__main__":
+    main()

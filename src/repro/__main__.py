@@ -12,6 +12,8 @@ Examples
     python -m repro batch workload.json  # replay a service workload spec
     python -m repro serve workload.json --plans plans.npz  # async front end
     python -m repro serve --smoke        # CI smoke: warm serving + restart
+    python -m repro serve workload.json --metrics-port 9100  # live /metrics
+    python -m repro trace workload.json -o trace.json  # offline flame trace
     python -m repro suite                # list the built-in input suite
     python -m repro info                 # algorithms and semirings
 
@@ -228,6 +230,14 @@ def cmd_serve(args) -> int:
     if args.shards and engine.shard_degraded:
         print(f"shards: --shards {args.shards} requested but shared memory "
               f"is unavailable; serving in-process instead")
+    obs = None
+    if args.metrics_port is not None:
+        from .obs import ObsHTTPServer
+
+        obs = ObsHTTPServer(engine.metrics, engine.tracer,
+                            port=args.metrics_port).start()
+        print(f"observability: {obs.url}/metrics  "
+              f"{obs.url}/trace/<request_id>.json")
     try:
         if args.plans:
             try:
@@ -252,19 +262,24 @@ def cmd_serve(args) -> int:
             print(f"persisted {n} plans to {args.plans}")
 
         if args.smoke:
-            return _check_smoke(engine, server, responses, args)
+            return _check_smoke(engine, server, responses, args, obs=obs)
         return 1 if failures else 0
     finally:
         # shard pools and shared segments must not outlive the serve run —
         # the one place `/dev/shm` space could otherwise leak
+        if obs is not None:
+            obs.close()
         engine.close()
 
 
-def _check_smoke(engine, server, responses, args) -> int:
+def _check_smoke(engine, server, responses, args, obs=None) -> int:
     """CI gate: the repeated-mask smoke stream must serve warm — via a plan
     hit, a result hit, or by coalescing onto an identical in-flight request
     (strictly cheaper than warm: no execution at all) — and a restarted
-    engine restored from the persisted plans must never miss."""
+    engine restored from the persisted plans must never miss. With
+    ``--metrics-port`` the gate also requires a live, parseable ``/metrics``
+    with non-zero request counters and a Chrome-trace export for a served
+    request."""
     import tempfile
     from pathlib import Path
 
@@ -280,6 +295,9 @@ def _check_smoke(engine, server, responses, args) -> int:
     print(f"\nsmoke: {warm}/{n} requests served warm "
           f"({coalesced} coalesced; need ≥ {n - 1}) → "
           f"{'PASS' if ok else 'FAIL'}")
+    ok_obs = True
+    if obs is not None:
+        ok_obs = _check_metrics_smoke(obs, responses, executed)
     if engine.shards is not None:
         print(f"smoke shards: {engine.stats.sharded}/{executed} executed "
               f"requests ran on the {engine.shards.nshards}-worker pool")
@@ -317,7 +335,93 @@ def _check_smoke(engine, server, responses, args) -> int:
         print(f"smoke shard shutdown: {len(names)} segments unlinked"
               f"{'' if ok3 else f', LEAKED {leaked}'} → "
               f"{'PASS' if ok3 else 'FAIL'}")
-    return 0 if ok and ok2 and ok3 else 1
+    return 0 if ok and ok2 and ok3 and ok_obs else 1
+
+
+def _check_metrics_smoke(obs, responses, executed: int) -> bool:
+    """Fetch ``/metrics`` and one ``/trace/<id>.json`` over real HTTP and
+    check they describe the smoke stream: the engine-request counter must
+    cover every executed request, and the trace must contain the serving
+    span taxonomy (queue → numeric at minimum) as valid Chrome-trace JSON."""
+    import json
+    import urllib.request
+
+    from .obs import parse_exposition
+
+    with urllib.request.urlopen(f"{obs.url}/metrics", timeout=10) as resp:
+        families = parse_exposition(resp.read().decode())
+    served = sum(families.get("repro_engine_requests_total", {}).values())
+    completed = families.get("repro_server_requests_total", {}).get(
+        (("outcome", "completed"),), 0.0)
+    ok_metrics = served >= executed > 0 and completed >= executed
+
+    traced = [r for r in responses if r.stats.trace_id]
+    ok_trace = False
+    names: set = set()
+    if traced:
+        trace_id = traced[-1].stats.trace_id
+        with urllib.request.urlopen(f"{obs.url}/trace/{trace_id}.json",
+                                    timeout=10) as resp:
+            doc = json.loads(resp.read().decode())
+        names = {ev.get("name") for ev in doc.get("traceEvents", [])
+                 if ev.get("ph") == "X"}
+        ok_trace = {"queue", "numeric"} <= names
+    ok_obs = ok_metrics and ok_trace
+    print(f"smoke metrics: /metrics served {served:.0f} engine requests "
+          f"(≥ {executed} executed), trace spans {sorted(names)} → "
+          f"{'PASS' if ok_obs else 'FAIL'}")
+    return ok_obs
+
+
+def cmd_trace(args) -> int:
+    """Offline capture: serve a workload once and write one request's trace
+    as Chrome-trace JSON (open in Perfetto or ``chrome://tracing``)."""
+    import json
+
+    from .service import Engine, load_workload
+
+    if args.smoke:
+        spec = _SMOKE_SPEC
+    elif args.workload:
+        try:
+            spec = load_workload(args.workload)
+        except FileNotFoundError:
+            raise SystemExit(f"workload file not found: {args.workload}")
+        except (json.JSONDecodeError, ValueError) as e:
+            raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    else:
+        raise SystemExit("provide a workload.json or --smoke")
+
+    engine = Engine(shards=(args.shards or None))
+    try:
+        responses, failures, _, _ = _serve_once(spec, args, engine=engine)
+        traced = [r for r in responses if r.stats.trace_id]
+        if not traced:
+            raise SystemExit("no traces captured (every request failed?)")
+        # default index 0 = the stream's first request: the cold one, whose
+        # flame view shows the full symbolic→numeric story
+        try:
+            resp = traced[args.index]
+        except IndexError:
+            raise SystemExit(f"--index {args.index} out of range: only "
+                             f"{len(traced)} traced requests")
+        rec = engine.tracer.get(resp.stats.trace_id)
+        if rec is None:
+            raise SystemExit(f"trace {resp.stats.trace_id} aged out of the "
+                             f"tracer ring (capacity {engine.tracer.capacity})"
+                             f" — pick a later --index")
+        doc = rec.chrome()
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        pids = {ev.get("pid") for ev in doc["traceEvents"]}
+        print(f"wrote {args.output}: request {rec.trace_id} "
+              f"({len(rec.spans)} spans across {len(pids)} processes) — "
+              f"open in Perfetto or chrome://tracing")
+        for tag, exc in failures[:5]:
+            print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
+        return 1 if failures else 0
+    finally:
+        engine.close()
 
 
 def cmd_suite(args) -> int:
@@ -391,36 +495,58 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fan requests across N threads (0 = serial)")
     ba.set_defaults(fn=cmd_batch)
 
+    def _add_pool_flags(sp_: argparse.ArgumentParser) -> None:
+        sp_.add_argument("workload", nargs="?",
+                         help="JSON workload spec (see repro.service."
+                              "workload)")
+        sp_.add_argument("--smoke", action="store_true",
+                         help="use the built-in repeated-mask TC workload")
+        sp_.add_argument("--workers", type=int, default=2,
+                         help="async worker pool size (default 2)")
+        sp_.add_argument("--shards", type=int, default=0,
+                         help="shard-worker processes for the numeric pass "
+                              "(shared-memory direct write; 0 = in-process). "
+                              "Degrades to in-process execution when shared "
+                              "memory is unavailable")
+        sp_.add_argument("--max-inflight", type=int, default=64,
+                         help="admission bound: admitted-but-unfinished "
+                              "requests")
+        sp_.add_argument("--max-queued-mflops", type=float, default=0,
+                         help="admission bound: estimated queued partial "
+                              "products in millions (0 = unbounded)")
+        sp_.add_argument("--max-batch", type=int, default=16,
+                         help="max group-compatible requests per drained "
+                              "batch")
+
     sv = sub.add_parser(
         "serve",
         help="serve a JSON workload through the async front end "
              "(admission + backpressure + plan/result caches + persistence)")
-    sv.add_argument("workload", nargs="?",
-                    help="JSON workload spec (see repro.service.workload)")
-    sv.add_argument("--smoke", action="store_true",
-                    help="serve a built-in repeated-mask TC workload and "
-                         "verify warm-serving + warm-restart telemetry "
-                         "(CI gate; exits nonzero on failure)")
-    sv.add_argument("--workers", type=int, default=2,
-                    help="async worker pool size (default 2)")
-    sv.add_argument("--shards", type=int, default=0,
-                    help="shard-worker processes for the numeric pass "
-                         "(shared-memory direct write; 0 = in-process). "
-                         "Degrades to in-process execution when shared "
-                         "memory is unavailable")
-    sv.add_argument("--max-inflight", type=int, default=64,
-                    help="admission bound: admitted-but-unfinished requests")
-    sv.add_argument("--max-queued-mflops", type=float, default=0,
-                    help="admission bound: estimated queued partial products "
-                         "in millions (0 = unbounded)")
-    sv.add_argument("--max-batch", type=int, default=16,
-                    help="max group-compatible requests per drained batch")
+    _add_pool_flags(sv)
     sv.add_argument("--plans", metavar="PLANS.npz",
                     help="plan store path: restored at startup (if present), "
                          "persisted at shutdown")
     sv.add_argument("--result-cache-mb", type=float, default=256,
                     help="result-cache budget in MiB (0 disables the tier)")
+    sv.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                    help="serve /metrics (Prometheus) and /trace/<id>.json "
+                         "(Chrome trace) on 127.0.0.1:PORT while the run is "
+                         "live (0 = ephemeral port; with --smoke the gate "
+                         "also asserts the endpoints)")
     sv.set_defaults(fn=cmd_serve)
+
+    tr = sub.add_parser(
+        "trace",
+        help="serve a workload once and export one request's phase trace "
+             "as Chrome-trace JSON (Perfetto / chrome://tracing)")
+    _add_pool_flags(tr)
+    tr.add_argument("--output", "-o", default="trace.json",
+                    help="output path for the Chrome-trace JSON "
+                         "(default trace.json)")
+    tr.add_argument("--index", type=int, default=0,
+                    help="which traced request to export (0 = the stream's "
+                         "first/cold request; negative indexes from the end)")
+    tr.set_defaults(fn=cmd_trace)
 
     su = sub.add_parser("suite", help="list the built-in input suite")
     su.set_defaults(fn=cmd_suite)

@@ -32,6 +32,11 @@ class AlgorithmSpec:
     scatters straight into preallocated CSR arrays, which is how two-phase
     plans skip the stitch copy. The chunk-fused kernels provide it; per-row
     kernels leave it None and keep the stitch path.
+
+    ``listed=False`` marks routing tiers: keys :func:`auto_select` may
+    return and :func:`get_spec` resolves, but that stay out of
+    :func:`available_algorithms` (they are alternate execution strategies
+    of a listed algorithm, not distinct algorithms).
     """
 
     key: str
@@ -42,6 +47,7 @@ class AlgorithmSpec:
     supports_complement: bool
     description: str
     numeric_into: Optional[Callable] = None
+    listed: bool = True
 
 
 _SPECS: dict[str, AlgorithmSpec] = {
@@ -94,6 +100,14 @@ _SPECS: dict[str, AlgorithmSpec] = {
         "Per-row dispatch between MSA/Heap/Inner by row-local density "
         "(the paper's §9 future-work hybrid, implemented)",
     ),
+    "msa-loop": AlgorithmSpec(
+        "msa-loop", "MSA(loop)", "push",
+        msa_kernel.numeric_rows_loop, msa_kernel.symbolic_rows, True,
+        "Per-row MSA loop (paper Alg. 2 verbatim): the routing tier "
+        "auto_select picks for long-row mask-reuse regimes where the fused "
+        "kernels' chunk-wide intermediates outgrow cache",
+        listed=False,
+    ),
 }
 
 #: Baselines are dispatched separately (they are whole-matrix functions, not
@@ -114,8 +128,9 @@ def get_spec(key: str) -> AlgorithmSpec:
 def available_algorithms(*, complemented: bool | None = None,
                          include_baselines: bool = False) -> list[str]:
     """Algorithm keys, optionally filtered by complement support."""
-    keys = [k for k, s in _SPECS.items()
-            if complemented is None or not complemented or s.supports_complement]
+    keys = [k for k, s in _SPECS.items() if s.listed
+            and (complemented is None or not complemented
+                 or s.supports_complement)]
     if include_baselines:
         keys += list(BASELINE_KEYS)
     return keys
@@ -152,6 +167,16 @@ def parse_name(name: str) -> tuple[str, int]:
 #: ``esc`` kernel wins. Graph workloads (TC, k-truss) sit around ~10.
 ESC_FLOPS_CUTOFF = 64.0
 
+#: Total partial products above which the long-row mask-reuse regime
+#: (mask about as dense as the inputs, > ESC_FLOPS_CUTOFF flops/row — the
+#: k-truss support pattern, where C = E·E masked by E itself) routes to the
+#: per-row ``msa-loop`` tier: the fused kernels expand a whole chunk's
+#: partial products before masking, and past this much total work that
+#: intermediate outgrows cache while the loop's dense accumulator stays
+#: resident. Measured crossover on ktruss-support-rmat: s9 ≈ 64k total
+#: flops (fused msa wins), s10 ≈ 139k (loop wins); 100k splits them.
+LOOP_FLOPS_FLOOR = 100_000.0
+
 
 def auto_select(A, B, mask) -> str:
     """Mask/input-density heuristic distilled from the paper's Fig. 7:
@@ -160,6 +185,9 @@ def auto_select(A, B, mask) -> str:
     * inputs much sparser than the mask → ``heap``,
     * short rows (≲ :data:`ESC_FLOPS_CUTOFF` partial products on average) →
       ``esc`` (chunk-fused: per-row dispatch overhead would dominate),
+    * long rows with a mask as dense as the inputs and enough total work
+      (≥ :data:`LOOP_FLOPS_FLOOR`) → the per-row ``msa-loop`` tier
+      (k-truss support regime: chunk-fused intermediates outgrow cache),
     * comparable densities → ``msa`` on small outputs (dense arrays cheap),
       ``hash`` on large ones (MSA's cache penalty grows with ncols).
 
@@ -183,4 +211,7 @@ def auto_select(A, B, mask) -> str:
         return "heap"
     if flops_per_row <= ESC_FLOPS_CUTOFF:
         return "esc"
+    if (d_m * 2 >= d_in and nrows * flops_per_row >= LOOP_FLOPS_FLOOR
+            and B.ncols <= msa_cutoff):
+        return "msa-loop"
     return "msa" if B.ncols <= msa_cutoff else "hash"

@@ -1,0 +1,25 @@
+"""repro.obs — phase-level tracing and metrics for the serving stack.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  in a :class:`MetricsRegistry` with Prometheus text exposition;
+* :mod:`repro.obs.trace` — context-var :func:`span` tracer with a bounded
+  per-request ring (:class:`Tracer`) and Chrome ``traceEvents`` export;
+* :mod:`repro.obs.http` — :class:`ObsHTTPServer`, the ``/metrics`` +
+  ``/trace/<id>.json`` sidecar behind ``repro serve --metrics-port``.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and span taxonomy.
+"""
+
+from .metrics import (CHUNK_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry, parse_exposition)
+from .trace import Span, TraceRecord, Tracer, capture, current_record, span
+from .http import ObsHTTPServer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "parse_exposition",
+    "LATENCY_BUCKETS", "CHUNK_BUCKETS",
+    "Span", "TraceRecord", "Tracer", "capture", "current_record", "span",
+    "ObsHTTPServer",
+]

@@ -1,0 +1,103 @@
+"""A tiny stdlib HTTP thread serving ``/metrics`` and trace exports.
+
+``repro serve --metrics-port N`` starts one of these next to the async
+server: a daemon ``ThreadingHTTPServer`` whose handler only reads from the
+registry/tracer (both are internally locked), so it never contends with
+the serving hot path. Port ``0`` binds an ephemeral port — the smoke legs
+use that and read :attr:`ObsHTTPServer.port` back.
+
+Routes:
+
+* ``GET /metrics`` — Prometheus text exposition
+  (:meth:`~repro.obs.metrics.MetricsRegistry.render`);
+* ``GET /trace/<request_id>.json`` — Chrome-trace JSON for one retained
+  request (404 once it ages out of the tracer ring);
+* ``GET /traces`` — JSON list of currently retained trace ids.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["ObsHTTPServer"]
+
+
+class ObsHTTPServer:
+    """Observability sidecar: serve one registry + tracer over HTTP."""
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer | None = None,
+                 *, host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self.tracer = tracer
+        obs = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # keep stdout clean
+                pass
+
+            def _send(self, status: int, body: bytes,
+                      ctype: str = "text/plain; charset=utf-8") -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = obs.registry.render().encode()
+                    self._send(200, body,
+                               "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/traces":
+                    ids = obs.tracer.ids() if obs.tracer else []
+                    self._send(200, json.dumps({"traces": ids}).encode(),
+                               "application/json")
+                elif path.startswith("/trace/") and path.endswith(".json"):
+                    trace_id = path[len("/trace/"):-len(".json")]
+                    doc = (obs.tracer.export(trace_id)
+                           if obs.tracer else None)
+                    if doc is None:
+                        self._send(404, b"unknown trace\n")
+                    else:
+                        self._send(200, json.dumps(doc).encode(),
+                                   "application/json")
+                else:
+                    self._send(404, b"try /metrics, /traces, "
+                                    b"/trace/<id>.json\n")
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-obs-http", daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsHTTPServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():  # pragma: no branch
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

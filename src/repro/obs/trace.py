@@ -1,0 +1,279 @@
+"""Context-var span tracer with bounded retention and Chrome-trace export.
+
+One served request crosses many layers — admission, queue, plan lookup,
+cold symbolic build, chunked numeric, shard scatter, cache writeback — and
+the question the paper keeps asking ("where does the time go?") needs those
+layers stitched into *one* timeline. This module provides:
+
+* :func:`span` — the single instrumentation primitive. Inside an active
+  trace, ``with span("numeric", kernel="hash", rows=512):`` records a
+  nested interval on the monotonic clock; outside any trace it is a no-op
+  costing one contextvar read, which is what keeps always-on
+  instrumentation cheap enough to leave compiled in everywhere.
+* :class:`Tracer` — owns a bounded ring of finished :class:`TraceRecord`\\ s
+  (oldest evicted first) and activates one record per request via
+  :meth:`Tracer.trace`. Nesting is tracked through a ``contextvars``
+  context, so spans opened anywhere down the call stack attach to the
+  right parent — but note that ``ThreadPoolExecutor`` workers do *not*
+  inherit the submitting context; executor call-sites capture the active
+  record explicitly (see :func:`repro.parallel.runner.direct_write_numeric`)
+  and attach chunk spans with :meth:`TraceRecord.add_span`.
+* :func:`capture` — a standalone activation used inside shard worker
+  processes: workers collect spans locally, return them with the task
+  result as a plain list-of-dicts payload, and the coordinator merges them
+  into the request's record (:meth:`TraceRecord.merge`). ``perf_counter``
+  is CLOCK_MONOTONIC on Linux and shared across forked children, so worker
+  timestamps land on the same axis as the parent's.
+* :meth:`TraceRecord.chrome` — export as Chrome ``traceEvents`` JSON
+  (complete ``ph: "X"`` events, microsecond timestamps relative to the
+  trace start, one ``pid``/``tid`` row per worker), loadable directly in
+  Perfetto or ``chrome://tracing``.
+
+Exception safety: a span body that raises still closes the span (with an
+``error`` attribute naming the exception type) and re-raises.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Span", "TraceRecord", "Tracer", "span", "capture",
+           "current_record"]
+
+
+@dataclass
+class Span:
+    span_id: int
+    parent_id: int | None
+    name: str
+    t0: float
+    t1: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"span_id": self.span_id, "parent_id": self.parent_id,
+                "name": self.name, "t0": self.t0, "t1": self.t1,
+                "pid": self.pid, "tid": self.tid, "attrs": dict(self.attrs)}
+
+
+class TraceRecord:
+    """All spans of one request. Append-only, span-count bounded."""
+
+    def __init__(self, trace_id: str, *, max_spans: int = 4096,
+                 attrs: dict[str, Any] | None = None):
+        self.trace_id = trace_id
+        self.max_spans = max_spans
+        self.attrs = dict(attrs or {})
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- recording ----------------------------------------------------- #
+    def _new_span(self, name: str, parent_id: int | None, t0: float,
+                  attrs: dict[str, Any]) -> Span | None:
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                return None
+            sp = Span(self._next_id, parent_id, name, t0,
+                      pid=os.getpid(), tid=threading.get_ident(),
+                      attrs=attrs)
+            self._next_id += 1
+            self.spans.append(sp)
+            return sp
+
+    def add_span(self, name: str, t0: float, t1: float, *,
+                 parent_id: int | None = None,
+                 **attrs: Any) -> Span | None:
+        """Attach an already-timed interval (post-hoc spans: queue wait
+        measured at completion, executor chunks timed in pool threads)."""
+        sp = self._new_span(name, parent_id, t0, attrs)
+        if sp is not None:
+            sp.t1 = t1
+        return sp
+
+    def merge(self, payload: list[dict[str, Any]], *,
+              parent_id: int | None = None) -> None:
+        """Fold spans captured in another process (list of
+        :meth:`Span.as_dict` dicts) into this record, remapping ids to stay
+        unique. Roots of the merged payload are re-parented under
+        ``parent_id`` (e.g. the scatter span that dispatched the work), so
+        worker spans nest inside the request's flame view."""
+        with self._lock:
+            idmap: dict[int, int] = {}
+            for raw in payload:
+                if len(self.spans) >= self.max_spans:
+                    self.dropped += len(payload) - len(idmap)
+                    break
+                new_id = self._next_id
+                self._next_id += 1
+                idmap[int(raw["span_id"])] = new_id
+                parent = raw.get("parent_id")
+                self.spans.append(Span(
+                    new_id,
+                    idmap.get(int(parent), parent_id)
+                    if parent is not None else parent_id,
+                    str(raw["name"]), float(raw["t0"]), float(raw["t1"]),
+                    pid=int(raw.get("pid", 0)), tid=int(raw.get("tid", 0)),
+                    attrs=dict(raw.get("attrs", {}))))
+
+    # -- export -------------------------------------------------------- #
+    def payload(self) -> list[dict[str, Any]]:
+        """Picklable span list for shipping across a process boundary."""
+        with self._lock:
+            return [sp.as_dict() for sp in self.spans]
+
+    def find(self, name: str) -> list[Span]:
+        with self._lock:
+            return [sp for sp in self.spans if sp.name == name]
+
+    def seconds(self, name: str) -> float:
+        """Total seconds spent in spans of ``name`` (derived-stats hook)."""
+        return sum(sp.seconds for sp in self.find(name))
+
+    def chrome(self) -> dict[str, Any]:
+        """Chrome ``traceEvents`` JSON (open in Perfetto/chrome://tracing)."""
+        with self._lock:
+            spans = list(self.spans)
+        if not spans:
+            return {"traceEvents": [], "displayTimeUnit": "ms",
+                    "otherData": {"trace_id": self.trace_id, **self.attrs}}
+        origin = min(sp.t0 for sp in spans)
+        # stable small tids per (pid, native tid) for readable rows
+        tids: dict[tuple[int, int], int] = {}
+        events = []
+        for sp in spans:
+            tid = tids.setdefault((sp.pid, sp.tid), len(tids))
+            events.append({
+                "name": sp.name, "ph": "X", "cat": "repro",
+                "ts": round((sp.t0 - origin) * 1e6, 3),
+                "dur": round(sp.seconds * 1e6, 3),
+                "pid": sp.pid, "tid": tid,
+                "args": {**sp.attrs, "span_id": sp.span_id,
+                         "parent_id": sp.parent_id},
+            })
+        meta = [{"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                 "args": {"name": f"pid {pid} / thread {tid}"}}
+                for (pid, _), tid in tids.items()]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms",
+                "otherData": {"trace_id": self.trace_id, **self.attrs}}
+
+
+@dataclass
+class _Ctx:
+    record: TraceRecord
+    parent_id: int | None
+
+
+_CURRENT: contextvars.ContextVar[_Ctx | None] = contextvars.ContextVar(
+    "repro_obs_trace", default=None)
+
+
+def current_record() -> TraceRecord | None:
+    """The record the calling context is tracing into, if any. Executor
+    call-sites capture this *before* fanning out to pool threads (which do
+    not inherit the context) and attach chunk spans via ``add_span``."""
+    ctx = _CURRENT.get()
+    return ctx.record if ctx is not None else None
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | None]:
+    """Record a nested interval in the active trace; no-op outside one."""
+    ctx = _CURRENT.get()
+    if ctx is None:
+        yield None
+        return
+    sp = ctx.record._new_span(name, ctx.parent_id, time.perf_counter(),
+                              dict(attrs))
+    if sp is None:  # record full — still run the body
+        yield None
+        return
+    token = _CURRENT.set(_Ctx(ctx.record, sp.span_id))
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.attrs.setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        sp.t1 = time.perf_counter()
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def capture(trace_id: str = "local", *,
+            max_spans: int = 4096) -> Iterator[TraceRecord]:
+    """Activate a standalone record (shard workers, offline captures)."""
+    rec = TraceRecord(trace_id, max_spans=max_spans)
+    token = _CURRENT.set(_Ctx(rec, None))
+    try:
+        yield rec
+    finally:
+        _CURRENT.reset(token)
+
+
+class Tracer:
+    """Bounded ring of per-request trace records.
+
+    ``capacity`` bounds retention (oldest trace evicted first) and
+    ``max_spans`` bounds each record, so a long-lived server's tracer
+    memory is O(capacity × max_spans) regardless of traffic. Disabled
+    tracers (``enabled=False``) activate nothing: every ``span()`` under
+    them is the no-op path, which is what the overhead bench compares.
+    """
+
+    def __init__(self, *, capacity: int = 256, max_spans: int = 4096,
+                 enabled: bool = True):
+        self.capacity = capacity
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._records: OrderedDict[str, TraceRecord] = OrderedDict()
+
+    @contextmanager
+    def trace(self, trace_id: str, **attrs: Any) -> Iterator[TraceRecord | None]:
+        """Open (and retain) a record for ``trace_id``; spans opened in the
+        body — at any call depth — nest into it."""
+        if not self.enabled:
+            yield None
+            return
+        rec = TraceRecord(trace_id, max_spans=self.max_spans, attrs=attrs)
+        with self._lock:
+            self._records[trace_id] = rec
+            while len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+        token = _CURRENT.set(_Ctx(rec, None))
+        try:
+            yield rec
+        finally:
+            _CURRENT.reset(token)
+
+    def get(self, trace_id: str) -> TraceRecord | None:
+        with self._lock:
+            return self._records.get(trace_id)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._records)
+
+    def export(self, trace_id: str) -> dict[str, Any] | None:
+        rec = self.get(trace_id)
+        return rec.chrome() if rec is not None else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -32,11 +32,13 @@ thread/serial/simulated executor.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Optional
 
 import numpy as np
 
 from ..errors import AlgorithmError
+from ..obs.trace import current_record
 from ..mask import Mask
 from ..semiring import PLUS_TIMES, Semiring
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
@@ -98,10 +100,20 @@ def direct_write_numeric(spec, A, B, mask, semiring, chunks, row_sizes,
     cols = np.empty(nnz, dtype=INDEX_DTYPE)
     vals = np.empty(nnz, dtype=np.float64)
     into = spec.numeric_into
+    # the active trace record is captured *here*, on the submitting thread:
+    # contextvars do not propagate into thread-pool workers, so chunk
+    # closures carry the record explicitly (None → zero-cost path)
+    rec = current_record()
 
     def run(chunk):
         offsets = indptr[int(chunk[0]): int(chunk[-1]) + 2]
+        if rec is None:
+            into(A, B, mask, semiring, chunk, cols, vals, offsets)
+            return
+        t0 = time.perf_counter()
         into(A, B, mask, semiring, chunk, cols, vals, offsets)
+        rec.add_span("chunk", t0, time.perf_counter(), kernel=spec.key,
+                     phase="numeric", rows=len(chunk))
 
     executor.map(run, chunks)
     return CSRMatrix(indptr, cols, vals, out_shape, check=False)
@@ -180,6 +192,23 @@ def parallel_masked_spgemm(
             )
         token = next(_TOKENS)
         _CONTEXTS[token] = (A, B, mask, algorithm, semiring.name)
+    # captured on the submitting thread (pool threads don't inherit the
+    # trace contextvar); process pools stay uninstrumented — children
+    # cannot write the parent's record
+    rec = None if is_process else current_record()
+
+    def timed(fn, phase):
+        if rec is None:
+            return fn
+
+        def wrapped(chunk):
+            t0 = time.perf_counter()
+            out = fn(chunk)
+            rec.add_span("chunk", t0, time.perf_counter(), kernel=spec.key,
+                         phase=phase, rows=len(chunk))
+            return out
+        return wrapped
+
     try:
         if phases == 2 and row_sizes is None:
             # capture the symbolic chunk results (previously discarded) into
@@ -188,8 +217,9 @@ def parallel_masked_spgemm(
                 sym = executor.map(_chunk_task,
                                    [(token, c, "symbolic") for c in chunks])
             else:
-                sym = executor.map(lambda c: spec.symbolic(A, B, mask, c),
-                                   chunks)
+                sym = executor.map(
+                    timed(lambda c: spec.symbolic(A, B, mask, c),
+                          "symbolic"), chunks)
             row_sizes = (sym[0] if len(sym) == 1
                          else np.concatenate(sym)).astype(INDEX_DTYPE,
                                                           copy=False)
@@ -208,7 +238,8 @@ def parallel_masked_spgemm(
                                   [(token, c, "numeric") for c in chunks])
         else:
             blocks = executor.map(
-                lambda c: spec.numeric(A, B, mask, semiring, c), chunks)
+                timed(lambda c: spec.numeric(A, B, mask, semiring, c),
+                      "numeric"), chunks)
     finally:
         if token is not None:
             del _CONTEXTS[token]

@@ -111,6 +111,14 @@ class BatchExecutor:
         for idx, resp in fanned:
             responses[idx] = resp
         seconds = time.perf_counter() - t0
+        # batch-level series on the engine's registry (the per-request
+        # series come from the engine itself); get-or-make is idempotent
+        self.engine.metrics.histogram(
+            "repro_batch_seconds",
+            "wall time of one BatchExecutor.run fan-out").observe(seconds)
+        self.engine.metrics.counter(
+            "repro_batch_requests_total",
+            "requests executed through BatchExecutor").inc(len(requests))
         return BatchResult(
             responses=responses, seconds=seconds, groups=len(groups),
             plan_hits=self.engine.plans.hits - hits0,

@@ -42,16 +42,18 @@ queue from multiple workers.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
 
 from ..core import masked_spgemm
 from ..core.plan import SymbolicPlan, build_plan
 from ..errors import AlgorithmError
 from ..core.registry import BASELINE_KEYS
 from ..mask import Mask
+from ..obs import MetricsRegistry, Tracer, span
+from ..obs.metrics import CHUNK_BUCKETS
 from ..semiring import Semiring
 from ..semiring.standard import by_name as semiring_by_name
 from ..sparse.csr import CSRMatrix
@@ -62,29 +64,91 @@ from .result_cache import ResultCache, result_key
 from .store import MatrixStore
 
 
-@dataclass
 class EngineStats:
-    """Aggregate engine telemetry (per-request stats live on Responses)."""
+    """Aggregate engine telemetry, **derived from** the metrics registry.
 
-    requests: int = 0
-    plan_hits: int = 0
-    plan_misses: int = 0
-    #: baseline requests — never planned, excluded from hit/miss accounting
-    unplanned: int = 0
-    symbolic_skipped: int = 0
-    #: numeric passes executed on the shard-worker pool (shared-memory
-    #: direct write); the complement ran in-process
-    sharded: int = 0
-    #: requests served whole from the result cache (no plan lookup, no
-    #: numeric pass) — also excluded from plan hit/miss accounting
-    result_hits: int = 0
-    plan_seconds: float = 0.0
-    numeric_seconds: float = 0.0
-    #: bounded windows (a long-lived service must not grow telemetry without
-    #: limit); counters above cover the full lifetime
-    cold_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
-    warm_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
-    result_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    Historically this was a parallel set of plain counters updated next to
+    the registry; now the registry (``repro_engine_requests_total{tier}``,
+    ``repro_engine_events_total{event}``, ``repro_request_seconds{tier}``,
+    ``repro_phase_seconds{phase}``) is the single source of truth and every
+    attribute here is a read-only view over it, so ``/metrics`` and
+    ``engine.stats`` can never disagree. The serving **tier** of a request
+    is where it was answered: ``result`` (whole numeric output from the
+    result cache), ``warm`` (plan-cache hit), ``cold`` (plan built), or
+    ``unplanned`` (baselines — no symbolic phase, excluded from plan
+    hit/miss accounting).
+
+    The latency deques are the one thing kept *outside* the registry:
+    histograms give bucketed distributions for scraping, while percentile
+    reporting (``repro serve`` summaries, bench faces) wants the raw recent
+    window. Bounded, same rationale as before.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_engine_requests_total",
+            "requests by serving tier (result/warm/cold/unplanned)",
+            labels=("tier",))
+        self._events = self.registry.counter(
+            "repro_engine_events_total",
+            "request-path events (symbolic_skipped/sharded/direct_write)",
+            labels=("event",))
+        self._request_seconds = self.registry.histogram(
+            "repro_request_seconds",
+            "end-to-end engine request latency by serving tier",
+            labels=("tier",))
+        self._phase_seconds = self.registry.histogram(
+            "repro_phase_seconds",
+            "engine time by phase (plan = auto-select + symbolic)",
+            labels=("phase",))
+        #: bounded windows (a long-lived service must not grow telemetry
+        #: without limit); the registry covers the full lifetime
+        self.cold_latencies: deque = deque(maxlen=4096)
+        self.warm_latencies: deque = deque(maxlen=4096)
+        self.result_latencies: deque = deque(maxlen=4096)
+
+    # -- registry-derived views ----------------------------------------- #
+    @property
+    def requests(self) -> int:
+        return int(self._requests.total())
+
+    @property
+    def plan_hits(self) -> int:
+        return int(self._requests.value(tier="warm"))
+
+    @property
+    def plan_misses(self) -> int:
+        return int(self._requests.value(tier="cold"))
+
+    @property
+    def unplanned(self) -> int:
+        """Baseline requests — never planned, excluded from hit/miss."""
+        return int(self._requests.value(tier="unplanned"))
+
+    @property
+    def result_hits(self) -> int:
+        """Requests served whole from the result cache (no plan lookup, no
+        numeric pass) — also excluded from plan hit/miss accounting."""
+        return int(self._requests.value(tier="result"))
+
+    @property
+    def symbolic_skipped(self) -> int:
+        return int(self._events.value(event="symbolic_skipped"))
+
+    @property
+    def sharded(self) -> int:
+        """Numeric passes executed on the shard-worker pool (shared-memory
+        direct write); the complement ran in-process."""
+        return int(self._events.value(event="sharded"))
+
+    @property
+    def plan_seconds(self) -> float:
+        return self._phase_seconds.sum(phase="plan")
+
+    @property
+    def numeric_seconds(self) -> float:
+        return self._phase_seconds.sum(phase="numeric")
 
     @property
     def plan_hit_rate(self) -> float:
@@ -93,26 +157,31 @@ class EngineStats:
         return hit_rate(self.plan_hits, self.plan_misses)
 
     def record(self, stats: RequestStats) -> None:
-        self.requests += 1
         if stats.result_cache_hit:
             # the plan cache was never consulted; keep its accounting clean
-            self.result_hits += 1
+            self._requests.inc(tier="result")
+            self._request_seconds.observe(stats.total_seconds, tier="result")
             self.result_latencies.append(stats.total_seconds)
             return
         if not stats.planned:
-            self.unplanned += 1  # baselines can never warm; keep them out
+            tier = "unplanned"  # baselines can never warm; keep them out
         elif stats.plan_cache_hit:
-            self.plan_hits += 1
+            tier = "warm"
             self.warm_latencies.append(stats.total_seconds)
         else:
-            self.plan_misses += 1
+            tier = "cold"
             self.cold_latencies.append(stats.total_seconds)
+        self._requests.inc(tier=tier)
+        self._request_seconds.observe(stats.total_seconds, tier=tier)
         if stats.symbolic_skipped:
-            self.symbolic_skipped += 1
+            self._events.inc(event="symbolic_skipped")
         if stats.sharded:
-            self.sharded += 1
-        self.plan_seconds += stats.plan_seconds
-        self.numeric_seconds += stats.numeric_seconds
+            self._events.inc(event="sharded")
+        if stats.direct_write:
+            self._events.inc(event="direct_write")
+        if stats.plan_seconds:
+            self._phase_seconds.observe(stats.plan_seconds, phase="plan")
+        self._phase_seconds.observe(stats.numeric_seconds, phase="numeric")
 
 
 class Engine:
@@ -145,6 +214,16 @@ class Engine:
     result_admit_flops_per_byte : admission threshold for the default result
         cache (see :class:`ResultCache`): results estimated to save fewer
         flops per cached byte are not admitted. 0 admits everything.
+    metrics : optional shared :class:`~repro.obs.MetricsRegistry` (a private
+        one by default). The engine's own counters, both caches' counters,
+        and (via :class:`~repro.service.server.AsyncServer`) the server's
+        all land in this registry — one ``/metrics`` page per engine.
+    tracer : optional shared :class:`~repro.obs.Tracer`; ``tracing`` builds
+        the default one enabled/disabled. Every request executes under its
+        own trace record (id on ``RequestStats.trace_id``) holding the
+        phase spans; disabled tracing reduces every ``span()`` on the path
+        to a no-op contextvar read (the <3% overhead gate in
+        ``benchmarks/bench_obs_overhead.py`` measures enabled vs that).
     """
 
     def __init__(self, store: MatrixStore | None = None,
@@ -155,7 +234,10 @@ class Engine:
                  result_cache_bytes: int | None = None,
                  result_admit_flops_per_byte: float = 0.0,
                  executor=None,
-                 shards: int | None = None):
+                 shards: int | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 tracing: bool = True):
         self.store = store if store is not None else MatrixStore(budget_bytes)
         self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
         if result_cache is None and result_cache_bytes is not None:
@@ -164,7 +246,25 @@ class Engine:
                 min_flops_per_byte=result_admit_flops_per_byte)
         self.results = result_cache
         self.executor = executor
-        self.stats = EngineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=tracing)
+        self.stats = EngineStats(self.metrics)
+        # single source of truth for cache accounting: both caches' counters
+        # live in the engine registry (satellite of the obs PR)
+        self.plans.bind_metrics(self.metrics)
+        if self.results is not None:
+            self.results.bind_metrics(self.metrics)
+        self._chunk_seconds = self.metrics.histogram(
+            "repro_chunk_seconds",
+            "per-chunk kernel wall time (derived from trace spans; "
+            "populated while tracing is enabled)",
+            labels=("kernel", "phase"), buckets=CHUNK_BUCKETS)
+        self._scatter_seconds = self.metrics.histogram(
+            "repro_shard_scatter_seconds",
+            "coordinator-side shard fan-out wall time (derived from trace "
+            "spans; populated while tracing is enabled)",
+            labels=("phase",))
+        self._trace_seq = itertools.count(1)
         self._lock = threading.Lock()
         self.shards = None
         self.shard_degraded = False
@@ -173,6 +273,11 @@ class Engine:
 
             if shared_memory_available():
                 self.shards = ShardCoordinator(shards)
+                store_ref = self.shards.store
+                self.metrics.gauge(
+                    "repro_shm_segment_bytes",
+                    "bytes held in shared-memory operand segments",
+                    callback=lambda: store_ref.shared_bytes)
             else:
                 self.shard_degraded = True
 
@@ -344,8 +449,70 @@ class Engine:
     def _execute(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
                  phases, semiring, tag, request,
                  value_fps: tuple[str, str] | None = None) -> Response:
+        trace_id = (f"r{next(self._trace_seq):06d}"
+                    if self.tracer.enabled else "")
+        with self.tracer.trace(trace_id, tag=tag, algorithm=algorithm,
+                               phases=phases) as rec:
+            try:
+                return self._execute_traced(
+                    A, B, mask, a_fp, b_fp, mask_fp, algorithm=algorithm,
+                    phases=phases, semiring=semiring, tag=tag,
+                    request=request, value_fps=value_fps,
+                    trace_id=trace_id)
+            finally:
+                if rec is not None:
+                    self._harvest_spans(rec)
+
+    def _harvest_spans(self, rec) -> None:
+        """Derive the chunk/scatter histograms from the request's finished
+        trace spans: the span timing is the single measurement, the metrics
+        a bucketed view of it (so they populate while tracing is on)."""
+        for sp in rec.find("chunk"):
+            self._chunk_seconds.observe(
+                sp.seconds, kernel=str(sp.attrs.get("kernel", "")),
+                phase=str(sp.attrs.get("phase", "numeric")))
+        for sp in rec.find("shard.scatter"):
+            self._scatter_seconds.observe(
+                sp.seconds, phase=str(sp.attrs.get("phase", "")))
+
+    def _build_plan_cold(self, A, B, mask, algorithm, phases,
+                         request) -> SymbolicPlan:
+        """Cold plan build — the one place symbolic work happens.
+
+        With a multi-worker shard pool and a store-keyed two-phase request,
+        the symbolic pass itself runs row-partitioned across the pool
+        (:meth:`ShardCoordinator.symbolic`) instead of serially in-process —
+        previously only the *numeric* pass was sharded, leaving the cold
+        path single-threaded. Ineligible or failing cases (ad-hoc operands,
+        unshared segments, segment pressure) degrade to the serial
+        :func:`build_plan`, same result either way.
+        """
+        if (self.shards is not None and self.shards.nshards > 1
+                and request is not None and phases == 2):
+            from ..core import registry as kernel_registry
+            from ..shard import ShardError
+
+            resolved = algorithm.lower()
+            if resolved == "auto":
+                resolved = kernel_registry.auto_select(A, B, mask)
+            kernel_registry.get_spec(resolved)  # invalid names fail loudly
+            try:
+                row_sizes = self.shards.symbolic(
+                    request.a, request.b, request.mask, mask,
+                    (A.nrows, B.ncols), resolved)
+                return SymbolicPlan(algorithm=resolved, phases=2,
+                                    shape=(A.nrows, B.ncols),
+                                    row_sizes=row_sizes)
+            except (ShardError, OSError):
+                # same degradation contract as the numeric path below
+                self.shard_degraded = True
+        return build_plan(A, B, mask, algorithm=algorithm, phases=phases)
+
+    def _execute_traced(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
+                        phases, semiring, tag, request, value_fps,
+                        trace_id: str) -> Response:
         t_start = time.perf_counter()
-        stats = RequestStats(phases=phases)
+        stats = RequestStats(phases=phases, trace_id=trace_id)
         plan: SymbolicPlan | None = None
 
         key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
@@ -355,8 +522,9 @@ class Engine:
             # result tier sits in front of the plan tier: a hit returns the
             # memoized CSR output with no plan lookup and no numeric pass
             rkey = result_key(key, *value_fps)
-            with self._lock:
-                cached = self.results.get(rkey)
+            with span("cache.lookup", cache="result"):
+                with self._lock:
+                    cached = self.results.get(rkey)
             if cached is not None:
                 stats.algorithm = cached.algorithm
                 stats.planned = algorithm.lower() not in BASELINE_KEYS
@@ -373,16 +541,19 @@ class Engine:
             stats.algorithm = algorithm.lower()
             stats.planned = False
         else:
-            with self._lock:
-                plan = self.plans.get(key)
+            with span("cache.lookup", cache="plan"):
+                with self._lock:
+                    plan = self.plans.get(key)
             if plan is not None:
                 stats.plan_cache_hit = True
                 stats.plan_reused = True
                 stats.symbolic_skipped = phases == 2
             else:
                 t0 = time.perf_counter()
-                plan = build_plan(A, B, mask, algorithm=algorithm,
-                                  phases=phases)
+                with span("symbolic.cold", algorithm=algorithm,
+                          phases=phases):
+                    plan = self._build_plan_cold(A, B, mask, algorithm,
+                                                 phases, request)
                 stats.plan_seconds = time.perf_counter() - t0
                 with self._lock:
                     self.plans.put(key, plan)
@@ -395,32 +566,37 @@ class Engine:
 
         t0 = time.perf_counter()
         result = None
-        if (self.shards is not None and request is not None
-                and plan is not None and plan.row_sizes is not None
-                and self.shards.eligible(plan.algorithm, semiring)):
-            from ..shard import ShardError
+        with span("numeric",
+                  kernel=plan.algorithm if plan is not None
+                  else algorithm.lower()) as numeric_span:
+            if (self.shards is not None and request is not None
+                    and plan is not None and plan.row_sizes is not None
+                    and self.shards.eligible(plan.algorithm, semiring)):
+                from ..shard import ShardError
 
-            try:
-                # store-keyed request on a fused kernel: numeric pass runs
-                # on the shard pool, workers scattering into a shared
-                # output CSR (the multi-process direct-write path)
-                result = self.shards.multiply(
-                    request.a, request.b, request.mask, mask, plan,
-                    semiring, plan_cache_key=key)
-                stats.sharded = True
-                stats.direct_write = True
-            except (ShardError, OSError):
-                # segment pressure / missing operand segment (incl. a
-                # worker's attach losing a race with re-registration, which
-                # surfaces as FileNotFoundError) / closed pool: degrade this
-                # request to the in-process path. Kernel-level errors
-                # (stale plan etc.) propagate — they would fail in-process
-                # identically and must stay loud
-                self.shard_degraded = True
-        if result is None:
-            result = masked_spgemm(A, B, mask, algorithm=algorithm,
-                                   semiring=semiring, phases=phases,
-                                   executor=self.executor, plan=plan)
+                try:
+                    # store-keyed request on a fused kernel: numeric pass
+                    # runs on the shard pool, workers scattering into a
+                    # shared output CSR (multi-process direct write)
+                    result = self.shards.multiply(
+                        request.a, request.b, request.mask, mask, plan,
+                        semiring, plan_cache_key=key)
+                    stats.sharded = True
+                    stats.direct_write = True
+                except (ShardError, OSError):
+                    # segment pressure / missing operand segment (incl. a
+                    # worker's attach losing a race with re-registration,
+                    # which surfaces as FileNotFoundError) / closed pool:
+                    # degrade this request to the in-process path.
+                    # Kernel-level errors (stale plan etc.) propagate — they
+                    # would fail in-process identically and must stay loud
+                    self.shard_degraded = True
+            if result is None:
+                result = masked_spgemm(A, B, mask, algorithm=algorithm,
+                                       semiring=semiring, phases=phases,
+                                       executor=self.executor, plan=plan)
+            if numeric_span is not None:
+                numeric_span.attrs["sharded"] = stats.sharded
         stats.numeric_seconds = time.perf_counter() - t0
         stats.total_seconds = time.perf_counter() - t_start
         stats.output_nnz = result.nnz
@@ -432,8 +608,10 @@ class Engine:
             flops = total_flops(A, B)
         with self._lock:
             if rkey is not None:
-                self.results.put(rkey, result, stats.algorithm or algorithm,
-                                 flops=flops)
+                with span("cache.writeback"):
+                    self.results.put(rkey, result,
+                                     stats.algorithm or algorithm,
+                                     flops=flops)
             self.stats.record(stats)
         return Response(result=result, stats=stats, tag=tag, request=request)
 

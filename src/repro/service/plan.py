@@ -11,8 +11,13 @@ keyed on the *requested* algorithm (so ``"auto"`` requests hit other
 the symbolic pattern is semiring-independent but the plan's validity contract
 is simplest when a key maps to exactly one execution configuration.
 
-Entries are LRU-evicted past ``capacity``. Hit/miss/eviction counters feed
-:class:`repro.service.engine.EngineStats`.
+Entries are LRU-evicted past ``capacity``. Hit/miss/eviction accounting
+lives on :mod:`repro.obs` registry counters
+(``repro_cache_requests_total{cache="plan",outcome=...}``); the ``hits`` /
+``misses`` / ``evictions`` attributes are read-only views over those
+counters, kept for compatibility. A standalone cache owns a private
+registry; the engine re-homes it onto the shared one via
+:meth:`PlanCache.bind_metrics`.
 
 :class:`PlanStore` is the persistence side: it serializes a plan cache's
 ``(key, SymbolicPlan)`` pairs — fingerprints and row-size arrays — into one
@@ -50,22 +55,48 @@ def plan_key(a_fp: str, b_fp: str, mask_fp: str, complemented: bool,
 class PlanCache:
     """LRU map from :func:`plan_key` tuples to :class:`SymbolicPlan`."""
 
+    #: value of the ``cache`` label on this cache's registry counters
+    METRICS_LABEL = "plan"
+
     def __init__(self, capacity: int = 256):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._plans: OrderedDict[PlanKey, SymbolicPlan] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        from ..obs.metrics import MetricsRegistry
+
+        self._bind_counters(MetricsRegistry())
+
+    def _bind_counters(self, registry) -> None:
+        self.metrics = registry
+        self._requests = registry.counter(
+            "repro_cache_requests_total",
+            "cache lookups/admissions by cache tier and outcome",
+            labels=("cache", "outcome"))
+        self._evict_counter = registry.counter(
+            "repro_cache_evictions_total", "cache entries evicted",
+            labels=("cache",))
+
+    def bind_metrics(self, registry) -> None:
+        """Re-home this cache's counters onto a shared registry (the
+        engine's), carrying any standalone-accumulated counts forward."""
+        hits, misses, evictions = self.hits, self.misses, self.evictions
+        self._bind_counters(registry)
+        lbl = self.METRICS_LABEL
+        if hits:
+            self._requests.inc(hits, cache=lbl, outcome="hit")
+        if misses:
+            self._requests.inc(misses, cache=lbl, outcome="miss")
+        if evictions:
+            self._evict_counter.inc(evictions, cache=lbl)
 
     def get(self, key: PlanKey) -> SymbolicPlan | None:
         plan = self._plans.get(key)
         if plan is None:
-            self.misses += 1
+            self._requests.inc(cache=self.METRICS_LABEL, outcome="miss")
             return None
         self._plans.move_to_end(key)
-        self.hits += 1
+        self._requests.inc(cache=self.METRICS_LABEL, outcome="hit")
         return plan
 
     def put(self, key: PlanKey, plan: SymbolicPlan) -> None:
@@ -73,7 +104,22 @@ class PlanCache:
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
-            self.evictions += 1
+            self._evict_counter.inc(cache=self.METRICS_LABEL)
+
+    # -- registry-derived counters (deprecated fields, kept as views) ---- #
+    @property
+    def hits(self) -> int:
+        return int(self._requests.value(cache=self.METRICS_LABEL,
+                                        outcome="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._requests.value(cache=self.METRICS_LABEL,
+                                        outcome="miss"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evict_counter.value(cache=self.METRICS_LABEL))
 
     def invalidate(self, key: PlanKey) -> bool:
         return self._plans.pop(key, None) is not None

@@ -92,6 +92,9 @@ class RequestStats:
     total_seconds: float = 0.0
     queued_seconds: float = 0.0    # admission→execution wait (async server only)
     output_nnz: int = 0
+    trace_id: str = ""             # engine trace record id ("" when tracing
+                                   # is off); fetch the flame view at
+                                   # /trace/<trace_id>.json while retained
 
     def as_row(self) -> list:
         """Flat rendering for tables/CSV (bench + CLI reporting)."""

@@ -90,19 +90,85 @@ class ResultCache:
         self.min_flops_per_byte = float(min_flops_per_byte)
         self._results: OrderedDict[ResultKey, CachedResult] = OrderedDict()
         self.total_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.oversize_rejects = 0
-        self.policy_rejects = 0
+        from ..obs.metrics import MetricsRegistry
+
+        self._bind_counters(MetricsRegistry())
+
+    #: value of the ``cache`` label on this cache's registry counters
+    METRICS_LABEL = "result"
+
+    def _bind_counters(self, registry) -> None:
+        self.metrics = registry
+        self._requests = registry.counter(
+            "repro_cache_requests_total",
+            "cache lookups/admissions by cache tier and outcome",
+            labels=("cache", "outcome"))
+        self._evict_counter = registry.counter(
+            "repro_cache_evictions_total", "cache entries evicted",
+            labels=("cache",))
+        self._reject_counter = registry.counter(
+            "repro_cache_rejects_total",
+            "admissions refused, by reason (oversize: larger than the whole "
+            "budget; policy: failed the flops-per-byte threshold)",
+            labels=("cache", "reason"))
+
+    def bind_metrics(self, registry) -> None:
+        """Re-home this cache's counters onto a shared registry (the
+        engine's), carrying any standalone-accumulated counts forward."""
+        hits, misses, evictions = self.hits, self.misses, self.evictions
+        oversize, policy = self.oversize_rejects, self.policy_rejects
+        self._bind_counters(registry)
+        lbl = self.METRICS_LABEL
+        if hits:
+            self._requests.inc(hits, cache=lbl, outcome="hit")
+        if misses:
+            self._requests.inc(misses, cache=lbl, outcome="miss")
+        if oversize + policy:
+            self._requests.inc(oversize + policy, cache=lbl,
+                               outcome="reject")
+        if evictions:
+            self._evict_counter.inc(evictions, cache=lbl)
+        if oversize:
+            self._reject_counter.inc(oversize, cache=lbl, reason="oversize")
+        if policy:
+            self._reject_counter.inc(policy, cache=lbl, reason="policy")
+
+    def _reject(self, reason: str) -> None:
+        self._requests.inc(cache=self.METRICS_LABEL, outcome="reject")
+        self._reject_counter.inc(cache=self.METRICS_LABEL, reason=reason)
+
+    # -- registry-derived counters (deprecated fields, kept as views) ---- #
+    @property
+    def hits(self) -> int:
+        return int(self._requests.value(cache=self.METRICS_LABEL,
+                                        outcome="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._requests.value(cache=self.METRICS_LABEL,
+                                        outcome="miss"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evict_counter.value(cache=self.METRICS_LABEL))
+
+    @property
+    def oversize_rejects(self) -> int:
+        return int(self._reject_counter.value(cache=self.METRICS_LABEL,
+                                              reason="oversize"))
+
+    @property
+    def policy_rejects(self) -> int:
+        return int(self._reject_counter.value(cache=self.METRICS_LABEL,
+                                              reason="policy"))
 
     def get(self, key: ResultKey) -> CachedResult | None:
         entry = self._results.get(key)
         if entry is None:
-            self.misses += 1
+            self._requests.inc(cache=self.METRICS_LABEL, outcome="miss")
             return None
         self._results.move_to_end(key)
-        self.hits += 1
+        self._requests.inc(cache=self.METRICS_LABEL, outcome="hit")
         return entry
 
     def put(self, key: ResultKey, matrix: CSRMatrix, algorithm: str, *,
@@ -112,11 +178,11 @@ class ResultCache:
         estimate of the numeric work a future hit would save)."""
         nbytes = matrix_nbytes(matrix)
         if nbytes > self.budget_bytes:
-            self.oversize_rejects += 1
+            self._reject("oversize")
             return False
         if (self.min_flops_per_byte > 0 and flops is not None
                 and flops < self.min_flops_per_byte * nbytes):
-            self.policy_rejects += 1
+            self._reject("policy")
             return False
         old = self._results.pop(key, None)
         if old is not None:
@@ -126,7 +192,7 @@ class ResultCache:
         while self.total_bytes > self.budget_bytes:
             _, victim = self._results.popitem(last=False)
             self.total_bytes -= victim.nbytes
-            self.evictions += 1
+            self._evict_counter.inc(cache=self.METRICS_LABEL)
         return True
 
     def invalidate(self, key: ResultKey) -> bool:

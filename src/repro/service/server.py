@@ -60,14 +60,15 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.expand import total_flops
 from ..errors import ReproError
+from ..obs import MetricsRegistry
 from ..validation import check_multiplicable
 from .batch import BatchExecutor
 from .engine import Engine
-from .requests import Request, Response
+from .requests import Request, RequestStats, Response
 
 
 #: most (A-pattern, B-pattern) flops estimates a server memoizes
@@ -92,26 +93,121 @@ class _Pending:
     t_admit: float
 
 
-@dataclass
 class ServerStats:
-    """Server-level telemetry (engine/caches keep their own counters)."""
+    """Server-level telemetry, **derived from** the metrics registry.
 
-    admitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    #: batches drained by workers (≤ completed; higher grouping → fewer)
-    batches: int = 0
-    #: requests served by awaiting an identical in-flight request's future
-    #: (never admitted, never executed)
-    coalesced: int = 0
-    #: completed requests whose numeric pass ran on the engine's
-    #: shard-worker pool (``RequestStats.sharded``)
-    sharded: int = 0
-    max_queue_depth: int = 0
-    max_inflight_seen: int = 0
-    #: bounded windows, same rationale as EngineStats
-    queue_waits: deque = field(default_factory=lambda: deque(maxlen=4096))
-    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    Like :class:`~repro.service.engine.EngineStats`, the registry
+    (``repro_server_requests_total{outcome}``,
+    ``repro_server_batches_total``, the queue-depth/in-flight gauges and
+    watermarks, ``repro_queued_seconds``,
+    ``repro_server_request_seconds``) is the single bookkeeping system;
+    every attribute here is a read-only view over it. The server shares
+    its engine's registry by default, so one ``/metrics`` page covers
+    admission through kernels. The deques remain the raw recent window for
+    percentile reporting.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._outcomes = self.registry.counter(
+            "repro_server_requests_total",
+            "server requests by outcome (admitted counts every entry; "
+            "coalesced requests are never admitted)",
+            labels=("outcome",))
+        self._batch_counter = self.registry.counter(
+            "repro_server_batches_total",
+            "request batches drained by the worker pool")
+        self._sharded_counter = self.registry.counter(
+            "repro_server_sharded_total",
+            "completed requests whose numeric pass ran on the shard pool")
+        self._queue_depth = self.registry.gauge(
+            "repro_server_queue_depth",
+            "requests currently waiting in the admission queue")
+        self._inflight_gauge = self.registry.gauge(
+            "repro_server_inflight",
+            "admitted-but-unfinished requests")
+        self._watermarks = self.registry.gauge(
+            "repro_server_watermark",
+            "high-water marks (kind=queue_depth|inflight)",
+            labels=("kind",))
+        self._queued_seconds = self.registry.histogram(
+            "repro_queued_seconds", "admission→execution queue wait")
+        self._latency_seconds = self.registry.histogram(
+            "repro_server_request_seconds",
+            "admission→completion request latency")
+        #: bounded windows, same rationale as EngineStats
+        self.queue_waits: deque = deque(maxlen=4096)
+        self.latencies: deque = deque(maxlen=4096)
+
+    # -- recording hooks (called by AsyncServer) ------------------------ #
+    def note_admitted(self, queue_depth: int, inflight: int) -> None:
+        self._outcomes.inc(outcome="admitted")
+        self.observe_queue(queue_depth, inflight)
+        for kind, value in (("queue_depth", queue_depth),
+                            ("inflight", inflight)):
+            if value > self._watermarks.value(kind=kind):
+                self._watermarks.set(value, kind=kind)
+
+    def observe_queue(self, queue_depth: int, inflight: int) -> None:
+        self._queue_depth.set(queue_depth)
+        self._inflight_gauge.set(inflight)
+
+    def note_coalesced(self) -> None:
+        self._outcomes.inc(outcome="coalesced")
+
+    def note_batch(self) -> None:
+        self._batch_counter.inc()
+
+    def note_failed(self) -> None:
+        self._outcomes.inc(outcome="failed")
+
+    def note_completed(self, stats: RequestStats) -> None:
+        self._outcomes.inc(outcome="completed")
+        if stats.sharded:
+            self._sharded_counter.inc()
+        self._queued_seconds.observe(stats.queued_seconds)
+        self._latency_seconds.observe(stats.total_seconds)
+        self.queue_waits.append(stats.queued_seconds)
+        self.latencies.append(stats.total_seconds)
+
+    # -- registry-derived views ----------------------------------------- #
+    @property
+    def admitted(self) -> int:
+        return int(self._outcomes.value(outcome="admitted"))
+
+    @property
+    def completed(self) -> int:
+        return int(self._outcomes.value(outcome="completed"))
+
+    @property
+    def failed(self) -> int:
+        return int(self._outcomes.value(outcome="failed"))
+
+    @property
+    def coalesced(self) -> int:
+        """Requests served by awaiting an identical in-flight request's
+        future (never admitted, never executed)."""
+        return int(self._outcomes.value(outcome="coalesced"))
+
+    @property
+    def batches(self) -> int:
+        """Batches drained by workers (≤ completed; higher grouping →
+        fewer)."""
+        return int(self._batch_counter.value())
+
+    @property
+    def sharded(self) -> int:
+        """Completed requests whose numeric pass ran on the engine's
+        shard-worker pool (``RequestStats.sharded``)."""
+        return int(self._sharded_counter.value())
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self._watermarks.value(kind="queue_depth"))
+
+    @property
+    def max_inflight_seen(self) -> int:
+        return int(self._watermarks.value(kind="inflight"))
 
     @property
     def requests_per_batch(self) -> float:
@@ -161,7 +257,9 @@ class AsyncServer:
         self.dedup = dedup
         #: result-cache key → future of the identical in-flight primary
         self._inflight_keys: dict[tuple, asyncio.Future] = {}
-        self.stats = ServerStats()
+        # share the engine's registry: one /metrics page spans admission
+        # through kernel chunks
+        self.stats = ServerStats(engine.metrics)
         self._batcher = BatchExecutor(engine)
         self._pending: deque[_Pending] = deque()
         self._queued_flops = 0
@@ -291,7 +389,7 @@ class AsyncServer:
                     if primary.cancelled():
                         continue  # primary abandoned; re-check, else execute
                     raise  # this follower itself was cancelled
-                self.stats.coalesced += 1
+                self.stats.note_coalesced()
                 return Response(result=primary_resp.result,
                                 stats=replace(primary_resp.stats,
                                               coalesced=True),
@@ -308,11 +406,7 @@ class AsyncServer:
             self._pending.append(item)
             self._queued_flops += flops
             self._inflight += 1
-            self.stats.admitted += 1
-            self.stats.max_queue_depth = max(self.stats.max_queue_depth,
-                                             len(self._pending))
-            self.stats.max_inflight_seen = max(self.stats.max_inflight_seen,
-                                               self._inflight)
+            self.stats.note_admitted(len(self._pending), self._inflight)
             self._cond.notify_all()
         if key is not None and key not in self._inflight_keys:
             # registered only once *admitted*: every registered future is
@@ -361,6 +455,7 @@ class AsyncServer:
             rest.extend(self._pending)
             self._pending = rest
             self._queued_flops -= sum(p.flops for p in batch)
+            self.stats.observe_queue(len(self._pending), self._inflight)
             # draining frees queued-flops budget immediately: wake producers
             # throttled on that bound now, not after the batch finishes
             # executing (the in-flight bound still holds them if it applies)
@@ -394,23 +489,27 @@ class AsyncServer:
                 results = [e] * len(batch)
             t_done = time.perf_counter()
             async with self._cond:
-                self.stats.batches += 1
+                self.stats.note_batch()
                 for pending, result in zip(batch, results):
                     self._inflight -= 1
                     if isinstance(result, BaseException):
-                        self.stats.failed += 1
+                        self.stats.note_failed()
                         if not pending.future.cancelled():
                             pending.future.set_exception(result)
                         continue
                     result.stats.queued_seconds = t_exec - pending.t_admit
                     result.stats.total_seconds = t_done - pending.t_admit
-                    self.stats.completed += 1
-                    if result.stats.sharded:
-                        self.stats.sharded += 1
-                    self.stats.queue_waits.append(result.stats.queued_seconds)
-                    self.stats.latencies.append(result.stats.total_seconds)
+                    self.stats.note_completed(result.stats)
+                    # stitch the admission wait into the request's trace as
+                    # a post-hoc span: the engine only sees the request once
+                    # a worker drains it, so the server owns this interval
+                    if result.stats.trace_id:
+                        rec = self.engine.tracer.get(result.stats.trace_id)
+                        if rec is not None:
+                            rec.add_span("queue", pending.t_admit, t_exec)
                     if not pending.future.cancelled():
                         pending.future.set_result(result)
+                self.stats.observe_queue(len(self._pending), self._inflight)
                 self._cond.notify_all()  # wake throttled producers
 
 

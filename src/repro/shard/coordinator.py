@@ -52,6 +52,7 @@ from ..core import registry
 from ..core.plan import SymbolicPlan
 from ..errors import AlgorithmError
 from ..mask import Mask
+from ..obs.trace import current_record, span
 from ..semiring import PLUS_TIMES, Semiring
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
 from ..sparse.csr import CSRMatrix
@@ -193,10 +194,21 @@ class ShardCoordinator:
         ranges = split_rows(out_shape[0], self.nshards, weights)
         if not ranges:
             return np.zeros(0, dtype=INDEX_DTYPE)
+        # when the caller is tracing, workers collect their own spans and
+        # ship them back with the result for merging into the request trace
+        rec = current_record()
         tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
-                  algorithm, lo, hi) for lo, hi in ranges]
-        parts = self._ensure_pool().map(worker_mod.symbolic_task, tasks)
+                  algorithm, lo, hi, rec is not None) for lo, hi in ranges]
+        with span("shard.scatter", phase="symbolic", nshards=len(tasks),
+                  kernel=algorithm) as scatter:
+            results = self._ensure_pool().map(worker_mod.symbolic_task, tasks)
         self.tasks += len(tasks)
+        parts = [sizes for sizes, _ in results]
+        if rec is not None:
+            for _, payload in results:
+                if payload:
+                    rec.merge(payload, parent_id=(scatter.span_id
+                                                  if scatter else None))
         return np.concatenate(parts).astype(INDEX_DTYPE, copy=False)
 
     def multiply(self, a_key: str, b_key: str, mask_key: str | None,
@@ -242,11 +254,15 @@ class ShardCoordinator:
         # smuggle stale offsets past the kernels' size validation
         indptr[0] = 0
         np.cumsum(plan.row_sizes, out=indptr[1:])
+        rec = current_record()
         try:
             tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
                       plan.algorithm, semiring.name, sp.row_lo, sp.row_hi,
-                      out_handle) for sp in shard_plans]
-            self._ensure_pool().map(worker_mod.numeric_task, tasks)
+                      out_handle, rec is not None) for sp in shard_plans]
+            with span("shard.scatter", phase="numeric", nshards=len(tasks),
+                      kernel=plan.algorithm) as scatter:
+                results = self._ensure_pool().map(worker_mod.numeric_task,
+                                                  tasks)
         except BaseException:
             # worker failure (stale plan, kernel error, dead pool): the
             # output segment must not outlive the request it belonged to
@@ -255,6 +271,13 @@ class ShardCoordinator:
             raise
         self.tasks += len(tasks)
         self.products += 1
+        if rec is not None:
+            # fold the workers' span payloads into the request trace,
+            # nesting them under the scatter span that dispatched them
+            for _, payload in results:
+                if payload:
+                    rec.merge(payload, parent_id=(scatter.span_id
+                                                  if scatter else None))
 
         # hand the mapping's lifetime to the result arrays, then retire the
         # *name* immediately: nothing to clean if we crash later, and the

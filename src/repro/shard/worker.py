@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core import registry
 from ..mask import Mask
+from ..obs.trace import capture, span
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
 from ..sparse.csr import CSRMatrix
 from ..validation import INDEX_DTYPE
@@ -144,16 +145,36 @@ def _shard_chunks(A, B, mask, algorithm: str, row_lo: int, row_hi: int,
 # --------------------------------------------------------------------- #
 # task entry points (top-level: must pickle under fork *and* spawn)
 # --------------------------------------------------------------------- #
-def numeric_task(args) -> int:
+def numeric_task(args) -> tuple[int, list | None]:
     """Compute one shard's rows straight into the shared output arrays.
 
-    Returns the shard's nnz (cheap progress telemetry). Size validation
-    happens inside ``numeric_rows_into`` (via ``write_block_into``), so a
-    stale plan raises *here*, before any out-of-slice write, and the error
-    propagates to the coordinator pickled.
+    Returns ``(nnz, spans)``: the shard's nnz (cheap progress telemetry)
+    plus — when the coordinator asked for span collection — the worker's
+    trace spans as a picklable payload the coordinator merges into the
+    request's record (``perf_counter`` is CLOCK_MONOTONIC, shared across
+    forked children, so the timestamps land on the parent's axis). Size
+    validation happens inside ``numeric_rows_into`` (via
+    ``write_block_into``), so a stale plan raises *here*, before any
+    out-of-slice write, and the error propagates to the coordinator pickled.
     """
     (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
-     semiring_name, row_lo, row_hi, out_handle) = args
+     semiring_name, row_lo, row_hi, out_handle, collect_spans) = args
+    if not collect_spans:
+        return _numeric_shard(a_handle, b_handle, mask_handle, complemented,
+                              out_shape, algorithm, semiring_name, row_lo,
+                              row_hi, out_handle), None
+    with capture("shard") as rec:
+        with span("shard.task", phase="numeric", kernel=algorithm,
+                  row_lo=row_lo, row_hi=row_hi):
+            nnz = _numeric_shard(a_handle, b_handle, mask_handle,
+                                 complemented, out_shape, algorithm,
+                                 semiring_name, row_lo, row_hi, out_handle)
+    return nnz, rec.payload()
+
+
+def _numeric_shard(a_handle, b_handle, mask_handle, complemented, out_shape,
+                   algorithm, semiring_name, row_lo, row_hi,
+                   out_handle) -> int:
     A = _matrix(a_handle)
     B = _matrix(b_handle)
     mask = _mask(mask_handle, complemented, out_shape)
@@ -169,9 +190,11 @@ def numeric_task(args) -> int:
         # indptr the coordinator wrote before dispatch
         indptr, out_cols, out_vals = output_arrays(out_handle, out_seg)
         for lo, hi in chunks:
-            spec.numeric_into(A, B, mask, semiring,
-                              np.arange(lo, hi, dtype=INDEX_DTYPE),
-                              out_cols, out_vals, indptr[lo:hi + 1])
+            with span("chunk", kernel=algorithm, phase="numeric",
+                      rows=hi - lo):
+                spec.numeric_into(A, B, mask, semiring,
+                                  np.arange(lo, hi, dtype=INDEX_DTYPE),
+                                  out_cols, out_vals, indptr[lo:hi + 1])
         nnz = int(indptr[row_hi] - indptr[row_lo])
         del indptr, out_cols, out_vals  # release buffer exports
     finally:
@@ -184,13 +207,27 @@ def numeric_task(args) -> int:
     return nnz
 
 
-def symbolic_task(args) -> np.ndarray:
-    """Exact output sizes for one shard's row range (cold-path plan build)."""
+def symbolic_task(args) -> tuple[np.ndarray, list | None]:
+    """Exact output sizes for one shard's row range (cold-path plan build).
+
+    Returns ``(sizes, spans)`` — span payload collected and shipped back
+    exactly like :func:`numeric_task`.
+    """
     (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
-     row_lo, row_hi) = args
-    A = _matrix(a_handle)
-    B = _matrix(b_handle)
-    mask = _mask(mask_handle, complemented, out_shape)
-    spec = registry.get_spec(algorithm)
-    rows = np.arange(row_lo, row_hi, dtype=INDEX_DTYPE)
-    return spec.symbolic(A, B, mask, rows)
+     row_lo, row_hi, collect_spans) = args
+
+    def run() -> np.ndarray:
+        A = _matrix(a_handle)
+        B = _matrix(b_handle)
+        mask = _mask(mask_handle, complemented, out_shape)
+        spec = registry.get_spec(algorithm)
+        rows = np.arange(row_lo, row_hi, dtype=INDEX_DTYPE)
+        return spec.symbolic(A, B, mask, rows)
+
+    if not collect_spans:
+        return run(), None
+    with capture("shard") as rec:
+        with span("shard.task", phase="symbolic", kernel=algorithm,
+                  row_lo=row_lo, row_hi=row_hi):
+            sizes = run()
+    return sizes, rec.payload()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Observability endpoint checker: /metrics must parse, traces must export.
+
+Spins up a real :class:`repro.obs.ObsHTTPServer` next to a small engine,
+serves a handful of requests, then validates over actual HTTP that
+
+* ``GET /metrics`` returns strict Prometheus text exposition
+  (:func:`repro.obs.parse_exposition` — HELP/TYPE lines, escaped labels,
+  monotone cumulative histogram buckets) carrying non-zero engine request
+  counters and the expected metric families;
+* ``GET /traces`` lists every retained request id;
+* ``GET /trace/<id>.json`` returns Chrome-trace JSON whose complete events
+  cover the serving span taxonomy (symbolic.cold → numeric → cache on the
+  cold request), loadable by Perfetto / chrome://tracing as-is;
+* unknown routes 404.
+
+Run from anywhere: ``PYTHONPATH=src python tools/check_metrics.py``. Exits
+nonzero and prints one line per violated invariant. Wired into CI next to
+``repro serve --smoke`` (which additionally asserts the same endpoints
+in-process via ``--metrics-port 0``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: metric families the engine must expose after serving traffic
+REQUIRED_FAMILIES = (
+    "repro_engine_requests_total",
+    "repro_cache_requests_total",
+    "repro_phase_seconds",
+    "repro_request_seconds",
+    "repro_chunk_seconds",
+)
+
+#: spans a cold two-phase request must record
+REQUIRED_SPANS = {"symbolic.cold", "numeric", "cache.lookup"}
+
+
+def _fetch(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read()
+
+
+def check() -> list[str]:
+    import numpy as np
+
+    from repro.obs import ObsHTTPServer, parse_exposition
+    from repro.service import Engine, Request
+    from repro.sparse import csr_random
+
+    problems: list[str] = []
+    rng = np.random.default_rng(7)
+    engine = Engine(result_cache_bytes=1 << 20)
+    engine.register("A", csr_random(200, 200, density=0.05, rng=rng))
+    engine.register("M", csr_random(200, 200, density=0.05, rng=rng))
+    responses = [engine.submit(Request(a="A", b="A", mask="M", phases=2))
+                 for _ in range(3)]
+
+    with ObsHTTPServer(engine.metrics, engine.tracer) as obs:
+        # -- /metrics: strict exposition + expected families ------------- #
+        body = _fetch(f"{obs.url}/metrics").decode()
+        try:
+            families = parse_exposition(body)
+        except ValueError as e:
+            return [f"/metrics does not parse: {e}"]
+        for name in REQUIRED_FAMILIES:
+            if not any(k == name or k.startswith(name + "_")
+                       for k in families):
+                problems.append(f"/metrics missing family {name}")
+        served = sum(families.get("repro_engine_requests_total",
+                                  {}).values())
+        if served < len(responses):
+            problems.append(
+                f"repro_engine_requests_total {served:.0f} < "
+                f"{len(responses)} submitted requests")
+
+        # -- /traces lists every retained request ------------------------ #
+        ids = json.loads(_fetch(f"{obs.url}/traces"))["traces"]
+        want_ids = [r.stats.trace_id for r in responses]
+        missing = [i for i in want_ids if i not in ids]
+        if missing:
+            problems.append(f"/traces missing ids {missing}")
+
+        # -- /trace/<id>.json: Chrome JSON with the span taxonomy -------- #
+        doc = json.loads(_fetch(f"{obs.url}/trace/{want_ids[0]}.json"))
+        events = doc.get("traceEvents", [])
+        names = {e.get("name") for e in events if e.get("ph") == "X"}
+        if not REQUIRED_SPANS <= names:
+            problems.append(
+                f"cold trace spans {sorted(names)} lack "
+                f"{sorted(REQUIRED_SPANS - names)}")
+        bad = [e for e in events if e.get("ph") == "X"
+               and (e.get("ts", -1) < 0 or e.get("dur", -1) < 0)]
+        if bad:
+            problems.append(f"{len(bad)} trace events with negative ts/dur")
+
+        # -- unknown routes 404 ------------------------------------------ #
+        try:
+            _fetch(f"{obs.url}/trace/absent.json")
+            problems.append("/trace/absent.json did not 404")
+        except urllib.error.HTTPError as e:
+            if e.code != 404:
+                problems.append(f"/trace/absent.json returned {e.code}")
+    engine.close()
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for p in problems:
+        print(p)
+    print("checked /metrics + /traces + /trace/<id>.json: "
+          + ("OK" if not problems else f"{len(problems)} problems"))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
