@@ -1,0 +1,233 @@
+"""Resilience overhead — degraded serving must not cost real throughput.
+
+The PR-7 resilience ladder (retry policy, circuit breaker, deadline checks,
+fault seam) sits on the request hot path, so it needs a perf gate, not just
+correctness tests. The scenario measured here is the breaker's whole reason
+to exist: the shard pool is *down* (an injected worker error tripped the
+breaker open), and every subsequent warm-2P request routes straight to the
+in-process tier. That degraded stream should cost no more than the breaker
+check itself — within noise of an engine that never had shards at all.
+
+Two faces, same repeated-mask TC workload:
+
+* **plain-inprocess** — ``Engine()`` (no shard tier configured), warm plans;
+* **degraded-breaker-open** — ``Engine(shards=2)`` whose breaker an injected
+  ``shard.numeric`` worker error tripped open (cooldown longer than the
+  run), warm plans; every request pays breaker ``allow()`` + routing and
+  then executes identically in-process. Opening the breaker also parks the
+  idle pool (:meth:`ShardCoordinator.quiesce`), so the degraded face is not
+  charged GIL contention from support threads of a tier it cannot use.
+
+The faces are measured *interleaved*, one request each in alternation, so
+both see the same instantaneous machine state — sequential whole-stream
+timing lets multi-ms baseline drift between the two windows masquerade as
+routing overhead.
+
+Acceptance gate (ISSUE PR 7): degraded warm-2P throughput ≥ **0.9×** the
+plain in-process engine, with bit-identical responses. ``main()`` appends a
+``resilience`` run to ``BENCH_service.json`` (envelope documented in
+``benchmarks/common.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import append_trajectory_run, emit, latest_trajectory_run, tc_workload
+from repro.bench import render_table
+from repro.bench.metrics import latency_percentiles
+from repro.graphs import load_graph
+from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
+from repro.service import Engine, Request
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: acceptance gate: degraded warm throughput vs plain in-process
+GATE_MIN_RATIO = 0.9
+
+GRAPH = "rmat-s8-e4"
+ALGO, PHASES, REQUESTS = "hash", 2, 32
+
+#: unmeasured warm requests served before timing starts — lets allocator and
+#: cache state settle, and puts the degraded face's pool teardown (the
+#: breaker-open quiesce fires on the priming request) outside the timed
+#: window. The gate is about steady-state routing overhead.
+SETTLE = 12
+
+
+def _engine_for(L, mask, **kw) -> Engine:
+    eng = Engine(**kw)
+    eng.register("L", L)
+    eng.register("M", mask)
+    return eng
+
+
+def _request(tag: str) -> Request:
+    return Request(a="L", b="L", mask="M", algorithm=ALGO, phases=PHASES,
+                   semiring="plus_pair", tag=tag)
+
+
+def _degraded_engine(L, mask) -> Engine:
+    """An engine whose shard tier is down and breaker open: one injected
+    worker error on the priming request trips a threshold-1 breaker whose
+    cooldown outlasts the measured stream."""
+    eng = _engine_for(
+        L, mask, shards=2,
+        faults=FaultPlan(["shard.numeric:error:1"]),
+        retry=RetryPolicy(max_attempts=1),
+        breaker=CircuitBreaker(failure_threshold=1, reset_seconds=3600.0))
+    if eng.shards is None:  # no usable shared memory on this box: trip the
+        eng.breaker.record_failure()  # breaker directly — same routing
+    return eng
+
+
+def _warm_stream(engine: Engine, n: int, settle: int = 0):
+    """Prime the plan cache, serve ``settle`` unmeasured requests, then
+    serve ``n`` warm requests serially (the overhead under test is
+    per-request engine-side work; the async front end would add identical
+    queueing to both faces). Returns (responses, per-request seconds,
+    wall seconds)."""
+    engine.submit(_request("prime"))
+    for i in range(settle):
+        engine.submit(_request(f"settle-{i}"))
+    lat, resps = [], []
+    t0 = time.perf_counter()
+    for i in range(n):
+        resp = engine.submit(_request(str(i)))
+        lat.append(resp.stats.total_seconds)
+        resps.append(resp)
+    wall = time.perf_counter() - t0
+    assert all(r.stats.plan_cache_hit for r in resps)
+    return resps, lat, wall
+
+
+def _mode_row(case, mode, latencies, wall_seconds, n):
+    pct = latency_percentiles(latencies, percentiles=(50, 95))
+    return {"case": case, "mode": mode, "requests": n,
+            "wall_seconds": wall_seconds, "rps": n / wall_seconds,
+            "mean_ms": float(np.mean(latencies)) * 1e3,
+            "p50_ms": pct[50] * 1e3, "p95_ms": pct[95] * 1e3}
+
+
+def bench_case(gname: str = GRAPH, requests: int = REQUESTS):
+    """Returns ([plain row, degraded row], gate row)."""
+    L, mask = tc_workload(load_graph(gname))
+    case = f"tc-{gname}-{ALGO}{PHASES}p"
+
+    eng_plain = _engine_for(L, mask)
+    eng_deg = _degraded_engine(L, mask)
+    try:
+        for eng in (eng_plain, eng_deg):
+            eng.submit(_request("prime"))
+            for i in range(SETTLE):
+                eng.submit(_request(f"settle-{i}"))
+        assert eng_deg.breaker.state == "open"  # tripped on the prime
+
+        # paired measurement: alternate one request per face so both see
+        # the same instantaneous machine state
+        plain_resps, plain_lat, plain_wall = [], [], 0.0
+        deg_resps, deg_lat, deg_wall = [], [], 0.0
+        for i in range(requests):
+            for resps, lat, eng, tag in (
+                    (plain_resps, plain_lat, eng_plain, f"p{i}"),
+                    (deg_resps, deg_lat, eng_deg, f"d{i}")):
+                t0 = time.perf_counter()
+                resp = eng.submit(_request(tag))
+                dt = time.perf_counter() - t0
+                if eng is eng_plain:
+                    plain_wall += dt
+                else:
+                    deg_wall += dt
+                lat.append(resp.stats.total_seconds)
+                resps.append(resp)
+
+        assert eng_deg.breaker.state == "open"  # the whole stream degraded
+        assert not any(r.stats.sharded for r in deg_resps)
+        assert all(r.stats.plan_cache_hit
+                   for r in plain_resps + deg_resps)
+    finally:
+        eng_plain.close()
+        eng_deg.close()
+
+    # degraded must mean *routed*, never *different*
+    baseline = plain_resps[0].result
+    assert all(r.result.equals(baseline) for r in plain_resps)
+    assert all(r.result.equals(baseline) for r in deg_resps)
+
+    plain = _mode_row(case, "plain-inprocess", plain_lat, plain_wall,
+                      requests)
+    deg = _mode_row(case, "degraded-breaker-open", deg_lat, deg_wall,
+                    requests)
+    ratio = deg["rps"] / plain["rps"]
+    gate = {"case": case, "mode": "resilience-gate", "requests": requests,
+            "rps_plain": plain["rps"], "rps_degraded": deg["rps"],
+            "throughput_ratio": ratio, "gate_min": GATE_MIN_RATIO,
+            "bit_identical": True,
+            "gate_pass": bool(ratio >= GATE_MIN_RATIO)}
+    return [plain, deg], gate
+
+
+def main() -> None:
+    emit("[Resilience] degraded serving overhead (shard tier down, breaker "
+         f"open) — warm-{PHASES}P repeated-mask TC, {ALGO} kernel")
+    emit("plain-inprocess = no shard tier; degraded-breaker-open = tripped "
+         "breaker routes every request around the dead pool\n")
+    rows, gate = bench_case()
+    emit(render_table(
+        ["case", "mode", "reqs", "req/s", "mean (ms)", "p50 (ms)",
+         "p95 (ms)"],
+        [[r["case"], r["mode"], r["requests"], r["rps"], r["mean_ms"],
+          r["p50_ms"], r["p95_ms"]] for r in rows]))
+    emit(f"\ndegraded/plain throughput: {gate['throughput_ratio']:.3f}x "
+         f"(gate ≥ {GATE_MIN_RATIO}x, bit-identical) → "
+         f"{'PASS' if gate['gate_pass'] else 'FAIL'}")
+
+    prev = latest_trajectory_run(ARTIFACT, bench="resilience")
+    append_trajectory_run(ARTIFACT, "resilience", rows + [gate])
+    emit(f"appended run to {ARTIFACT.name} ({len(rows) + 1} results)")
+    if prev is not None:
+        old = [r for r in prev["results"]
+               if r.get("mode") == "resilience-gate"]
+        if old:
+            emit(f"  ratio drift: {old[-1]['throughput_ratio']:.3f}x → "
+                 f"{gate['throughput_ratio']:.3f}x")
+    if not gate["gate_pass"]:
+        emit("acceptance gate: FAIL")
+        raise SystemExit(1)
+    emit("acceptance gate: degraded warm serving held ≥ "
+         f"{GATE_MIN_RATIO}x plain in-process throughput → PASS")
+
+
+# ----------------------------------------------------------------------- #
+# pytest-benchmark faces (`pytest benchmarks/ --benchmark-only -k resilience`)
+# ----------------------------------------------------------------------- #
+def test_resilience_degraded_warm_stream(benchmark, tc_small):
+    """Warm stream through a breaker-open engine (the degraded face)."""
+    L, mask = tc_small
+    eng = _degraded_engine(L, mask)
+    try:
+        resps, _, _ = benchmark.pedantic(lambda: _warm_stream(eng, 8),
+                                         rounds=3, warmup_rounds=1)
+        assert eng.breaker.state == "open"
+        assert not any(r.stats.sharded for r in resps)
+    finally:
+        eng.close()
+
+
+def test_resilience_plain_warm_stream(benchmark, tc_small):
+    """The plain in-process face the gate compares against."""
+    L, mask = tc_small
+    eng = _engine_for(L, mask)
+    try:
+        resps, _, _ = benchmark.pedantic(lambda: _warm_stream(eng, 8),
+                                         rounds=3, warmup_rounds=1)
+        assert all(r.stats.plan_cache_hit for r in resps)
+    finally:
+        eng.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ Examples
     python -m repro serve workload.json --plans plans.npz  # async front end
     python -m repro serve --smoke        # CI smoke: warm serving + restart
     python -m repro serve workload.json --metrics-port 9100  # live /metrics
+    python -m repro serve --smoke --chaos --shards 2  # CI chaos: inject kills
     python -m repro trace workload.json -o trace.json  # offline flame trace
+    python -m repro gc-shm               # unlink orphaned repro_* segments
     python -m repro suite                # list the built-in input suite
     python -m repro info                 # algorithms and semirings
 
@@ -206,9 +208,17 @@ def _serve_once(spec, args, *, engine):
     return responses, failures, server, seconds
 
 
+#: chaos default when ``--chaos`` is given but $REPRO_FAULTS is unset: kill
+#: a shard worker on the first numeric scatter AND on its retry, so the
+#: request walks the whole ladder (retry → degrade to in-process) and the
+#: gate can assert repro_degraded_total > 0.
+_CHAOS_DEFAULT = "shard.numeric:kill:2"
+
+
 def cmd_serve(args) -> int:
     import json
 
+    from .resilience import sweep_orphans
     from .service import (Engine, PlanStoreError, load_workload,
                           render_serve_report)
 
@@ -224,9 +234,24 @@ def cmd_serve(args) -> int:
     else:
         raise SystemExit("provide a workload.json or --smoke")
 
+    # a previous crashed run must not starve this one of shm space
+    swept = sweep_orphans()
+    if swept:
+        print(f"gc-shm: unlinked {len(swept)} orphaned repro_* segment(s) "
+              f"from dead processes")
+
+    faults = None
+    if getattr(args, "chaos", False):
+        from .resilience import FaultPlan
+
+        if not args.shards:
+            args.shards = 2  # shard-site faults need a pool to kill
+        faults = FaultPlan.from_env() or FaultPlan.parse(_CHAOS_DEFAULT)
+        print(f"chaos: injecting {faults!r}")
+
     engine = Engine(result_cache_bytes=(int(args.result_cache_mb * 2**20)
                                         if args.result_cache_mb else None),
-                    shards=(args.shards or None))
+                    shards=(args.shards or None), faults=faults)
     if args.shards and engine.shard_degraded:
         print(f"shards: --shards {args.shards} requested but shared memory "
               f"is unavailable; serving in-process instead")
@@ -235,7 +260,8 @@ def cmd_serve(args) -> int:
         from .obs import ObsHTTPServer
 
         obs = ObsHTTPServer(engine.metrics, engine.tracer,
-                            port=args.metrics_port).start()
+                            port=args.metrics_port,
+                            ready=engine.ready).start()
         print(f"observability: {obs.url}/metrics  "
               f"{obs.url}/trace/<request_id>.json")
     try:
@@ -262,7 +288,8 @@ def cmd_serve(args) -> int:
             print(f"persisted {n} plans to {args.plans}")
 
         if args.smoke:
-            return _check_smoke(engine, server, responses, args, obs=obs)
+            return _check_smoke(engine, server, responses, args, obs=obs,
+                                failures=failures)
         return 1 if failures else 0
     finally:
         # shard pools and shared segments must not outlive the serve run —
@@ -272,14 +299,18 @@ def cmd_serve(args) -> int:
         engine.close()
 
 
-def _check_smoke(engine, server, responses, args, obs=None) -> int:
+def _check_smoke(engine, server, responses, args, obs=None,
+                 failures=()) -> int:
     """CI gate: the repeated-mask smoke stream must serve warm — via a plan
     hit, a result hit, or by coalescing onto an identical in-flight request
     (strictly cheaper than warm: no execution at all) — and a restarted
     engine restored from the persisted plans must never miss. With
     ``--metrics-port`` the gate also requires a live, parseable ``/metrics``
     with non-zero request counters and a Chrome-trace export for a served
-    request."""
+    request. With ``--chaos`` the gate additionally requires that the
+    injected faults actually fired, every request still completed with the
+    bit-identical in-process answer, the degrade ladder was observed in
+    ``repro_degraded_total``, and no shm segments leaked."""
     import tempfile
     from pathlib import Path
 
@@ -308,7 +339,10 @@ def _check_smoke(engine, server, responses, args, obs=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         plan_path = Path(tmp) / "plans.npz"
         saved = engine.save_plans(plan_path)
-        restarted = Engine(shards=(args.shards or None))
+        # reuse the (spent) fault plan so a chaos run's restart leg does
+        # not re-arm $REPRO_FAULTS via FaultPlan.from_env()
+        restarted = Engine(shards=(args.shards or None),
+                           faults=engine.faults)
         try:
             restored = restarted.load_plans(plan_path)
             responses2, _, _, _ = _serve_once(_SMOKE_SPEC, args,
@@ -335,7 +369,57 @@ def _check_smoke(engine, server, responses, args, obs=None) -> int:
         print(f"smoke shard shutdown: {len(names)} segments unlinked"
               f"{'' if ok3 else f', LEAKED {leaked}'} → "
               f"{'PASS' if ok3 else 'FAIL'}")
-    return 0 if ok and ok2 and ok3 and ok_obs else 1
+    ok4 = True
+    if getattr(args, "chaos", False):
+        ok4 = _check_chaos_smoke(engine, responses, failures)
+    return 0 if ok and ok2 and ok3 and ok4 and ok_obs else 1
+
+
+def _check_chaos_smoke(engine, responses, failures) -> bool:
+    """Chaos gate: with faults injected, every request must still complete,
+    the degrade ladder must be visible in ``repro_degraded_total``, every
+    response must be bit-identical to the plain in-process answer, and the
+    injected kills must leak no shared-memory segments."""
+    import os
+
+    from .obs import parse_exposition
+    from .resilience import list_repro_segments
+    from .service import Engine, expand_requests, register_matrices
+
+    ok_complete = not failures and len(responses) > 0
+    fired = engine.faults.fired_total() if engine.faults is not None else 0
+    families = parse_exposition(engine.metrics.render())
+    degraded = sum(families.get("repro_degraded_total", {}).values())
+    retried = sum(families.get("repro_retries_total", {}).values())
+    ok_degraded = fired > 0 and degraded > 0
+
+    # bit-identical: a fresh fault-free in-process engine is the oracle
+    ref_engine = Engine()
+    try:
+        register_matrices(ref_engine, _SMOKE_SPEC)
+        ref = ref_engine.submit(expand_requests(_SMOKE_SPEC)[0]).result
+    finally:
+        ref_engine.close()
+    ok_identical = all(
+        np.array_equal(r.result.indptr, ref.indptr)
+        and np.array_equal(r.result.indices, ref.indices)
+        and np.array_equal(r.result.data, ref.data)
+        for r in responses)
+
+    # hygiene: after close, none of this process's segments may survive
+    # the injected worker kills (close is idempotent — the shard-shutdown
+    # gate may already have run it)
+    engine.close()
+    mine = [s for s in list_repro_segments() if s.owner_pid == os.getpid()]
+    ok_shm = not mine
+
+    ok = ok_complete and ok_degraded and ok_identical and ok_shm
+    print(f"smoke chaos: {len(responses)} responses / {len(failures)} "
+          f"failures, {fired} faults fired, retries={retried:.0f}, "
+          f"degraded={degraded:.0f}, "
+          f"bit-identical={'yes' if ok_identical else 'NO'}, "
+          f"shm leaks={len(mine)} → {'PASS' if ok else 'FAIL'}")
+    return ok
 
 
 def _check_metrics_smoke(obs, responses, executed: int) -> bool:
@@ -422,6 +506,28 @@ def cmd_trace(args) -> int:
         return 1 if failures else 0
     finally:
         engine.close()
+
+
+def cmd_gc_shm(args) -> int:
+    """List ``repro_*`` shared-memory segments and unlink the orphans —
+    segments whose owner pid (encoded in the name) is dead. The same sweep
+    runs automatically on ``repro serve`` startup; this subcommand is for
+    operators cleaning up after a crashed run by hand."""
+    from .resilience import list_repro_segments, sweep_orphans
+
+    segments = list_repro_segments(args.shm_dir)
+    if not segments:
+        print(f"no repro_* segments in {args.shm_dir}")
+        return 0
+    for seg in segments:
+        state = "live" if seg.owner_alive else "ORPHAN"
+        print(f"  {seg.name:32s} {seg.size:>12d} bytes  "
+              f"owner pid {seg.owner_pid or '?'} ({state})")
+    orphans = sweep_orphans(args.shm_dir, dry_run=args.dry_run)
+    verb = "would unlink" if args.dry_run else "unlinked"
+    print(f"{verb} {len(orphans)} orphaned segment(s), "
+          f"{sum(s.size for s in orphans)} bytes")
+    return 0
 
 
 def cmd_suite(args) -> int:
@@ -533,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(Chrome trace) on 127.0.0.1:PORT while the run is "
                          "live (0 = ephemeral port; with --smoke the gate "
                          "also asserts the endpoints)")
+    sv.add_argument("--chaos", action="store_true",
+                    help="inject faults from $REPRO_FAULTS (default: kill a "
+                         "shard worker on the first numeric scatter and its "
+                         "retry); with --smoke the gate asserts completion, "
+                         "bit-identical degraded results, and shm hygiene")
     sv.set_defaults(fn=cmd_serve)
 
     tr = sub.add_parser(
@@ -547,6 +658,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="which traced request to export (0 = the stream's "
                          "first/cold request; negative indexes from the end)")
     tr.set_defaults(fn=cmd_trace)
+
+    gc = sub.add_parser(
+        "gc-shm",
+        help="list repro_* shared-memory segments and unlink orphans "
+             "(segments whose owner process is dead)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list orphans without unlinking")
+    gc.add_argument("--shm-dir", default="/dev/shm",
+                    help=argparse.SUPPRESS)  # test seam
+    gc.set_defaults(fn=cmd_gc_shm)
 
     su = sub.add_parser("suite", help="list the built-in input suite")
     su.set_defaults(fn=cmd_suite)

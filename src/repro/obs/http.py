@@ -12,7 +12,13 @@ Routes:
   (:meth:`~repro.obs.metrics.MetricsRegistry.render`);
 * ``GET /trace/<request_id>.json`` — Chrome-trace JSON for one retained
   request (404 once it ages out of the tracer ring);
-* ``GET /traces`` — JSON list of currently retained trace ids.
+* ``GET /traces`` — JSON list of currently retained trace ids;
+* ``GET /healthz`` — liveness: 200 as long as this sidecar thread runs;
+* ``GET /readyz`` — readiness: 200 when the optional ``ready`` callable
+  says the service can take traffic (503 otherwise) — ``repro serve``
+  wires it to ``Engine.ready``, so a closed engine drains out of rotation
+  while a merely *degraded* one (tripped breaker, dead shard pool) keeps
+  serving bit-identically from the in-process tiers.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from .metrics import MetricsRegistry
 from .trace import Tracer
@@ -31,9 +38,11 @@ class ObsHTTPServer:
     """Observability sidecar: serve one registry + tracer over HTTP."""
 
     def __init__(self, registry: MetricsRegistry, tracer: Tracer | None = None,
-                 *, host: str = "127.0.0.1", port: int = 0):
+                 *, host: str = "127.0.0.1", port: int = 0,
+                 ready: Callable[[], bool] | None = None):
         self.registry = registry
         self.tracer = tracer
+        self.ready = ready
         obs = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -67,9 +76,20 @@ class ObsHTTPServer:
                     else:
                         self._send(200, json.dumps(doc).encode(),
                                    "application/json")
+                elif path == "/healthz":
+                    self._send(200, b"ok\n")
+                elif path == "/readyz":
+                    try:
+                        up = obs.ready is None or bool(obs.ready())
+                    except Exception:  # a dying probe means "not ready"
+                        up = False
+                    if up:
+                        self._send(200, b"ready\n")
+                    else:
+                        self._send(503, b"not ready\n")
                 else:
                     self._send(404, b"try /metrics, /traces, "
-                                    b"/trace/<id>.json\n")
+                                    b"/trace/<id>.json, /healthz, /readyz\n")
 
         self._httpd = ThreadingHTTPServer((host, port), Handler)
         self._httpd.daemon_threads = True

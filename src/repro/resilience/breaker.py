@@ -1,0 +1,131 @@
+"""Circuit breaker guarding the shard pool.
+
+A dead or sick shard pool turns every eligible request into a
+failure-then-degrade round trip: scatter, detect, heal, fall back. The
+breaker caps that tax at N consecutive failures — once *tripped* (open),
+requests route straight to the in-process tier with zero shard-side work,
+and after ``reset_seconds`` one request is let through as a *probe*
+(half-open): success closes the breaker and sharded serving resumes,
+failure re-opens it for another cooldown.
+
+State machine (the classic three states)::
+
+    closed ──(N consecutive failures)──▶ open
+    open ──(reset_seconds elapsed, next allow())──▶ half_open
+    half_open ──(probe succeeds)──▶ closed
+    half_open ──(probe fails)──▶ open
+
+Thread-safe: engine worker threads call ``allow``/``record_*``
+concurrently; exactly one of them wins the half-open probe slot. Wired to
+the ``repro_breaker_state`` gauge (0 = closed, 1 = open, 2 = half-open)
+and ``repro_breaker_transitions_total{to}`` when the engine binds its
+registry via :meth:`CircuitBreaker.bind_metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "BREAKER_STATE_VALUES"]
+
+#: gauge encoding of the state (documented in the metric's help string)
+BREAKER_STATE_VALUES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures; probe after
+    ``reset_seconds``.
+
+    Parameters
+    ----------
+    failure_threshold : consecutive failures that open the breaker.
+    reset_seconds : cooldown before an open breaker admits a half-open
+        probe.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_seconds: float = 5.0):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds < 0:
+            raise ValueError(
+                f"reset_seconds must be >= 0, got {reset_seconds}")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._gauge = None
+        self._transitions = None
+
+    # ------------------------------------------------------------------ #
+    # metrics binding
+    # ------------------------------------------------------------------ #
+    def bind_metrics(self, registry) -> None:
+        """Attach the ``repro_breaker_state`` gauge and transition counter
+        to a :class:`~repro.obs.MetricsRegistry`."""
+        self._gauge = registry.gauge(
+            "repro_breaker_state",
+            "shard-tier circuit breaker state "
+            "(0=closed, 1=open, 2=half_open)")
+        self._transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            "circuit breaker state transitions", labels=("to",))
+        self._gauge.set(BREAKER_STATE_VALUES[self._state])
+
+    def _transition(self, to: str) -> None:
+        """State change under the lock; publishes to the bound metrics."""
+        if to == self._state:
+            return
+        self._state = to
+        if self._gauge is not None:
+            self._gauge.set(BREAKER_STATE_VALUES[to])
+        if self._transitions is not None:
+            self._transitions.inc(to=to)
+
+    # ------------------------------------------------------------------ #
+    # the protocol: allow → attempt → record
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded tier right now?
+
+        Closed → yes. Open within the cooldown → no (route around). Open
+        past the cooldown → this call *claims* the half-open probe slot and
+        returns True; concurrent callers see half-open and are refused
+        until the probe's ``record_success``/``record_failure`` lands.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if time.monotonic() - self._opened_at >= self.reset_seconds:
+                    self._transition("half_open")
+                    return True
+                return False
+            return False  # half_open: exactly one probe in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (self._state == "half_open"
+                    or self._consecutive_failures >= self.failure_threshold):
+                self._opened_at = time.monotonic()
+                self._transition("open")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<CircuitBreaker {self._state} "
+                f"({self._consecutive_failures}/{self.failure_threshold} "
+                f"failures)>")

@@ -1,0 +1,75 @@
+"""Retry policy: bounded attempts with exponential backoff and jitter.
+
+The engine's numeric pass runs on a ladder of execution tiers (shard pool →
+in-process fused → per-row loop kernels), every rung bit-identical by the
+repo's standing gates. :class:`RetryPolicy` decides how hard to try a rung
+before stepping down: how many attempts, and how long to wait between them.
+
+Backoff is exponential with deterministic jitter: attempt *k* sleeps
+``min(max_delay, base * multiplier**k) * (1 + jitter * u_k)`` where the
+``u_k ∈ [0, 1)`` stream comes from a seeded :class:`random.Random` — two
+policies built with the same seed replay the same schedule, which keeps the
+chaos suite reproducible while still decorrelating real concurrent
+retriers (each engine seeds from its own policy instance).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to attempt a tier, and how long to wait between tries.
+
+    Parameters
+    ----------
+    max_attempts : attempts at the *retryable* tier (the shard pool) before
+        degrading to the next tier down. 1 disables same-tier retries
+        (first failure degrades immediately).
+    base_delay : seconds before the first retry.
+    multiplier : exponential growth factor per further retry.
+    max_delay : backoff ceiling in seconds.
+    jitter : fractional jitter amplitude (0 = deterministic schedule,
+        0.5 = up to +50% per sleep).
+    seed : seeds the jitter stream — same seed, same schedule.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.25
+    seed: int | None = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep length before retry number ``attempt`` (0-based: the wait
+        after the first failure is ``backoff(0)``)."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** max(attempt, 0))
+        return delay * (1.0 + self.jitter * self._rng.random())
+
+    def sleep(self, attempt: int) -> float:
+        """Block for the attempt's backoff; returns the seconds slept.
+
+        Runs on the engine's worker thread (never the event loop — the
+        async server executes engine work via ``asyncio.to_thread``), so a
+        plain sleep is the right primitive.
+        """
+        delay = self.backoff(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay

@@ -1,0 +1,93 @@
+"""Orphaned shared-memory hygiene.
+
+Every shard segment this stack creates is named ``repro_{pid}_{seq}``
+(:mod:`repro.shard.memory`), where ``pid`` is the creating process. A
+crashed server or coordinator therefore leaves its segments behind in
+``/dev/shm`` with a dead owner encoded right in the filename — no
+registry file, no lock, just the pid. :func:`sweep_orphans` walks
+``/dev/shm``, parses owner pids out of ``repro_*`` names, and unlinks the
+segments whose owner is gone.
+
+The sweep backs the ``repro gc-shm`` CLI subcommand and runs
+automatically on ``repro serve`` startup, so a previous crashed run can
+never starve the next one of shm space.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+__all__ = ["OrphanSegment", "list_repro_segments", "sweep_orphans",
+           "SEGMENT_PREFIX"]
+
+SEGMENT_PREFIX = "repro_"
+_NAME_RE = re.compile(r"^repro_(\d+)_\d+$")
+_SHM_DIR = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class OrphanSegment:
+    """One ``repro_*`` segment found in /dev/shm."""
+
+    name: str          # shm name (no leading slash)
+    owner_pid: int     # 0 when the name is repro_* but unparsable
+    size: int          # bytes, 0 if stat failed
+    owner_alive: bool
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid running? (signal-0 probe; EPERM means a
+    live process we may not signal, which still counts as alive.)"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def list_repro_segments(shm_dir: str = _SHM_DIR) -> list[OrphanSegment]:
+    """All ``repro_*`` segments currently in ``shm_dir``, with owner
+    liveness resolved."""
+    try:
+        entries = sorted(os.listdir(shm_dir))
+    except OSError:
+        return []
+    out = []
+    for name in entries:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        m = _NAME_RE.match(name)
+        pid = int(m.group(1)) if m else 0
+        try:
+            size = os.stat(os.path.join(shm_dir, name)).st_size
+        except OSError:
+            size = 0
+        out.append(OrphanSegment(name=name, owner_pid=pid, size=size,
+                                 owner_alive=_pid_alive(pid)))
+    return out
+
+
+def sweep_orphans(shm_dir: str = _SHM_DIR, *,
+                  dry_run: bool = False) -> list[OrphanSegment]:
+    """Unlink every ``repro_*`` segment whose owner pid is dead.
+
+    Returns the orphans found (whether or not they were unlinked —
+    ``dry_run=True`` lists without touching). Segments with live owners,
+    and names that carry no parsable pid, are left alone: better to leak
+    one segment than to unlink under a running server.
+    """
+    orphans = [seg for seg in list_repro_segments(shm_dir)
+               if seg.owner_pid > 0 and not seg.owner_alive]
+    if not dry_run:
+        for seg in orphans:
+            try:
+                os.unlink(os.path.join(shm_dir, seg.name))
+            except OSError:
+                pass  # raced with another sweeper; the goal is met either way
+    return orphans

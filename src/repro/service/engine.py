@@ -54,6 +54,9 @@ from ..core.registry import BASELINE_KEYS
 from ..mask import Mask
 from ..obs import MetricsRegistry, Tracer, span
 from ..obs.metrics import CHUNK_BUCKETS
+from ..resilience import (CircuitBreaker, DeadlineExceeded, FaultPlan,
+                          InjectedFault, RetryPolicy, apply_fault,
+                          resolve_deadline)
 from ..semiring import Semiring
 from ..semiring.standard import by_name as semiring_by_name
 from ..sparse.csr import CSRMatrix
@@ -224,6 +227,18 @@ class Engine:
         phase spans; disabled tracing reduces every ``span()`` on the path
         to a no-op contextvar read (the <3% overhead gate in
         ``benchmarks/bench_obs_overhead.py`` measures enabled vs that).
+    retry : :class:`~repro.resilience.RetryPolicy` for the shard tier
+        (bounded attempts + seeded exponential backoff; the default policy
+        retries once). Failed attempts degrade down the tier ladder —
+        shards → in-process fused → per-row loop kernels — every rung
+        bit-identical.
+    breaker : :class:`~repro.resilience.CircuitBreaker` guarding the shard
+        tier: after N consecutive pool failures requests route straight to
+        the in-process tier (no scatter, no per-request failure tax) until
+        a half-open probe succeeds.
+    faults : :class:`~repro.resilience.FaultPlan` chaos seam — defaults to
+        ``FaultPlan.from_env()`` (the ``REPRO_FAULTS`` variable), so the CI
+        chaos leg can inject worker kills into an unmodified server.
     """
 
     def __init__(self, store: MatrixStore | None = None,
@@ -237,7 +252,10 @@ class Engine:
                  shards: int | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 tracing: bool = True):
+                 tracing: bool = True,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 faults: FaultPlan | None = None):
         self.store = store if store is not None else MatrixStore(budget_bytes)
         self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
         if result_cache is None and result_cache_bytes is not None:
@@ -266,13 +284,31 @@ class Engine:
             labels=("phase",))
         self._trace_seq = itertools.count(1)
         self._lock = threading.Lock()
+        self._closed = False
+        # resilience: retry/degrade ladder, breaker, chaos seam (PR 7)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.breaker.bind_metrics(self.metrics)
+        self._retries = self.metrics.counter(
+            "repro_retries_total",
+            "same-tier retry attempts by tier and outcome",
+            labels=("tier", "outcome"))
+        self._degraded = self.metrics.counter(
+            "repro_degraded_total",
+            "tier downgrades from → to (results stay bit-identical)",
+            labels=("from", "to"))
+        self._deadline_total = self.metrics.counter(
+            "repro_deadline_total",
+            "requests shed by deadline, by enforcement stage",
+            labels=("stage",))
         self.shards = None
         self.shard_degraded = False
         if shards:
             from ..shard import ShardCoordinator, shared_memory_available
 
             if shared_memory_available():
-                self.shards = ShardCoordinator(shards)
+                self.shards = ShardCoordinator(shards, faults=self.faults)
                 store_ref = self.shards.store
                 self.metrics.gauge(
                     "repro_shm_segment_bytes",
@@ -290,9 +326,45 @@ class Engine:
         no-op) on engines without sharding — callers can put it in a
         ``finally`` unconditionally. The executor is caller-owned and stays
         open."""
+        self._closed = True
         coord, self.shards = self.shards, None
         if coord is not None:
             coord.close()
+
+    def ready(self) -> bool:
+        """Readiness probe backing ``/readyz``: can this engine serve?
+
+        A tripped breaker or a degraded shard tier still counts as ready —
+        requests serve bit-identically from the in-process tiers; only a
+        closed engine refuses work."""
+        return not self._closed
+
+    def _heal_shards(self) -> None:
+        """Self-heal after a worker death: respawn the pool and re-share
+        any operand segments that died with it from the in-process store
+        (the coordinator can only detect missing segments; the engine holds
+        the original matrices)."""
+        if self.shards is None:
+            return
+        from ..shard import ShardError
+
+        try:
+            missing = self.shards.heal()
+        except (ShardError, OSError):
+            return  # still broken; the next attempt degrades in-process
+        for key in missing:
+            with self._lock:
+                entry = (self.store.entry(key)
+                         if key in self.store else None)
+            try:
+                if entry is not None:
+                    self.shards.share(key, entry.value)
+                else:
+                    # not in the in-process store either: drop the stale
+                    # handle so lookups fail fast as SegmentMissing
+                    self.shards.evict(key)
+            except (ShardError, OSError):
+                self.shard_degraded = True
 
     def __enter__(self) -> "Engine":
         return self
@@ -459,6 +531,9 @@ class Engine:
                     phases=phases, semiring=semiring, tag=tag,
                     request=request, value_fps=value_fps,
                     trace_id=trace_id)
+            except DeadlineExceeded as exc:
+                self._deadline_total.inc(stage=exc.stage or "engine")
+                raise
             finally:
                 if rec is not None:
                     self._harvest_spans(rec)
@@ -476,7 +551,7 @@ class Engine:
                 sp.seconds, phase=str(sp.attrs.get("phase", "")))
 
     def _build_plan_cold(self, A, B, mask, algorithm, phases,
-                         request) -> SymbolicPlan:
+                         request, deadline=None) -> SymbolicPlan:
         """Cold plan build — the one place symbolic work happens.
 
         With a multi-worker shard pool and a store-keyed two-phase request,
@@ -488,9 +563,10 @@ class Engine:
         :func:`build_plan`, same result either way.
         """
         if (self.shards is not None and self.shards.nshards > 1
-                and request is not None and phases == 2):
+                and request is not None and phases == 2
+                and self.breaker.allow()):
             from ..core import registry as kernel_registry
-            from ..shard import ShardError
+            from ..shard import ShardError, WorkerDied
 
             resolved = algorithm.lower()
             if resolved == "auto":
@@ -499,14 +575,134 @@ class Engine:
             try:
                 row_sizes = self.shards.symbolic(
                     request.a, request.b, request.mask, mask,
-                    (A.nrows, B.ncols), resolved)
+                    (A.nrows, B.ncols), resolved, deadline=deadline)
+                self.breaker.record_success()
                 return SymbolicPlan(algorithm=resolved, phases=2,
                                     shape=(A.nrows, B.ncols),
                                     row_sizes=row_sizes)
-            except (ShardError, OSError):
-                # same degradation contract as the numeric path below
+            except (ShardError, OSError, InjectedFault) as exc:
+                # same degradation contract as the numeric path below;
+                # pool-health failures additionally feed the breaker and
+                # trigger a heal so the *numeric* pass can still shard
+                # (InjectedFault: a chaos-injected worker error behaves
+                # exactly like the real one it models)
                 self.shard_degraded = True
+                if isinstance(exc, WorkerDied):
+                    self.breaker.record_failure()
+                    if self.breaker.state == "open":
+                        self.shards.quiesce()
+                    else:
+                        self._heal_shards()
+                self._degraded.inc(**{"from": "shard", "to": "inprocess"})
         return build_plan(A, B, mask, algorithm=algorithm, phases=phases)
+
+    # ------------------------------------------------------------------ #
+    # the numeric tier ladder: shards → in-process fused → loop kernels
+    # ------------------------------------------------------------------ #
+    def _shard_tier(self, request, mask, plan, semiring, key, stats,
+                    deadline) -> CSRMatrix | None:
+        """Attempt the shard tier, retrying per :attr:`retry`; ``None``
+        means the caller should degrade to the in-process tier.
+
+        Failure taxonomy: ``DeadlineExceeded`` propagates (the caller's
+        budget expired — no tier can fix that); ``SegmentMissing`` degrades
+        immediately without feeding the breaker (a per-request operand
+        condition, not pool sickness); ``WorkerDied`` feeds the breaker and
+        triggers a pool heal *before* the retry, so the retry lands on a
+        fresh pool; other ``ShardError``/``OSError`` feed the breaker and
+        retry in place. A failure that opens the breaker instead parks the
+        pool (:meth:`~repro.shard.ShardCoordinator.quiesce`) for the whole
+        cooldown — the half-open probe's dispatch respawns it. All degraded
+        outcomes stay bit-identical — the in-process tiers run the same
+        kernels on the same plan.
+        """
+        from ..shard import SegmentMissing, ShardError, WorkerDied
+
+        attempt = 0
+        while True:
+            try:
+                # store-keyed request on a fused kernel: numeric pass runs
+                # on the shard pool, workers scattering into a shared
+                # output CSR (multi-process direct write)
+                result = self.shards.multiply(
+                    request.a, request.b, request.mask, mask, plan,
+                    semiring, plan_cache_key=key, deadline=deadline)
+                self.breaker.record_success()
+                if attempt:
+                    self._retries.inc(tier="shard", outcome="success")
+                stats.sharded = True
+                stats.direct_write = True
+                return result
+            except DeadlineExceeded:
+                raise
+            except SegmentMissing:
+                # incl. a worker's attach losing a race with operand
+                # re-registration; serves in-process, no breaker count
+                self.shard_degraded = True
+                self._degraded.inc(**{"from": "shard", "to": "inprocess"})
+                return None
+            except (ShardError, OSError, InjectedFault) as exc:
+                # InjectedFault from a worker counts as the worker error
+                # it models: breaker-fed, retried, then degraded
+                self.shard_degraded = True
+                self.breaker.record_failure()
+                if self.breaker.state == "open":
+                    # the tier is out of rotation for a whole cooldown:
+                    # park the pool so its support threads stop contending
+                    # with the in-process kernels (the half-open probe's
+                    # dispatch respawns it)
+                    self.shards.quiesce()
+                elif isinstance(exc, WorkerDied):
+                    self._heal_shards()
+                attempt += 1
+                if (attempt >= self.retry.max_attempts
+                        or not self.breaker.allow()):
+                    if attempt > 1:
+                        self._retries.inc(tier="shard", outcome="failure")
+                    self._degraded.inc(**{"from": "shard",
+                                          "to": "inprocess"})
+                    return None
+                if deadline is not None:
+                    deadline.check("engine", "shard retry")
+                with span("retry", tier="shard", attempt=attempt,
+                          error=type(exc).__name__):
+                    self.retry.sleep(attempt - 1)
+
+    def _inprocess_tiers(self, A, B, mask, plan, algorithm, phases,
+                         semiring, deadline) -> CSRMatrix:
+        """Tier 2 (fused in-process kernels), with tier 3 (per-row
+        ``msa-loop``) as the last rung.
+
+        The loop tier exists because a cached :class:`SymbolicPlan`'s row
+        sizes are *kernel-independent*: relabelling the plan replays the
+        same masked product through the simplest kernel in the registry
+        with the warm symbolic work intact — bit-identical output with the
+        smallest possible code surface under it. Only deliberate injections
+        (:class:`InjectedFault` via the ``engine.kernel`` site) and memory
+        pressure degrade here; genuine kernel bugs stay loud, because
+        silently papering over them would hide miscompares, not failures.
+        """
+        if deadline is not None:
+            deadline.check("engine", "numeric start")
+        try:
+            if self.faults is not None and plan is not None:
+                apply_fault(self.faults.check("engine.kernel"))
+            return masked_spgemm(A, B, mask, algorithm=algorithm,
+                                 semiring=semiring, phases=phases,
+                                 executor=self.executor, plan=plan)
+        except (InjectedFault, MemoryError) as exc:
+            if plan is None:
+                raise  # baselines have no plan to relabel for the loop tier
+            self._degraded.inc(**{"from": "inprocess", "to": "loop"})
+            with span("degrade", tier="loop", error=type(exc).__name__,
+                      **{"from": "inprocess", "to": "loop"}):
+                loop_plan = SymbolicPlan(algorithm="msa-loop",
+                                         phases=plan.phases,
+                                         shape=plan.shape,
+                                         row_sizes=plan.row_sizes)
+                return masked_spgemm(A, B, mask, algorithm="msa-loop",
+                                     semiring=semiring, phases=phases,
+                                     plan=loop_plan)
 
     def _execute_traced(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
                         phases, semiring, tag, request, value_fps,
@@ -514,6 +710,11 @@ class Engine:
         t_start = time.perf_counter()
         stats = RequestStats(phases=phases, trace_id=trace_id)
         plan: SymbolicPlan | None = None
+        # the server stamps a started deadline on the request at admission
+        # (so queue time counts); direct engine callers start one here
+        deadline = resolve_deadline(request) if request is not None else None
+        if deadline is not None:
+            deadline.check("engine")
 
         key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
                        algorithm, phases, semiring.name)
@@ -553,7 +754,7 @@ class Engine:
                 with span("symbolic.cold", algorithm=algorithm,
                           phases=phases):
                     plan = self._build_plan_cold(A, B, mask, algorithm,
-                                                 phases, request)
+                                                 phases, request, deadline)
                 stats.plan_seconds = time.perf_counter() - t0
                 with self._lock:
                     self.plans.put(key, plan)
@@ -572,29 +773,17 @@ class Engine:
             if (self.shards is not None and request is not None
                     and plan is not None and plan.row_sizes is not None
                     and self.shards.eligible(plan.algorithm, semiring)):
-                from ..shard import ShardError
-
-                try:
-                    # store-keyed request on a fused kernel: numeric pass
-                    # runs on the shard pool, workers scattering into a
-                    # shared output CSR (multi-process direct write)
-                    result = self.shards.multiply(
-                        request.a, request.b, request.mask, mask, plan,
-                        semiring, plan_cache_key=key)
-                    stats.sharded = True
-                    stats.direct_write = True
-                except (ShardError, OSError):
-                    # segment pressure / missing operand segment (incl. a
-                    # worker's attach losing a race with re-registration,
-                    # which surfaces as FileNotFoundError) / closed pool:
-                    # degrade this request to the in-process path.
-                    # Kernel-level errors (stale plan etc.) propagate — they
-                    # would fail in-process identically and must stay loud
-                    self.shard_degraded = True
+                if self.breaker.allow():
+                    result = self._shard_tier(request, mask, plan, semiring,
+                                              key, stats, deadline)
+                else:
+                    # breaker open: route around the pool without paying a
+                    # scatter-and-fail round trip per request
+                    self._degraded.inc(**{"from": "shard",
+                                          "to": "inprocess"})
             if result is None:
-                result = masked_spgemm(A, B, mask, algorithm=algorithm,
-                                       semiring=semiring, phases=phases,
-                                       executor=self.executor, plan=plan)
+                result = self._inprocess_tiers(A, B, mask, plan, algorithm,
+                                               phases, semiring, deadline)
             if numeric_span is not None:
                 numeric_span.attrs["sharded"] = stats.sharded
         stats.numeric_seconds = time.perf_counter() - t0

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 import zipfile
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 
@@ -199,7 +201,16 @@ class PlanStore:
         return len(manifest)
 
     def load(self) -> list[tuple[PlanKey, SymbolicPlan]]:
-        """Read back the pairs (LRU order preserved from :meth:`save`)."""
+        """Read back the pairs (LRU order preserved from :meth:`save`).
+
+        Tolerant per entry: a record that cannot be restored — malformed
+        key, truncated or undecompressable row-size array — is skipped
+        with a :class:`RuntimeWarning` and the rest of the store still
+        loads, so one bad entry costs one cold plan instead of the whole
+        warm start. Whole-file damage (unreadable zip, missing/garbled
+        manifest, unknown schema) still raises :class:`PlanStoreError`:
+        there is nothing partial worth salvaging then.
+        """
         if not self.path.exists():
             raise PlanStoreError(f"no plan store at {self.path}")
         try:
@@ -212,21 +223,28 @@ class PlanStore:
                     )
                 out = []
                 for i, m in enumerate(doc["plans"]):
-                    raw = m.get("key", [])
-                    if len(raw) != len(_KEY_FIELDS):
-                        raise PlanStoreError(
-                            f"{self.path}: plan {i} key has {len(raw)} fields, "
-                            f"expected {len(_KEY_FIELDS)}"
-                        )
-                    key = tuple(coerce(v) for coerce, v
-                                in zip(_KEY_FIELDS, raw))
-                    rows = z[f"rows_{i}"] if f"rows_{i}" in z.files else None
-                    out.append((key, SymbolicPlan.from_record(m, rows)))
+                    try:
+                        raw = m.get("key", [])
+                        if len(raw) != len(_KEY_FIELDS):
+                            raise ValueError(
+                                f"key has {len(raw)} fields, "
+                                f"expected {len(_KEY_FIELDS)}")
+                        key = tuple(coerce(v) for coerce, v
+                                    in zip(_KEY_FIELDS, raw))
+                        rows = (z[f"rows_{i}"]
+                                if f"rows_{i}" in z.files else None)
+                        out.append((key, SymbolicPlan.from_record(m, rows)))
+                    except (KeyError, ValueError, TypeError, OSError,
+                            zipfile.BadZipFile, zlib.error,
+                            ReproError) as e:
+                        warnings.warn(
+                            f"{self.path}: skipping corrupt plan entry "
+                            f"{i}: {e}", RuntimeWarning, stacklevel=2)
                 return out
         except PlanStoreError:
             raise
         except (OSError, KeyError, ValueError, json.JSONDecodeError,
-                zipfile.BadZipFile) as e:
+                zipfile.BadZipFile, zlib.error) as e:
             # BadZipFile: a save killed mid-write before atomic replace
             # existed, or outside tampering — either way a cold start, not
             # a crash

@@ -44,6 +44,13 @@ class Request:
         Registered semiring name (string, so requests stay JSON-serializable).
     tag : str
         Free-form label echoed into the response, for workload bookkeeping.
+    deadline_ms : float | None
+        Total latency budget in milliseconds, or None for no deadline. The
+        async server starts the clock at :meth:`AsyncServer.submit` (queue
+        time counts); enforcement sites — admission, queue, shard scatter —
+        shed the request with :class:`~repro.resilience.DeadlineExceeded`
+        once the budget is spent. ``from_dict`` picks it up like every
+        other field, so JSON workloads can set per-request deadlines.
     """
 
     a: str
@@ -54,6 +61,7 @@ class Request:
     phases: int = 2
     semiring: str = "plus_times"
     tag: str = ""
+    deadline_ms: float | None = None
 
     def group_key(self) -> tuple:
         """Batching key: requests with equal group keys share kernel config,

@@ -65,6 +65,7 @@ from dataclasses import dataclass, replace
 from ..core.expand import total_flops
 from ..errors import ReproError
 from ..obs import MetricsRegistry
+from ..resilience import Deadline, DeadlineExceeded
 from ..validation import check_multiplicable
 from .batch import BatchExecutor
 from .engine import Engine
@@ -135,6 +136,12 @@ class ServerStats:
         self._latency_seconds = self.registry.histogram(
             "repro_server_request_seconds",
             "admission→completion request latency")
+        # same family the engine declares — create-or-get by name, so one
+        # counter spans every enforcement stage
+        self._deadline_total = self.registry.counter(
+            "repro_deadline_total",
+            "requests shed by deadline, by enforcement stage",
+            labels=("stage",))
         #: bounded windows, same rationale as EngineStats
         self.queue_waits: deque = deque(maxlen=4096)
         self.latencies: deque = deque(maxlen=4096)
@@ -160,6 +167,11 @@ class ServerStats:
 
     def note_failed(self) -> None:
         self._outcomes.inc(outcome="failed")
+
+    def note_shed(self, stage: str) -> None:
+        """A request dropped by deadline enforcement at ``stage``."""
+        self._outcomes.inc(outcome="shed")
+        self._deadline_total.inc(stage=stage)
 
     def note_completed(self, stats: RequestStats) -> None:
         self._outcomes.inc(outcome="completed")
@@ -188,6 +200,11 @@ class ServerStats:
         """Requests served by awaiting an identical in-flight request's
         future (never admitted, never executed)."""
         return int(self._outcomes.value(outcome="coalesced"))
+
+    @property
+    def shed(self) -> int:
+        """Requests dropped by deadline enforcement (any stage)."""
+        return int(self._outcomes.value(outcome="shed"))
 
     @property
     def batches(self) -> int:
@@ -361,6 +378,13 @@ class AsyncServer:
                 request.complemented, request.algorithm.lower(),
                 request.phases, request.semiring)
 
+    def _shed(self, stage: str, detail: str = "") -> None:
+        """Record and raise a deadline shed at ``stage``."""
+        self.stats.note_shed(stage)
+        extra = f" ({detail})" if detail else ""
+        raise DeadlineExceeded(f"deadline exceeded at {stage}{extra}",
+                               stage=stage)
+
     async def submit(self, request: Request) -> Response:
         """Admit one request (suspending under backpressure) and await its
         response. Raises :class:`ServerClosed` once shutdown has begun, and
@@ -368,11 +392,24 @@ class AsyncServer:
 
         An identical request already in flight short-circuits admission: the
         call awaits the primary's future and returns a shared-result
-        response flagged ``stats.coalesced``."""
+        response flagged ``stats.coalesced``.
+
+        Requests with ``deadline_ms`` start their budget *here*, so every
+        later interval — the backpressure gate, queue time, scatter waits —
+        counts against it. Each enforcement stage sheds with a typed
+        :class:`~repro.resilience.DeadlineExceeded` naming the stage, and a
+        coalesced follower whose own budget expires while the primary runs
+        gets its own ``stage="follower"`` shed rather than inheriting the
+        primary's fate."""
         if self._cond is None:
             raise ServerError("server not started (use `async with` or start())")
         if self._closed:
             raise ServerClosed("server is shutting down; request refused")
+        # stamp the started deadline onto the request: the engine's
+        # resolve_deadline() picks it up, so queue time spends the budget
+        deadline = Deadline.after_ms(request.deadline_ms)
+        if deadline is not None:
+            request._deadline = deadline
         a_entry, b_entry, mask_entry = self._resolve_entries(request)
         key = None
         if self.dedup:
@@ -381,14 +418,40 @@ class AsyncServer:
                 primary = self._inflight_keys.get(key)
                 if primary is None or primary.done():
                     break
+                if deadline is not None and deadline.expired():
+                    self._shed("follower", "identical request in flight")
                 # shield: a follower being cancelled must not cancel the
                 # primary's future out from under everyone else awaiting it
                 try:
-                    primary_resp = await asyncio.shield(primary)
+                    if deadline is None:
+                        primary_resp = await asyncio.shield(primary)
+                    else:
+                        primary_resp = await asyncio.wait_for(
+                            asyncio.shield(primary), deadline.remaining())
+                except asyncio.TimeoutError:
+                    # this follower's own budget ran out first; the primary
+                    # (still shielded) keeps running for everyone else
+                    self._shed("follower", "own deadline expired while "
+                                           "awaiting the primary")
                 except asyncio.CancelledError:
                     if primary.cancelled():
                         continue  # primary abandoned; re-check, else execute
                     raise  # this follower itself was cancelled
+                except DeadlineExceeded:
+                    # the *primary* was shed on its own (shorter) deadline;
+                    # this follower still has budget — re-check and execute
+                    # for real instead of inheriting the primary's shed
+                    if deadline is not None and deadline.expired():
+                        self._shed("follower",
+                                   "primary shed; own budget also spent")
+                    continue
+                except Exception:
+                    if deadline is not None and deadline.expired():
+                        # attribute the follower's expiry, not the
+                        # primary's unrelated failure
+                        self._shed("follower", "own deadline expired "
+                                               "before the primary failed")
+                    raise
                 self.stats.note_coalesced()
                 return Response(result=primary_resp.result,
                                 stats=replace(primary_resp.stats,
@@ -400,7 +463,16 @@ class AsyncServer:
                         flops=flops, t_admit=time.perf_counter())
         async with self._cond:
             while not self._closed and not self._admittable(flops):
-                await self._cond.wait()
+                if deadline is None:
+                    await self._cond.wait()
+                    continue
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    self._shed("admission", "backpressure gate")
+                try:
+                    await asyncio.wait_for(self._cond.wait(), remaining)
+                except asyncio.TimeoutError:
+                    self._shed("admission", "backpressure gate")
             if self._closed:
                 raise ServerClosed("server is shutting down; request refused")
             self._pending.append(item)
@@ -415,7 +487,16 @@ class AsyncServer:
             self._inflight_keys[key] = item.future
             item.future.add_done_callback(
                 lambda fut, k=key: self._drop_inflight_key(k, fut))
-        return await item.future
+        if deadline is None:
+            return await item.future
+        try:
+            # wait_for cancels the future on timeout: a worker reaching it
+            # later sees .done() and skips it, and the queue sweep reclaims
+            # its in-flight slot — no stranded futures, no wasted kernels
+            return await asyncio.wait_for(item.future,
+                                          max(deadline.remaining(), 0.0))
+        except asyncio.TimeoutError:
+            self._shed("submit", "deadline expired awaiting execution")
 
     def _drop_inflight_key(self, key: tuple, fut: asyncio.Future) -> None:
         if self._inflight_keys.get(key) is fut:
@@ -434,11 +515,41 @@ class AsyncServer:
     # ------------------------------------------------------------------ #
     # worker pool
     # ------------------------------------------------------------------ #
+    def _sweep_queue_locked(self) -> None:
+        """Shed queued requests that can no longer be served — expired
+        deadlines (their submitter gets a ``stage="queue"``
+        :class:`DeadlineExceeded`) and already-done futures (the submitter's
+        own deadline cancelled them) — before a worker wastes a thread on
+        them. Runs under the condition lock."""
+        if not self._pending:
+            return
+        kept: deque[_Pending] = deque()
+        dropped = False
+        for p in self._pending:
+            dl = getattr(p.request, "_deadline", None)
+            if not p.future.done() and (dl is None or not dl.expired()):
+                kept.append(p)
+                continue
+            if not p.future.done():
+                self.stats.note_shed("queue")
+                p.future.set_exception(DeadlineExceeded(
+                    "deadline expired while queued", stage="queue"))
+            self._inflight -= 1
+            self._queued_flops -= p.flops
+            dropped = True
+        if dropped:
+            self._pending = kept
+            self.stats.observe_queue(len(self._pending), self._inflight)
+            self._cond.notify_all()  # freed budget: wake throttled producers
+
     async def _next_batch(self) -> list[_Pending] | None:
         """Oldest pending request plus queued group-key-compatible followers
         (up to ``max_batch``), or None when closed and fully drained."""
         async with self._cond:
-            while not self._pending and not self._closed:
+            while True:
+                self._sweep_queue_locked()
+                if self._pending or self._closed:
+                    break
                 await self._cond.wait()
             if not self._pending:
                 return None  # closed and drained
@@ -494,7 +605,9 @@ class AsyncServer:
                     self._inflight -= 1
                     if isinstance(result, BaseException):
                         self.stats.note_failed()
-                        if not pending.future.cancelled():
+                        # .done(), not .cancelled(): a deadline may have
+                        # resolved this future while the batch executed
+                        if not pending.future.done():
                             pending.future.set_exception(result)
                         continue
                     result.stats.queued_seconds = t_exec - pending.t_admit
@@ -507,7 +620,7 @@ class AsyncServer:
                         rec = self.engine.tracer.get(result.stats.trace_id)
                         if rec is not None:
                             rec.add_span("queue", pending.t_admit, t_exec)
-                    if not pending.future.cancelled():
+                    if not pending.future.done():
                         pending.future.set_result(result)
                 self.stats.observe_queue(len(self._pending), self._inflight)
                 self._cond.notify_all()  # wake throttled producers

@@ -39,8 +39,10 @@ Quickstart (service-level; see ``Engine(shards=N)`` for the usual entry)::
 from .coordinator import ShardCoordinator, shard_masked_spgemm
 from .memory import (
     MatrixHandle,
+    SegmentMissing,
     SegmentRegistry,
     ShardError,
+    WorkerDied,
     shared_memory_available,
 )
 from .planner import ShardPlan, ShardPlanner, split_row_sizes, split_rows
@@ -55,7 +57,9 @@ __all__ = [
     "split_row_sizes",
     "split_rows",
     "MatrixHandle",
+    "SegmentMissing",
     "SegmentRegistry",
     "ShardError",
+    "WorkerDied",
     "shared_memory_available",
 ]

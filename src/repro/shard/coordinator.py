@@ -53,6 +53,7 @@ from ..core.plan import SymbolicPlan
 from ..errors import AlgorithmError
 from ..mask import Mask
 from ..obs.trace import current_record, span
+from ..resilience.faults import wire_format
 from ..semiring import PLUS_TIMES, Semiring
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
 from ..sparse.csr import CSRMatrix
@@ -61,7 +62,9 @@ from . import worker as worker_mod
 from .memory import (
     MatrixHandle,
     ShardError,
+    WorkerDied,
     adopt_arrays,
+    attach,
     create_output,
     output_arrays,
     shared_memory_available,
@@ -89,20 +92,28 @@ class ShardCoordinator:
     nshards : worker-pool size = number of row partitions per product.
     store : optional pre-built :class:`ShardedMatrixStore` (a fresh one by
         default; :class:`~repro.service.engine.Engine` shares its own).
+    faults : optional :class:`~repro.resilience.faults.FaultPlan` — the
+        chaos seam. The coordinator does the fault *counting* here in one
+        process and ships each fired spec on exactly one task's arguments,
+        so "kill one worker" kills exactly one, deterministically.
     """
 
-    def __init__(self, nshards: int, *, store: ShardedMatrixStore | None = None):
+    def __init__(self, nshards: int, *, store: ShardedMatrixStore | None = None,
+                 faults=None):
         if nshards <= 0:
             raise ShardError(f"nshards must be positive, got {nshards}")
         self.nshards = int(nshards)
         self.store = store if store is not None else ShardedMatrixStore()
         self.planner = ShardPlanner(self.nshards)
+        self.faults = faults
         self._pool = None
         self._pool_lock = threading.Lock()
         self._closed = False
         #: requests executed / shard tasks dispatched (engine telemetry)
         self.products = 0
         self.tasks = 0
+        #: times a broken pool was torn down for respawn (self-healing)
+        self.respawns = 0
         self._finalizer = weakref.finalize(self, ShardCoordinator._cleanup,
                                            self.store)
 
@@ -127,6 +138,112 @@ class ShardCoordinator:
     @staticmethod
     def _cleanup(store: ShardedMatrixStore) -> None:
         store.close()
+
+    def _break_pool(self) -> None:
+        """Tear down a pool with a dead worker so the next dispatch
+        respawns a fresh one (the self-healing half of
+        :class:`~repro.shard.memory.WorkerDied`). Safe under concurrent
+        scatters: their polls see the dead processes and fail the same way.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+            self.respawns += 1
+
+    def quiesce(self) -> bool:
+        """Park the pool while a circuit breaker holds the shard tier out
+        of rotation.
+
+        An idle pool is not free: its support threads contend for the GIL
+        with the in-process kernels the degraded engine is now serving
+        from (one switch-interval stall per request). Terminating the
+        workers and those threads makes degraded serving cost what plain
+        in-process serving costs; the breaker's half-open probe respawns
+        everything through the lazy :meth:`_ensure_pool`. Returns True if
+        there was a pool to park. Unlike :meth:`_break_pool` this is not a
+        failure-driven respawn, so it does not count in :attr:`respawns`.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+            return True
+        return False
+
+    def heal(self) -> list[str]:
+        """Make the shard tier dispatchable again after a worker death.
+
+        Respawns the pool if it was broken and verifies every operand
+        segment is still attachable; returns the store keys whose segments
+        are gone (callers holding the original matrices — the engine's
+        in-process :class:`~repro.service.store.MatrixStore` — re-share
+        those before retrying).
+        """
+        if self._closed:
+            return []
+        self._ensure_pool()
+        return self.verify_segments()
+
+    def verify_segments(self) -> list[str]:
+        """Store keys whose shared segments can no longer be attached."""
+        missing = []
+        for key in self.store.keys():
+            try:
+                handle = self.store.handle(key)
+                seg = attach(handle.name)
+            except (ShardError, OSError):
+                missing.append(key)
+            else:
+                seg.close()
+        return missing
+
+    # ------------------------------------------------------------------ #
+    # scatter: dispatch + bounded wait
+    # ------------------------------------------------------------------ #
+    _POLL_SECONDS = 0.05
+
+    def _scatter(self, func, tasks, *, deadline=None) -> list:
+        """Dispatch ``tasks`` across the pool and wait — without the
+        stdlib's failure mode.
+
+        ``Pool.map`` blocks forever when a worker dies mid-task (its tasks
+        are simply lost; the pool respawns processes but never completes
+        the map). This replaces it with ``map_async`` plus a poll loop
+        that, each tick, (a) enforces the request deadline — raising
+        :class:`~repro.resilience.deadline.DeadlineExceeded` and
+        *abandoning* the in-flight map (workers finish writing into a
+        mapping whose name the caller unlinks; the pages die with the last
+        mapping) — and (b) checks a snapshot of the pool's worker
+        processes for deaths, raising
+        :class:`~repro.shard.memory.WorkerDied` after breaking the pool so
+        the next dispatch respawns it.
+        """
+        pool = self._ensure_pool()
+        procs = list(getattr(pool, "_pool", None) or [])
+        result = pool.map_async(func, tasks)
+        while True:
+            timeout = self._POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0 and not result.ready():
+                    deadline.check(
+                        "scatter", f"{len(tasks)} shard tasks in flight")
+                timeout = min(timeout, max(remaining, 1e-3))
+            result.wait(timeout)
+            if result.ready():
+                return result.get()  # re-raises pickled worker exceptions
+            if procs and any(not p.is_alive() for p in procs):
+                # a short grace: the map may have completed concurrently
+                result.wait(self._POLL_SECONDS)
+                if result.ready():
+                    return result.get()
+                self._break_pool()
+                raise WorkerDied(
+                    f"shard worker died mid-scatter "
+                    f"({len(tasks)} tasks lost); pool broken for respawn")
 
     def close(self) -> None:
         """Terminate the pool and unlink every owned segment. Idempotent —
@@ -186,7 +303,8 @@ class ShardCoordinator:
     # ------------------------------------------------------------------ #
     def symbolic(self, a_key: str, b_key: str, mask_key: str | None,
                  mask: Mask, out_shape, algorithm: str,
-                 weights: np.ndarray | None = None) -> np.ndarray:
+                 weights: np.ndarray | None = None,
+                 deadline=None) -> np.ndarray:
         """Sharded symbolic pass: exact per-row output sizes (cold path)."""
         a_h = self.store.handle(a_key)
         b_h = self.store.handle(b_key)
@@ -197,11 +315,16 @@ class ShardCoordinator:
         # when the caller is tracing, workers collect their own spans and
         # ship them back with the result for merging into the request trace
         rec = current_record()
+        fault = wire_format(self.faults.check("shard.symbolic")
+                            if self.faults else None)
         tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
-                  algorithm, lo, hi, rec is not None) for lo, hi in ranges]
+                  algorithm, lo, hi, rec is not None,
+                  fault if i == 0 else None)
+                 for i, (lo, hi) in enumerate(ranges)]
         with span("shard.scatter", phase="symbolic", nshards=len(tasks),
                   kernel=algorithm) as scatter:
-            results = self._ensure_pool().map(worker_mod.symbolic_task, tasks)
+            results = self._scatter(worker_mod.symbolic_task, tasks,
+                                    deadline=deadline)
         self.tasks += len(tasks)
         parts = [sizes for sizes, _ in results]
         if rec is not None:
@@ -214,7 +337,8 @@ class ShardCoordinator:
     def multiply(self, a_key: str, b_key: str, mask_key: str | None,
                  mask: Mask, plan: SymbolicPlan, semiring: Semiring, *,
                  plan_cache_key: tuple | None = None,
-                 weights: np.ndarray | None = None) -> CSRMatrix:
+                 weights: np.ndarray | None = None,
+                 deadline=None) -> CSRMatrix:
         """Execute one two-phase product across the shard pool.
 
         ``plan`` must carry row sizes (the engine always has them by numeric
@@ -256,13 +380,23 @@ class ShardCoordinator:
         np.cumsum(plan.row_sizes, out=indptr[1:])
         rec = current_record()
         try:
+            # one fault check per dispatch, fired spec on the first task
+            # only (shard.attach shares the seam: the worker applies the
+            # spec before attaching, modelling an attach-time failure)
+            fired = None
+            if self.faults:
+                fired = (self.faults.check("shard.numeric")
+                         or self.faults.check("shard.attach"))
+            fault = wire_format(fired)
             tasks = [(a_h, b_h, m_h, mask.complemented, tuple(out_shape),
                       plan.algorithm, semiring.name, sp.row_lo, sp.row_hi,
-                      out_handle, rec is not None) for sp in shard_plans]
+                      out_handle, rec is not None,
+                      fault if i == 0 else None)
+                     for i, sp in enumerate(shard_plans)]
             with span("shard.scatter", phase="numeric", nshards=len(tasks),
                       kernel=plan.algorithm) as scatter:
-                results = self._ensure_pool().map(worker_mod.numeric_task,
-                                                  tasks)
+                results = self._scatter(worker_mod.numeric_task, tasks,
+                                        deadline=deadline)
         except BaseException:
             # worker failure (stale plan, kernel error, dead pool): the
             # output segment must not outlive the request it belonged to

@@ -36,6 +36,8 @@ back to the in-process path instead of failing.
 
 from __future__ import annotations
 
+import itertools
+import os
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -56,6 +58,46 @@ class ShardError(ReproError):
     lifecycle misuse."""
 
 
+class SegmentMissing(ShardError):
+    """An operand has no shared segment (never registered, or evicted).
+
+    A *benign* per-request condition: the caller should degrade to the
+    in-process tier immediately — it says nothing about pool health, so it
+    must not trip the circuit breaker or trigger a pool respawn."""
+
+
+class WorkerDied(ShardError):
+    """A pool worker process died while (or before) running our tasks.
+
+    The pool-health failure: the coordinator breaks the pool so the next
+    dispatch respawns it, and the engine counts this against the circuit
+    breaker before retrying or degrading."""
+
+
+_SEGMENT_SEQ = itertools.count()
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a fresh segment named ``repro_{pid}_{seq}``.
+
+    Encoding the creator pid in the name is what makes crash hygiene
+    possible without any registry file: ``repro gc-shm``
+    (:func:`repro.resilience.shm.sweep_orphans`) can tell an orphan from a
+    live server's segment by probing the pid baked into the filename. The
+    sequence keeps names unique within a process; a collision with a stale
+    name from a *recycled* pid is resolved by skipping to the next sequence
+    number.
+    """
+    size = max(nbytes, 1)
+    while True:
+        name = f"repro_{os.getpid()}_{next(_SEGMENT_SEQ)}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        except FileExistsError:
+            continue
+
+
 def shared_memory_available(nbytes: int = 4096) -> bool:
     """Can this process create (and immediately release) a shared segment?
 
@@ -64,7 +106,7 @@ def shared_memory_available(nbytes: int = 4096) -> bool:
     ``/dev/shm`` headroom degrade gracefully instead of erroring per request.
     """
     try:
-        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        seg = _new_segment(nbytes)
     except (OSError, ValueError):
         return False
     try:
@@ -184,8 +226,7 @@ def share_matrix(value: CSRMatrix | Mask) -> tuple[MatrixHandle, shared_memory.S
     handle = MatrixHandle(name="", kind=kind, shape=tuple(value.shape),
                           nnz=int(value.indices.size))
     try:
-        seg = shared_memory.SharedMemory(create=True,
-                                         size=max(handle.nbytes, 1))
+        seg = _new_segment(handle.nbytes)
     except (OSError, ValueError) as e:
         raise ShardError(f"cannot allocate {handle.nbytes}-byte shared "
                          f"segment: {e}") from e
@@ -252,7 +293,7 @@ def create_output(nrows: int, nnz: int
     sharded product."""
     nbytes = (nrows + 1 + 2 * nnz) * _ITEM
     try:
-        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        seg = _new_segment(nbytes)
     except (OSError, ValueError) as e:
         raise ShardError(f"cannot allocate {nbytes}-byte shared "
                          f"output segment: {e}") from e

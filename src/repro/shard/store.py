@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from ..mask import Mask
 from ..sparse.csr import CSRMatrix
-from .memory import MatrixHandle, SegmentRegistry, ShardError, share_matrix
+from .memory import (MatrixHandle, SegmentMissing, SegmentRegistry,
+                     ShardError, share_matrix)
 
 
 class ShardedMatrixStore:
@@ -56,7 +57,10 @@ class ShardedMatrixStore:
         try:
             return self._handles[key]
         except KeyError:
-            raise ShardError(
+            # SegmentMissing (not plain ShardError): a per-request operand
+            # problem that should degrade immediately without counting
+            # against the circuit breaker or triggering a pool respawn
+            raise SegmentMissing(
                 f"no shared matrix under {key!r}; "
                 f"known keys: {sorted(self._handles)}"
             ) from None

@@ -34,6 +34,7 @@ import numpy as np
 from ..core import registry
 from ..mask import Mask
 from ..obs.trace import capture, span
+from ..resilience.faults import apply_fault
 from ..semiring.standard import _REGISTRY as _SEMIRING_REGISTRY
 from ..sparse.csr import CSRMatrix
 from ..validation import INDEX_DTYPE
@@ -158,7 +159,12 @@ def numeric_task(args) -> tuple[int, list | None]:
     out-of-slice write, and the error propagates to the coordinator pickled.
     """
     (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
-     semiring_name, row_lo, row_hi, out_handle, collect_spans) = args
+     semiring_name, row_lo, row_hi, out_handle, collect_spans, fault) = args
+    # fault-injection seam: the coordinator does the counting (one process,
+    # deterministic) and ships the fired spec on exactly one task; applying
+    # it here makes the failure happen where a real one would — inside a
+    # worker, mid-scatter (kill → dead process, error → pickled exception)
+    apply_fault(fault)
     if not collect_spans:
         return _numeric_shard(a_handle, b_handle, mask_handle, complemented,
                               out_shape, algorithm, semiring_name, row_lo,
@@ -214,7 +220,8 @@ def symbolic_task(args) -> tuple[np.ndarray, list | None]:
     exactly like :func:`numeric_task`.
     """
     (a_handle, b_handle, mask_handle, complemented, out_shape, algorithm,
-     row_lo, row_hi, collect_spans) = args
+     row_lo, row_hi, collect_spans, fault) = args
+    apply_fault(fault)  # same seam as numeric_task
 
     def run() -> np.ndarray:
         A = _matrix(a_handle)

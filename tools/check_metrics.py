@@ -38,6 +38,10 @@ REQUIRED_FAMILIES = (
     "repro_phase_seconds",
     "repro_request_seconds",
     "repro_chunk_seconds",
+    # resilience: the breaker gauge renders from engine init; the labeled
+    # retry/degrade/deadline counters only appear after their first
+    # increment, so the chaos smoke gate asserts those instead
+    "repro_breaker_state",
 )
 
 #: spans a cold two-phase request must record
