@@ -8,7 +8,7 @@ the masked kernel under test.
 """
 
 from .triangle_count import triangle_count, triangle_count_matrix
-from .ktruss import ktruss
+from .ktruss import ktruss, ktruss_delta
 from .betweenness import betweenness_centrality
 from .bfs import multi_source_bfs
 from .clustering import (
@@ -23,6 +23,7 @@ __all__ = [
     "triangle_count",
     "triangle_count_matrix",
     "ktruss",
+    "ktruss_delta",
     "betweenness_centrality",
     "multi_source_bfs",
     "clustering_coefficients",

@@ -118,3 +118,41 @@ def build_plan(A: CSRMatrix, B: CSRMatrix, mask: Mask, *,
         row_sizes = spec.symbolic(A, B, mask, rows)
     return SymbolicPlan(algorithm=algorithm, phases=phases,
                         shape=out_shape, row_sizes=row_sizes)
+
+
+def splice_plan(plan: SymbolicPlan, A: CSRMatrix, B: CSRMatrix, mask: Mask,
+                dirty_rows: np.ndarray) -> SymbolicPlan:
+    """Incrementally revalidate a plan after an operand-pattern delta.
+
+    ``dirty_rows`` is the exact set of output rows whose symbolic sizes may
+    have changed (sorted unique; the delta machinery computes it — see
+    :meth:`repro.service.Engine.apply_delta`). The symbolic pass re-runs
+    over *only those rows* against the post-delta operands, and the fresh
+    sizes are spliced into a copy of the plan's row-size array — a k-truss
+    iteration that drops 2% of edges re-plans 2% of rows instead of all of
+    them. The plan's resolved algorithm is kept as-is: every registered
+    kernel computes the same masked product, so replaying the original
+    resolution stays bit-identical even where the density heuristic would
+    now pick differently.
+
+    An empty dirty set returns ``plan`` itself (object identity — nothing
+    ran); one-phase plans carry no symbolic state, so only their algorithm
+    resolution is reused (same object, still valid for the new key).
+    """
+    out_shape = check_multiplicable(A.shape, B.shape)
+    mask.check_output_shape(out_shape)
+    plan.check_output_shape(out_shape)  # deltas preserve operand shapes
+    if plan.row_sizes is None:
+        return plan
+    dirty = np.asarray(dirty_rows, dtype=INDEX_DTYPE)
+    if dirty.size == 0:
+        return plan
+    if dirty.min() < 0 or dirty.max() >= plan.shape[0]:
+        raise AlgorithmError(
+            f"dirty rows out of range for plan shape {plan.shape}")
+    spec = registry.get_spec(plan.algorithm)
+    fresh = spec.symbolic(A, B, mask, dirty)
+    row_sizes = plan.row_sizes.copy()
+    row_sizes[dirty] = fresh
+    return SymbolicPlan(algorithm=plan.algorithm, phases=plan.phases,
+                        shape=plan.shape, row_sizes=row_sizes)

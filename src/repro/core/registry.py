@@ -178,7 +178,7 @@ ESC_FLOPS_CUTOFF = 64.0
 LOOP_FLOPS_FLOOR = 100_000.0
 
 
-def auto_select(A, B, mask) -> str:
+def auto_select(A, B, mask, *, plan_free: bool = False) -> str:
     """Mask/input-density heuristic distilled from the paper's Fig. 7:
 
     * mask much sparser than the inputs → ``inner`` (pull wins),
@@ -193,6 +193,12 @@ def auto_select(A, B, mask) -> str:
 
     This hybrid dispatcher is the paper's "future work" hybrid in its
     simplest form.
+
+    ``plan_free=True`` is the dynamic-mask regime ("Masked Matrix
+    Multiplication for Emergent Sparsity"): the mask is fresh every request
+    and nothing will be cached or replayed, so the ``msa-loop`` routing tier
+    — whose payoff assumes the mask-reuse serving pattern — is skipped and
+    selection stays among the chunk-fused kernels.
     """
     nrows = max(A.nrows, 1)
     d_a = A.nnz / nrows
@@ -211,7 +217,8 @@ def auto_select(A, B, mask) -> str:
         return "heap"
     if flops_per_row <= ESC_FLOPS_CUTOFF:
         return "esc"
-    if (d_m * 2 >= d_in and nrows * flops_per_row >= LOOP_FLOPS_FLOOR
+    if (not plan_free and d_m * 2 >= d_in
+            and nrows * flops_per_row >= LOOP_FLOPS_FLOOR
             and B.ncols <= msa_cutoff):
         return "msa-loop"
     return "msa" if B.ncols <= msa_cutoff else "hash"

@@ -28,7 +28,13 @@ once and amortized. This package is that amortization layer:
   group-compatible batches, graceful shutdown — the ``python -m repro
   serve`` entry point;
 * :mod:`~repro.service.workload` — JSON workload specs and replay, the
-  ``python -m repro batch`` entry point.
+  ``python -m repro batch`` entry point;
+* delta serving (:mod:`repro.delta`, re-exported here) — edge
+  insert/delete/update batches mutate a stored operand *in place*:
+  value-only deltas carry the pattern fingerprint forward (plans keep
+  hitting), pattern deltas re-run symbolic only over the dirty rows and
+  splice the cached plan onto the new fingerprint
+  (``Engine.apply_delta`` / ``AsyncServer.apply_delta``).
 
 Quickstart::
 
@@ -43,10 +49,11 @@ Quickstart::
     assert warm.stats.plan_cache_hit and warm.stats.symbolic_skipped
 """
 
+from ..delta import DeltaBatch, DeltaError, DeltaOutcome
 from .batch import BatchExecutor, BatchResult
 from .engine import Engine, EngineStats
 from .plan import PlanCache, PlanStore, PlanStoreError, plan_key
-from .requests import Request, RequestStats, Response
+from .requests import DeltaRequest, Request, RequestStats, Response
 from .result_cache import ResultCache, result_key
 from .server import AsyncServer, ServerClosed, ServerError, ServerStats, serve_all
 from .store import MatrixStore, StoreError, matrix_nbytes
@@ -81,6 +88,10 @@ __all__ = [
     "Request",
     "RequestStats",
     "Response",
+    "DeltaBatch",
+    "DeltaError",
+    "DeltaOutcome",
+    "DeltaRequest",
     "load_workload",
     "expand_requests",
     "register_matrices",

@@ -47,9 +47,12 @@ import threading
 import time
 from collections import deque
 
+import numpy as np
+
 from ..core import masked_spgemm
-from ..core.plan import SymbolicPlan, build_plan
-from ..errors import AlgorithmError
+from ..core.plan import SymbolicPlan, build_plan, splice_plan
+from ..delta import DeltaBatch, DeltaOutcome
+from ..errors import AlgorithmError, ShapeError
 from ..core.registry import BASELINE_KEYS
 from ..mask import Mask
 from ..obs import MetricsRegistry, Tracer, span
@@ -60,11 +63,15 @@ from ..resilience import (CircuitBreaker, DeadlineExceeded, FaultPlan,
 from ..semiring import Semiring
 from ..semiring.standard import by_name as semiring_by_name
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import pattern_fingerprint
+from ..core import registry as kernel_registry
+from ..sparse.ops import (pattern_fingerprint, rows_affected_through,
+                          rows_touching, splice_result_rows,
+                          value_fingerprint)
+from ..validation import INDEX_DTYPE
 from .plan import PlanCache, PlanStore, plan_key
-from .requests import Request, RequestStats, Response
+from .requests import DeltaRequest, Request, RequestStats, Response
 from .result_cache import ResultCache, result_key
-from .store import MatrixStore
+from .store import MatrixStore, StoreError
 
 
 class EngineStats:
@@ -302,6 +309,31 @@ class Engine:
             "repro_deadline_total",
             "requests shed by deadline, by enforcement stage",
             labels=("stage",))
+        # delta serving (PR 8): mutation counters + dirty-row economics
+        self._delta_total = self.metrics.counter(
+            "repro_delta_total",
+            "applied edge-delta batches by kind "
+            "(value/pattern/mixed/noop)",
+            labels=("kind",))
+        self._delta_dirty_fraction = self.metrics.histogram(
+            "repro_delta_dirty_fraction",
+            "fraction of the mutated matrix's rows a pattern delta "
+            "dirtied (the re-planned share)",
+            buckets=(0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0))
+        self._delta_plans = self.metrics.counter(
+            "repro_delta_plans_total",
+            "cached plans affected by pattern deltas, by outcome "
+            "(spliced onto the new fingerprint / skipped: operands "
+            "unresolvable from the store)",
+            labels=("outcome",))
+        self._delta_patched = self.metrics.counter(
+            "repro_delta_results_patched_total",
+            "cached numeric results carried across a pattern delta by "
+            "recomputing only their dirty output rows")
+        self._delta_stale = self.metrics.counter(
+            "repro_delta_stale_total",
+            "late result-cache writebacks refused by the store-version "
+            "guard (a delta landed while the request executed)")
         self.shards = None
         self.shard_degraded = False
         if shards:
@@ -428,7 +460,249 @@ class Engine:
             return self.store.entry(key)
 
     # ------------------------------------------------------------------ #
-    # execution
+    # deltas (streaming-graph mutation; see repro.delta)
+    # ------------------------------------------------------------------ #
+    def submit_delta(self, request: DeltaRequest) -> DeltaOutcome:
+        """Apply a store-keyed :class:`DeltaRequest` (the JSON wire form)."""
+        return self.apply_delta(request.key, request.to_batch())
+
+    def apply_delta(self, key: str, batch: DeltaBatch) -> DeltaOutcome:
+        """Mutate the matrix registered under ``key`` by one edge-delta
+        batch, keeping warm-path economics across the mutation.
+
+        * **value-only** batches (updates / inserts landing on stored
+          coordinates): the store entry is swapped copy-on-write with the
+          *pattern fingerprint carried forward* — every cached plan keeps
+          hitting — and only the value fingerprint is recomputed;
+        * **pattern** batches: the exact dirty row set comes back from
+          :meth:`DeltaBatch.apply`; every cached plan whose key names the
+          old fingerprint is re-keyed onto the new one via
+          :func:`~repro.core.plan.splice_plan` — the symbolic pass re-runs
+          over only the dirty rows (for the B-operand slot, over the rows
+          *reading* the dirty rows) — and the shard planner's memoized
+          partition is re-derived for the new key without a fresh balance
+          pass;
+        * in both cases, result-cache entries that read the old content are
+          invalidated by fingerprint scan, and the entry's version bump
+          arms the writeback guard against in-flight requests.
+
+        Concurrent deltas to the *same* key must be serialized by the
+        caller (:meth:`AsyncServer.apply_delta` orders them against each
+        other and against in-flight reads); concurrent deltas to different
+        keys and concurrent submits are safe.
+        """
+        t_start = time.perf_counter()
+        entry = self.entry(key)
+        value = entry.value
+        if not isinstance(value, CSRMatrix):
+            raise StoreError(
+                f"deltas apply to CSR matrices; {key!r} holds a "
+                f"{type(value).__name__}")
+        old_pattern_fp = entry.fingerprint
+        old_value_fp = entry.value_fingerprint
+        with span("delta.apply", key=key, edges=len(batch)):
+            outcome = batch.apply(value)
+        if outcome.kind == "noop":
+            self._delta_total.inc(kind="noop")
+            return DeltaOutcome(key=key, kind="noop",
+                                pattern_fingerprint=old_pattern_fp,
+                                value_fingerprint=old_value_fp,
+                                seconds=time.perf_counter() - t_start)
+        new = outcome.matrix
+        # re-fingerprint incrementally, outside the lock: the pattern hash
+        # is carried forward when the pattern did not change
+        new_pattern_fp = (pattern_fingerprint(new.indptr, new.indices,
+                                              new.shape)
+                          if outcome.pattern_changed else old_pattern_fp)
+        new_value_fp = value_fingerprint(new.data)
+        splices: list[tuple] = []
+        skipped = 0
+        vfp_map: dict = {}
+        if outcome.pattern_changed and new_pattern_fp != old_pattern_fp:
+            splices, skipped, vfp_map = self._splice_plans(
+                old_pattern_fp, new_pattern_fp, new, outcome.dirty_rows,
+                outcome.changed_keys)
+        patches: list[tuple] = []
+        if self.results is not None and splices and outcome.kind == "pattern":
+            patches = self._patch_results(splices, vfp_map, old_pattern_fp,
+                                          old_value_fp, new_value_fp)
+        invalidated = 0
+        with self._lock:
+            self.store.swap(key, new, fingerprint=new_pattern_fp,
+                            value_fingerprint=new_value_fp)
+            for _, new_key, plan, *_rest in splices:
+                self.plans.put(new_key, plan)
+            if self.results is not None:
+                stale_fps = {old_value_fp}
+                if outcome.pattern_changed:
+                    stale_fps.add(old_pattern_fp)
+                invalidated = self.results.invalidate_fingerprints(stale_fps)
+                # patched entries go in *after* the invalidation scan: their
+                # keys name only post-delta fingerprints of the mutated
+                # matrix, but an unrelated operand may share a value hash
+                # with the old content (e.g. two all-ones patterns)
+                for rkey, matrix, alg in patches:
+                    self.results.put(rkey, matrix, alg)
+        if self.shards is not None:
+            from ..shard import ShardError
+
+            try:
+                self.shards.share(key, new)
+            except (ShardError, OSError):
+                self.shard_degraded = True
+            # dirty-range shard re-planning: carry each spliced plan's row
+            # boundaries to its new key (nnz offsets recomputed inside)
+            for old_key, new_key, plan, *_rest in splices:
+                self.shards.planner.resplit(old_key, new_key, plan)
+        dirty = int(outcome.dirty_rows.size)
+        frac = dirty / max(value.nrows, 1)
+        self._delta_total.inc(kind=outcome.kind)
+        if outcome.pattern_changed:
+            self._delta_dirty_fraction.observe(frac)
+        if splices:
+            self._delta_plans.inc(len(splices), outcome="spliced")
+        if skipped:
+            self._delta_plans.inc(skipped, outcome="skipped")
+        if patches:
+            self._delta_patched.inc(len(patches))
+        return DeltaOutcome(key=key, kind=outcome.kind, dirty_rows=dirty,
+                            dirty_fraction=frac,
+                            plans_spliced=len(splices), plans_skipped=skipped,
+                            results_invalidated=invalidated,
+                            results_patched=len(patches),
+                            pattern_fingerprint=new_pattern_fp,
+                            value_fingerprint=new_value_fp,
+                            seconds=time.perf_counter() - t_start)
+
+    def _splice_plans(self, old_fp: str, new_fp: str, new: CSRMatrix,
+                      dirty_rows, changed_keys) -> tuple[list, int, dict]:
+        """Re-key every cached plan naming ``old_fp`` onto ``new_fp`` by
+        splicing the dirty rows (see :func:`splice_plan`). Old-key entries
+        are left in place: the old pattern may still exist under another
+        store key, and content-addressed keys make stale entries harmless
+        (they age out of the LRU). Returns ``(splices, skipped, vfp_map)``
+        where each splice is ``(old_key, new_key, plan, dirty, A, B, mask)``
+        — the extra fields feed :meth:`_patch_results` — and ``vfp_map``
+        maps pattern fingerprint → value fingerprint of the store entry the
+        operand resolution picked (consistent with the resolved values, so
+        result-cache lookups built from it name the same content)."""
+        with self._lock:
+            plan_items = self.plans.items()
+            store_items = self.store.entries()
+        # fingerprint → current value map for resolving the *other* operand
+        # slots of affected plans (fingerprints are memoized on entries;
+        # first-touch hashing here is idempotent, same as submit())
+        fp_map: dict[str, CSRMatrix | Mask] = {}
+        vfp_map: dict[str, str] = {}
+        for _, e in store_items:
+            if e.fingerprint not in fp_map:
+                fp_map[e.fingerprint] = e.value
+                if self.results is not None:
+                    vfp_map[e.fingerprint] = e.value_fingerprint
+        fp_map[new_fp] = new
+        splices: list[tuple] = []
+        skipped = 0
+        for pkey, plan in plan_items:
+            a_fp, b_fp, m_fp = pkey[0], pkey[1], pkey[2]
+            if old_fp not in (a_fp, b_fp, m_fp):
+                continue
+            sub = lambda fp: new_fp if fp == old_fp else fp
+            new_key = (sub(a_fp), sub(b_fp), sub(m_fp)) + pkey[3:]
+            A = fp_map.get(sub(a_fp))
+            B = fp_map.get(sub(b_fp))
+            M = fp_map.get(sub(m_fp))
+            if (not isinstance(A, CSRMatrix) or not isinstance(B, CSRMatrix)
+                    or M is None):
+                skipped += 1
+                continue
+            mask = M if isinstance(M, Mask) else Mask.from_matrix(M)
+            complemented = pkey[3]
+            if complemented:
+                mask = mask.complement()
+            parts = []
+            if a_fp == old_fp or m_fp == old_fp:
+                # left-operand / mask rows map 1:1 onto output rows
+                parts.append(np.asarray(dirty_rows, dtype=INDEX_DTYPE))
+            if b_fp == old_fp:
+                if complemented:
+                    # conservative: any output row reading a dirty B row
+                    # (the sharpened test below assumes the mask pattern
+                    # *admits*, which a complemented mask inverts)
+                    parts.append(rows_touching(A, dirty_rows))
+                else:
+                    # sharpened B-side propagation: a changed B entry (j, c)
+                    # affects output row i only when A[i, j] is stored AND
+                    # the mask admits c in row i — for self-products this is
+                    # each changed edge's common-neighbor set, not the whole
+                    # neighborhood
+                    parts.append(rows_affected_through(
+                        A, mask.indptr, mask.indices, changed_keys,
+                        new.ncols))
+            dirty = (np.unique(np.concatenate(parts)) if parts
+                     else np.empty(0, dtype=INDEX_DTYPE))
+            try:
+                with span("delta.splice", rows=int(dirty.size),
+                          algorithm=plan.algorithm):
+                    spliced = splice_plan(plan, A, B, mask, dirty)
+            except (AlgorithmError, ShapeError):
+                # shape drift (an operand re-registered at another shape
+                # shares no fingerprints, but stay defensive): drop, a cold
+                # build will serve the new key
+                skipped += 1
+                continue
+            splices.append((pkey, new_key, spliced, dirty, A, B, mask))
+        return splices, skipped, vfp_map
+
+    def _patch_results(self, splices: list, vfp_map: dict, old_fp: str,
+                       old_value_fp: str, new_value_fp: str) -> list:
+        """Carry cached numeric results across a pure-pattern delta.
+
+        For each spliced plan whose pre-delta product is resident in the
+        result cache, recompute *only the dirty output rows* with the plan's
+        kernel and splice them into the cached matrix
+        (:func:`~repro.sparse.ops.splice_result_rows`) — the first
+        post-delta request then serves from the result tier instead of
+        re-running the full numeric pass. Sound because the splice dirty set
+        covers every output row whose pattern **or values** can differ: the
+        1:1 slots map changed rows directly, and the B-side candidate test
+        admits exactly the (row, col) cells a changed B entry can reach
+        through the mask. Only called for ``kind == "pattern"`` batches —
+        a mixed batch's value updates touch rows outside the dirty set.
+        """
+        patches = []
+        for pkey, new_key, plan, dirty, A, B, mask in splices:
+            old_a_vfp = (old_value_fp if pkey[0] == old_fp
+                         else vfp_map.get(pkey[0]))
+            old_b_vfp = (old_value_fp if pkey[1] == old_fp
+                         else vfp_map.get(pkey[1]))
+            if old_a_vfp is None or old_b_vfp is None:
+                continue
+            old_rkey = result_key(pkey, old_a_vfp, old_b_vfp)
+            if old_rkey not in self.results:
+                continue
+            cached = self.results.get(old_rkey)
+            new_a_vfp = new_value_fp if pkey[0] == old_fp else old_a_vfp
+            new_b_vfp = new_value_fp if pkey[1] == old_fp else old_b_vfp
+            new_rkey = result_key(new_key, new_a_vfp, new_b_vfp)
+            try:
+                if dirty.size:
+                    spec = kernel_registry.get_spec(plan.algorithm)
+                    semiring = semiring_by_name(pkey[6])
+                    with span("delta.patch", rows=int(dirty.size),
+                              algorithm=plan.algorithm):
+                        block = spec.numeric(A, B, mask, semiring, dirty)
+                        patched = splice_result_rows(
+                            cached.matrix, dirty, block.sizes, block.cols,
+                            block.vals)
+                else:
+                    # empty dirty set: the product is bit-identical, only
+                    # its key moves
+                    patched = cached.matrix
+            except (AlgorithmError, ShapeError, KeyError):
+                continue
+            patches.append((new_rkey, patched, cached.algorithm))
+        return patches
+
     # ------------------------------------------------------------------ #
     def submit(self, request: Request) -> Response:
         """Execute one store-keyed request."""
@@ -459,18 +733,26 @@ class Engine:
                                   (A.nrows, B.ncols), request.complemented)
         mask_fp = (mask_entry.fingerprint if mask_entry
                    else pattern_fingerprint(mask.indptr, mask.indices, mask.shape))
+        # store-version snapshot for the writeback guard: entry versions are
+        # immutable per entry object (deltas swap in a fresh entry), so the
+        # snapshot pins exactly the operand state this request resolved
+        versions = ((request.a, a_entry.version), (request.b, b_entry.version))
+        if mask_entry is not None:
+            versions += ((request.mask, mask_entry.version),)
         return self._execute(A, B, mask, a_fp, b_fp, mask_fp,
                              algorithm=request.algorithm,
                              phases=request.phases,
                              semiring=semiring_by_name(request.semiring),
                              tag=request.tag, request=request,
-                             value_fps=value_fps)
+                             value_fps=value_fps, versions=versions,
+                             plan_free=request.plan_free)
 
     def multiply(self, A: CSRMatrix, B: CSRMatrix,
                  mask: Mask | CSRMatrix | None = None, *,
                  algorithm: str = "auto", phases: int = 2,
                  semiring: Semiring | str = "plus_times",
-                 complemented: bool = False, tag: str = "") -> Response:
+                 complemented: bool = False, tag: str = "",
+                 plan_free: bool = False) -> Response:
         """Execute an ad-hoc product through the plan cache (no store keys).
 
         This is the entry point the iterative algorithms use: operands are
@@ -498,7 +780,8 @@ class Engine:
                                           mask.shape)
         return self._execute(A, B, mask, a_fp, b_fp, mask_fp,
                              algorithm=algorithm, phases=phases,
-                             semiring=semiring, tag=tag, request=None)
+                             semiring=semiring, tag=tag, request=None,
+                             plan_free=plan_free)
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -520,7 +803,9 @@ class Engine:
 
     def _execute(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
                  phases, semiring, tag, request,
-                 value_fps: tuple[str, str] | None = None) -> Response:
+                 value_fps: tuple[str, str] | None = None,
+                 versions: tuple | None = None,
+                 plan_free: bool = False) -> Response:
         trace_id = (f"r{next(self._trace_seq):06d}"
                     if self.tracer.enabled else "")
         with self.tracer.trace(trace_id, tag=tag, algorithm=algorithm,
@@ -530,7 +815,8 @@ class Engine:
                     A, B, mask, a_fp, b_fp, mask_fp, algorithm=algorithm,
                     phases=phases, semiring=semiring, tag=tag,
                     request=request, value_fps=value_fps,
-                    trace_id=trace_id)
+                    trace_id=trace_id, versions=versions,
+                    plan_free=plan_free)
             except DeadlineExceeded as exc:
                 self._deadline_total.inc(stage=exc.stage or "engine")
                 raise
@@ -565,7 +851,6 @@ class Engine:
         if (self.shards is not None and self.shards.nshards > 1
                 and request is not None and phases == 2
                 and self.breaker.allow()):
-            from ..core import registry as kernel_registry
             from ..shard import ShardError, WorkerDied
 
             resolved = algorithm.lower()
@@ -706,7 +991,8 @@ class Engine:
 
     def _execute_traced(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
                         phases, semiring, tag, request, value_fps,
-                        trace_id: str) -> Response:
+                        trace_id: str, versions: tuple | None = None,
+                        plan_free: bool = False) -> Response:
         t_start = time.perf_counter()
         stats = RequestStats(phases=phases, trace_id=trace_id)
         plan: SymbolicPlan | None = None
@@ -719,6 +1005,10 @@ class Engine:
         key = plan_key(a_fp, b_fp, mask_fp, mask.complemented,
                        algorithm, phases, semiring.name)
         rkey = None
+        if plan_free:
+            # dynamic-mask no-reuse regime: neither cache tier applies (a
+            # fresh mask can never repeat), so skip both probes entirely
+            value_fps = None
         if value_fps is not None:
             # result tier sits in front of the plan tier: a hit returns the
             # memoized CSR output with no plan lookup and no numeric pass
@@ -741,6 +1031,21 @@ class Engine:
             # whole-matrix baselines have no symbolic phase to plan
             stats.algorithm = algorithm.lower()
             stats.planned = False
+        elif plan_free:
+            # plan-free route: resolve the kernel per request (fused-only
+            # auto_select) and bypass the plan cache in both directions —
+            # no lookup, and no pollution of the LRU with a key that can
+            # never hit again. Counted as the "unplanned" serving tier.
+            t0 = time.perf_counter()
+            resolved = algorithm.lower()
+            if resolved == "auto":
+                resolved = kernel_registry.auto_select(A, B, mask,
+                                                       plan_free=True)
+            kernel_registry.get_spec(resolved)  # invalid names fail loudly
+            stats.plan_seconds = time.perf_counter() - t0
+            stats.algorithm = resolved
+            stats.planned = False
+            algorithm = resolved
         else:
             with span("cache.lookup", cache="plan"):
                 with self._lock:
@@ -797,10 +1102,24 @@ class Engine:
             flops = total_flops(A, B)
         with self._lock:
             if rkey is not None:
-                with span("cache.writeback"):
-                    self.results.put(rkey, result,
-                                     stats.algorithm or algorithm,
-                                     flops=flops)
+                # version guard: a delta (or re-registration) landing on any
+                # of this request's store keys mid-execution has already run
+                # its invalidation scan — a late writeback here would
+                # resurrect a pre-mutation product into the post-mutation
+                # cache, behind the invalidation the delta just performed.
+                # Refuse it. The response itself is still correct: entries
+                # are copy-on-write (a delta swaps in a fresh StoreEntry),
+                # so this request computed on a consistent pre-delta
+                # snapshot throughout.
+                stale = versions is not None and any(
+                    self.store.version(k) != v for k, v in versions)
+                if stale:
+                    self._delta_stale.inc()
+                else:
+                    with span("cache.writeback"):
+                        self.results.put(rkey, result,
+                                         stats.algorithm or algorithm,
+                                         flops=flops)
             self.stats.record(stats)
         return Response(result=result, stats=stats, tag=tag, request=request)
 

@@ -51,6 +51,13 @@ class Request:
         shed the request with :class:`~repro.resilience.DeadlineExceeded`
         once the budget is spent. ``from_dict`` picks it up like every
         other field, so JSON workloads can set per-request deadlines.
+    plan_free : bool
+        The dynamic-mask no-reuse route: this request's mask is fresh and
+        will never repeat, so the engine bypasses the plan cache entirely
+        (no lookup, no pollution of the LRU with a never-again key) and
+        ``auto`` resolves via ``auto_select(plan_free=True)`` — among the
+        chunk-fused kernels only. Counted in the ``unplanned`` serving
+        tier.
     """
 
     a: str
@@ -62,11 +69,13 @@ class Request:
     semiring: str = "plus_times"
     tag: str = ""
     deadline_ms: float | None = None
+    plan_free: bool = False
 
     def group_key(self) -> tuple:
         """Batching key: requests with equal group keys share kernel config,
         so executing them back-to-back maximizes plan/code locality."""
-        return (self.algorithm, self.phases, self.semiring, self.complemented)
+        return (self.algorithm, self.phases, self.semiring, self.complemented,
+                self.plan_free)
 
     @classmethod
     def from_dict(cls, spec: dict[str, Any]) -> "Request":
@@ -75,6 +84,41 @@ class Request:
         unknown = set(spec) - known - {"repeat"}
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        return cls(**{k: v for k, v in spec.items() if k in known})
+
+
+@dataclass
+class DeltaRequest:
+    """One edge-delta batch addressed at a registered matrix by store key.
+
+    The mutation analogue of :class:`Request`: JSON-friendly (edge lists,
+    not arrays), resolved against the store at application time.
+    ``Engine.submit_delta`` / ``AsyncServer.apply_delta`` consume it; the
+    wire form is ``{"key": "G", "delete": [[r, c], …],
+    "insert": [[r, c, v], …], "update": [[r, c, v], …]}``.
+    """
+
+    key: str
+    insert: list = field(default_factory=list)
+    delete: list = field(default_factory=list)
+    update: list = field(default_factory=list)
+    tag: str = ""
+
+    def to_batch(self):
+        from ..delta import DeltaBatch
+
+        return DeltaBatch(insert=self.insert, delete=self.delete,
+                          update=self.update)
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "DeltaRequest":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown delta request fields: {sorted(unknown)}")
+        if "key" not in spec:
+            raise ValueError("delta request needs a 'key' naming the stored "
+                             "matrix to mutate")
         return cls(**{k: v for k, v in spec.items() if k in known})
 
 

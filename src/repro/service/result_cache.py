@@ -202,6 +202,28 @@ class ResultCache:
         self.total_bytes -= entry.nbytes
         return True
 
+    def invalidate_fingerprints(self, fingerprints) -> int:
+        """Drop every entry whose key names any of ``fingerprints`` — in an
+        operand/mask pattern slot *or* a value slot. This is the delta
+        path's targeted invalidation: mutating one stored matrix kills
+        exactly the memoized products that read it (by its old pattern
+        and/or value hash) and leaves every other entry resident. Returns
+        the number of entries dropped.
+
+        (Fingerprints are content hashes, so an identical matrix registered
+        under a second store key shares them; its entries drop too and
+        simply re-memoize on the next request — a hygiene trade, never a
+        correctness one.)
+        """
+        fps = {fp for fp in fingerprints if fp}
+        if not fps:
+            return 0
+        victims = [k for k in self._results
+                   if any(field in fps for field in k)]
+        for k in victims:
+            self.invalidate(k)
+        return len(victims)
+
     def clear(self) -> None:
         self._results.clear()
         self.total_bytes = 0

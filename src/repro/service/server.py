@@ -274,6 +274,14 @@ class AsyncServer:
         self.dedup = dedup
         #: result-cache key → future of the identical in-flight primary
         self._inflight_keys: dict[tuple, asyncio.Future] = {}
+        # delta/read ordering (all mutated on the event-loop thread, waits
+        # via self._cond): store keys with an apply_delta in progress, and
+        # per-key counts of reads between admission and completion
+        self._writers: set[str] = set()
+        self._readers: dict[str, int] = {}
+        #: one-shot events armed by delta writers waiting for readers to
+        #: drain; set (synchronously) by every reader release
+        self._drain_events: set[asyncio.Event] = set()
         # share the engine's registry: one /metrics page spans admission
         # through kernel chunks
         self.stats = ServerStats(engine.metrics)
@@ -376,7 +384,7 @@ class AsyncServer:
                 a_entry.value_fingerprint, b_entry.value_fingerprint,
                 mask_entry.fingerprint if mask_entry is not None else "",
                 request.complemented, request.algorithm.lower(),
-                request.phases, request.semiring)
+                request.phases, request.semiring, request.plan_free)
 
     def _shed(self, stage: str, detail: str = "") -> None:
         """Record and raise a deadline shed at ``stage``."""
@@ -384,6 +392,103 @@ class AsyncServer:
         extra = f" ({detail})" if detail else ""
         raise DeadlineExceeded(f"deadline exceeded at {stage}{extra}",
                                stage=stage)
+
+    # ------------------------------------------------------------------ #
+    # delta/read ordering
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _request_keys(request: Request) -> set[str]:
+        keys = {request.a, request.b}
+        if request.mask is not None:
+            keys.add(request.mask)
+        return keys
+
+    async def _begin_read(self, keys: set[str], deadline) -> None:
+        """Gate a read against in-progress deltas: wait until none of the
+        request's store keys has an ``apply_delta`` running (so entry
+        resolution sees post-delta state), then register as a reader on
+        each key until completion. Runs before backpressure admission —
+        delta ordering is about *store state*, not queue capacity."""
+        async with self._cond:
+            while not self._closed and (keys & self._writers):
+                if deadline is None:
+                    await self._cond.wait()
+                    continue
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    self._shed("admission", "delta in progress on operand")
+                try:
+                    await asyncio.wait_for(self._cond.wait(), remaining)
+                except asyncio.TimeoutError:
+                    self._shed("admission", "delta in progress on operand")
+            if self._closed:
+                raise ServerClosed("server is shutting down; request refused")
+            for k in keys:
+                self._readers[k] = self._readers.get(k, 0) + 1
+
+    def _end_read(self, keys: set[str]) -> None:
+        """Reader release. Synchronous on purpose: running in a ``finally``
+        with no await leaves no cancellation window, so a cancelled or shed
+        submitter can never leak a reader count (which would deadlock a
+        waiting delta). Wakes any writer parked on the drain events."""
+        for k in keys:
+            n = self._readers.get(k, 0) - 1
+            if n <= 0:
+                self._readers.pop(k, None)
+            else:
+                self._readers[k] = n
+        for ev in list(self._drain_events):
+            ev.set()
+
+    async def apply_delta(self, key, batch=None):
+        """Apply one edge-delta batch to the matrix stored under ``key``,
+        ordered against in-flight reads.
+
+        Accepts ``(key, DeltaBatch)`` or a single
+        :class:`~repro.service.requests.DeltaRequest`. Ordering contract:
+        the delta waits until every request naming ``key`` admitted *before
+        it* has completed; requests arriving *after* the delta began wait at
+        the admission gate and resolve post-delta entries. Deltas on the
+        same key serialize; deltas on distinct keys and reads on unrelated
+        keys proceed concurrently. The mutation itself runs
+        :meth:`Engine.apply_delta` in a worker thread and returns its
+        :class:`~repro.delta.DeltaOutcome`.
+        """
+        if batch is None:
+            request = key
+            key, batch = request.key, request.to_batch()
+        if self._cond is None:
+            raise ServerError("server not started (use `async with` or start())")
+        if self._closed:
+            raise ServerClosed("server is shutting down; delta refused")
+        async with self._cond:
+            while key in self._writers:
+                await self._cond.wait()
+                if self._closed:
+                    raise ServerClosed(
+                        "server is shutting down; delta refused")
+            self._writers.add(key)
+        try:
+            while self._readers.get(key, 0):
+                ev = asyncio.Event()
+                self._drain_events.add(ev)
+                try:
+                    if self._readers.get(key, 0):
+                        await ev.wait()
+                finally:
+                    self._drain_events.discard(ev)
+            return await asyncio.to_thread(self.engine.apply_delta,
+                                           key, batch)
+        finally:
+            # discard is synchronous (no cancellation window can leave the
+            # key write-locked); the notify wake-up is shielded so waiting
+            # readers are released even if this task was cancelled
+            self._writers.discard(key)
+            await asyncio.shield(self._notify_waiters())
+
+    async def _notify_waiters(self) -> None:
+        async with self._cond:
+            self._cond.notify_all()
 
     async def submit(self, request: Request) -> Response:
         """Admit one request (suspending under backpressure) and await its
@@ -410,6 +515,17 @@ class AsyncServer:
         deadline = Deadline.after_ms(request.deadline_ms)
         if deadline is not None:
             request._deadline = deadline
+        # order against deltas: wait out any in-progress mutation of this
+        # request's operands, then hold them read-locked until completion
+        keys = self._request_keys(request)
+        await self._begin_read(keys, deadline)
+        try:
+            return await self._submit_read(request, deadline)
+        finally:
+            self._end_read(keys)
+
+    async def _submit_read(self, request: Request, deadline) -> Response:
+        """Post-gate submission flow (operand read locks held by caller)."""
         a_entry, b_entry, mask_entry = self._resolve_entries(request)
         key = None
         if self.dedup:

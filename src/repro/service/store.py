@@ -41,6 +41,12 @@ class StoreEntry:
     value: CSRMatrix | Mask
     nbytes: int
     pinned: bool = False
+    #: monotonic per-key mutation counter: bumped on every re-registration
+    #: or delta swap. The engine snapshots it at request resolution and
+    #: refuses late result-cache writebacks whose snapshot is stale — the
+    #: version guard that keeps a delta applied mid-request from letting a
+    #: pre-delta product land in the cache (see Engine.apply_delta).
+    version: int = 0
     _fingerprint: str | None = field(default=None, repr=False)
     _value_fingerprint: str | None = field(default=None, repr=False)
 
@@ -92,8 +98,9 @@ class MatrixStore:
             raise StoreError(
                 f"store values must be CSRMatrix or Mask, got {type(value).__name__}"
             )
-        entry = StoreEntry(value, matrix_nbytes(value), pinned=pin)
         old = self._entries.pop(key, None)
+        entry = StoreEntry(value, matrix_nbytes(value), pinned=pin,
+                           version=old.version + 1 if old is not None else 0)
         if self.budget_bytes is not None:
             # feasibility first: reject before evicting anything, and restore
             # the replaced entry, so a failed registration leaves the store
@@ -127,6 +134,45 @@ class MatrixStore:
         self._entries[key] = entry  # move to MRU position
         return entry
 
+    def swap(self, key: str, value: CSRMatrix | Mask, *,
+             fingerprint: str | None = None,
+             value_fingerprint: str | None = None) -> StoreEntry:
+        """Replace ``key``'s matrix in place: same LRU position, same pinned
+        flag, version bumped. This is the delta path's mutation primitive —
+        unlike :meth:`register` it accepts pre-computed fingerprints, so a
+        value-only delta carries the *old pattern fingerprint forward*
+        (plans keep hitting without re-hashing the unchanged pattern) and
+        callers can hash outside their locks."""
+        try:
+            old = self._entries[key]
+        except KeyError:
+            raise StoreError(
+                f"no matrix registered under {key!r}; "
+                f"known keys: {sorted(self._entries)}"
+            ) from None
+        entry = StoreEntry(value, matrix_nbytes(value), pinned=old.pinned,
+                           version=old.version + 1,
+                           _fingerprint=fingerprint,
+                           _value_fingerprint=value_fingerprint)
+        if self.budget_bytes is not None:
+            unevictable = sum(e.nbytes for k, e in self._entries.items()
+                              if e.pinned and k != key)
+            if entry.nbytes + unevictable > self.budget_bytes:
+                raise StoreError(
+                    f"cannot swap {key!r}: {entry.nbytes} bytes plus "
+                    f"{unevictable} pinned bytes exceed the "
+                    f"{self.budget_bytes}-byte budget"
+                )
+        self._entries[key] = entry  # assignment keeps the LRU position
+        self._enforce_budget(protect=key)
+        return entry
+
+    def version(self, key: str) -> int | None:
+        """Current mutation version of ``key`` (None when absent). Does not
+        touch LRU order — this is the writeback guard's read path."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry.version
+
     def evict(self, key: str) -> bool:
         """Drop ``key``; returns whether it was present."""
         return self._entries.pop(key, None) is not None
@@ -139,6 +185,11 @@ class MatrixStore:
 
     def keys(self) -> list[str]:
         return list(self._entries)
+
+    def entries(self) -> list[tuple[str, StoreEntry]]:
+        """Snapshot of (key, entry) pairs without touching LRU order — the
+        delta path's fingerprint-map source."""
+        return list(self._entries.items())
 
     @property
     def total_bytes(self) -> int:

@@ -135,7 +135,40 @@ class ShardPlanner:
             return cached
         self.misses += 1
         plans = split_row_sizes(plan.row_sizes, self.nshards)
+        self._store(memo_key, plans)
+        return plans
+
+    def resplit(self, old_key: tuple, new_key: tuple,
+                plan: SymbolicPlan) -> list[ShardPlan] | None:
+        """Derive a *spliced* plan's partition from its predecessor's.
+
+        After a pattern delta re-keys a plan (see ``Engine.apply_delta``),
+        the balanced row boundaries of the old partition are still a good
+        cut — a few percent of rows changed size — so instead of a fresh
+        ``balanced_partition`` this reuses the memoized boundaries verbatim
+        and recomputes only the nnz offsets from the new row sizes (one
+        cumsum). Safe by construction: the coordinator always derives the
+        output ``indptr`` from the *executing* plan's row sizes, never from
+        the memoized offsets, so a drifting balance costs at most skew,
+        never correctness. Returns None (caller splits fresh) when the old
+        key was never split here.
+        """
+        if plan.row_sizes is None:
+            return None
+        cached = self._memo.get((old_key, self.nshards))
+        if cached is None:
+            return None
+        indptr = np.zeros(plan.row_sizes.size + 1, dtype=INDEX_DTYPE)
+        np.cumsum(plan.row_sizes, out=indptr[1:])
+        plans = [ShardPlan(shard=s.shard, row_lo=s.row_lo, row_hi=s.row_hi,
+                           nnz_lo=int(indptr[s.row_lo]),
+                           nnz_hi=int(indptr[s.row_hi]))
+                 for s in cached]
+        self._store((new_key, self.nshards), plans)
+        return plans
+
+    def _store(self, memo_key: tuple, plans: list[ShardPlan]) -> None:
         self._memo[memo_key] = plans
+        self._memo.move_to_end(memo_key)
         while len(self._memo) > self.capacity:
             self._memo.popitem(last=False)
-        return plans

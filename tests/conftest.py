@@ -102,3 +102,60 @@ def assert_masked_product_correct(C: CSRMatrix, A, B, M, semiring=PLUS_TIMES,
 ALL_SEMIRINGS = [PLUS_TIMES, PLUS_PAIR, MIN_PLUS]
 PLAIN_ALGOS = ["msa", "esc", "hash", "mca", "heap", "heapdot", "inner"]
 COMPLEMENT_ALGOS = ["msa", "esc", "hash", "heap", "heapdot"]
+
+
+# ---------------------------------------------------------------------- #
+# differential oracle for the delta subsystem (repro.delta)
+# ---------------------------------------------------------------------- #
+def rebuild_from_scratch(m: CSRMatrix) -> CSRMatrix:
+    """Independent reconstruction of ``m``: a COO round trip through fresh
+    arrays, re-validated on construction. Shares nothing with ``m`` — the
+    cold engine in :func:`oracle_pair` must not be able to inherit spliced
+    state through aliased buffers."""
+    from repro.sparse.coo import COOMatrix
+
+    rows = np.repeat(np.arange(m.shape[0]), np.diff(m.indptr))
+    return COOMatrix(rows.copy(), m.indices.copy(), m.data.copy(),
+                     m.shape).to_csr()
+
+
+def assert_bit_identical(got: CSRMatrix, want: CSRMatrix, context=""):
+    """Exact equality of the CSR triplet arrays — no tolerance. The delta
+    machinery's contract is *bit*-identity with a cold rebuild, not
+    closeness."""
+    where = f" [{context}]" if context else ""
+    assert got.shape == want.shape, f"shape mismatch{where}"
+    assert np.array_equal(got.indptr, want.indptr), f"indptr differ{where}"
+    assert np.array_equal(got.indices, want.indices), f"indices differ{where}"
+    assert np.array_equal(got.data, want.data), f"data differ{where}"
+
+
+def oracle_pair(engine, request):
+    """Differential oracle for incremental serving.
+
+    Submits ``request`` against ``engine`` — whose stored operands have
+    typically evolved through :meth:`Engine.apply_delta` (spliced plans,
+    patched results, carried fingerprints) — and against a *fresh cold
+    engine* whose operands are rebuilt from scratch from the live store's
+    current contents (so every plan is built cold and every result computed
+    from nothing). Returns ``(live, cold)`` responses; callers assert the
+    pair bit-identical, which proves the whole incremental path (dirty-row
+    computation, plan splicing, result patching, fingerprint carrying)
+    equivalent to recomputation.
+    """
+    from repro.service import Engine
+
+    live = engine.submit(request)
+    cold_engine = Engine()
+    keys = {request.a, request.b}
+    if request.mask is not None:
+        keys.add(request.mask)
+    for key in keys:
+        value = engine.entry(key).value
+        if isinstance(value, Mask):
+            cold_engine.register(key, Mask.from_matrix(
+                rebuild_from_scratch(value.to_matrix())))
+        else:
+            cold_engine.register(key, rebuild_from_scratch(value))
+    cold = cold_engine.submit(request)
+    return live, cold

@@ -640,3 +640,43 @@ def test_engine_ready_flips_on_close():
     assert eng.ready()
     eng.close()
     assert not eng.ready()
+
+
+# ---------------------------------------------------------------------- #
+# chaos × deltas (PR 8): a worker kill on the first post-delta request
+# ---------------------------------------------------------------------- #
+@needs_shm
+def test_worker_kill_after_delta_degrades_bit_identically(rng):
+    """A pattern delta splices the cached plan and resplits the shard
+    partition; killing workers on the very next request must exhaust the
+    retry budget, degrade in-process, and still serve the *post-delta*
+    product bit-identically — the spliced plan is kernel-portable all the
+    way down the tier ladder."""
+    from repro.delta import DeltaBatch
+
+    eng, (A, B, M) = _shard_engine(
+        rng, faults=FaultPlan([FaultSpec(site="shard.numeric",
+                                         action="kill", count=2, skip=1)]))
+    try:
+        warm = eng.submit(Request(a="A", b="B", mask="M", phases=2))
+        assert warm.stats.sharded  # skip=1 let the warm-up through
+        rows = np.repeat(np.arange(A.nrows), np.diff(A.indptr))
+        out = eng.apply_delta("A", DeltaBatch(
+            delete=[(int(rows[i]), int(A.indices[i])) for i in range(4)]))
+        assert out.kind == "pattern" and out.plans_spliced == 1
+        post_A = eng.entry("A").value
+
+        resp = eng.submit(Request(a="A", b="B", mask="M", phases=2))
+        assert resp.stats.plan_cache_hit           # served off the splice
+        assert not resp.stats.sharded              # both kills landed
+        _assert_identical(resp.result, _reference_result(post_A, B, M))
+        assert eng.faults.fired == {("shard.numeric", "kill"): 2}
+        assert _families(eng)["repro_degraded_total"][
+            (("from", "shard"), ("to", "inprocess"))] >= 1
+        # the pool healed behind the kills: the next request shards again,
+        # on the resplit partition, same bytes
+        resp2 = eng.submit(Request(a="A", b="B", mask="M", phases=2))
+        assert resp2.stats.sharded
+        _assert_identical(resp2.result, resp.result)
+    finally:
+        eng.close()

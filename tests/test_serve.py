@@ -663,3 +663,105 @@ def test_warm_requests_report_direct_write(rng):
     unfused = eng.submit(Request(a="A", b="B", mask="M", phases=2,
                                  algorithm="mca"))
     assert not unfused.stats.direct_write
+
+
+# ---------------------------------------------------------------------- #
+# deltas vs in-flight reads (PR 8)
+# ---------------------------------------------------------------------- #
+def test_delta_mid_flight_refuses_stale_result_writeback(rng, monkeypatch):
+    """The staleness hazard, engine-level: a delta lands on an operand
+    while a request is mid-numeric. The request's snapshot stays consistent
+    (copy-on-write entries), but its late result-cache writeback must be
+    refused by the version guard — otherwise a pre-delta product would
+    resurrect into the post-delta cache, behind the invalidation the delta
+    just ran."""
+    import threading
+
+    import repro.service.engine as engine_mod
+    from repro.delta import DeltaBatch
+
+    eng, (A, B, M) = _server_engine(rng, result_cache_bytes=1 << 24)
+    req = Request(a="A", b="B", mask="M", phases=2)
+    started, release = threading.Event(), threading.Event()
+    real = engine_mod.masked_spgemm
+
+    def held(*args, **kw):
+        started.set()
+        assert release.wait(10.0)
+        return real(*args, **kw)
+
+    monkeypatch.setattr(engine_mod, "masked_spgemm", held)
+    box = {}
+    t = threading.Thread(target=lambda: box.update(resp=eng.submit(req)))
+    t.start()
+    assert started.wait(10.0)
+    rows = np.repeat(np.arange(A.nrows), np.diff(A.indptr))
+    eng.apply_delta("A", DeltaBatch(
+        update=[(int(rows[0]), int(A.indices[0]), 123.0)]))
+    release.set()
+    t.join(10.0)
+    monkeypatch.undo()
+
+    # the in-flight response itself is the correct *pre-delta* product
+    assert_masked_product_correct(box["resp"].result, A, B, M)
+    assert "repro_delta_stale_total 1" in eng.metrics.render()
+    # nothing resurrected: the next submit misses the result tier (old
+    # value hash invalidated, new one never written back stale)
+    resp2 = eng.submit(req)
+    assert not resp2.stats.result_cache_hit
+    resp3 = eng.submit(req)       # ...and the fresh product cached normally
+    assert resp3.stats.result_cache_hit
+
+
+def test_async_server_orders_delta_against_reads(rng, monkeypatch):
+    """The server-side ordering contract: a delta waits out in-flight reads
+    on its key; reads admitted after the delta began park at the gate and
+    resolve post-delta entries."""
+    import threading
+
+    import repro.service.engine as engine_mod
+    from repro.delta import DeltaBatch
+
+    eng, (A, B, M) = _server_engine(rng)
+    started = threading.Event()
+    release = threading.Event()
+    real = engine_mod.masked_spgemm
+
+    def held(*args, **kw):
+        started.set()
+        assert release.wait(10.0)
+        return real(*args, **kw)
+
+    monkeypatch.setattr(engine_mod, "masked_spgemm", held)
+    rows = np.repeat(np.arange(A.nrows), np.diff(A.indptr))
+    batch = DeltaBatch(delete=[(int(rows[i]), int(A.indices[i]))
+                               for i in range(5)])
+
+    async def main():
+        async with AsyncServer(eng, workers=2) as srv:
+            r1 = asyncio.create_task(
+                srv.submit(Request(a="A", b="B", mask="M", phases=2)))
+            await asyncio.to_thread(started.wait, 10.0)
+            delta = asyncio.create_task(srv.apply_delta("A", batch))
+            # the writer must park until the in-flight reader drains...
+            await asyncio.sleep(0.1)
+            assert not delta.done() and "A" in srv._writers
+            # ...and a read admitted behind it parks at the gate
+            r2 = asyncio.create_task(
+                srv.submit(Request(a="A", b="B", mask="M", phases=2,
+                                   tag="post")))
+            await asyncio.sleep(0.1)
+            assert not r2.done()
+            release.set()
+            resp1 = await r1
+            outcome = await delta
+            resp2 = await r2
+            return resp1, outcome, resp2
+
+    resp1, outcome, resp2 = asyncio.run(main())
+    monkeypatch.undo()
+    # first read saw the pre-delta operands, second the post-delta ones
+    assert_masked_product_correct(resp1.result, A, B, M)
+    assert outcome.kind == "pattern"
+    post_A = eng.entry("A").value
+    assert_masked_product_correct(resp2.result, post_A, B, M)
