@@ -374,6 +374,12 @@ def _check_smoke(engine, server, responses, args, obs=None,
     if engine.shards is not None:
         print(f"smoke shards: {engine.stats.sharded}/{executed} executed "
               f"requests ran on the {engine.shards.nshards}-worker pool")
+    tiers = engine.stats.kernel_tiers
+    if tiers:
+        # which kernel tier actually served the numeric passes — a degraded
+        # run shows fused/loop counts here even though plans named native
+        print("smoke kernel tiers: "
+              + ", ".join(f"{t}={c}" for t, c in tiers.items()))
 
     # restart leg: persist plans, restore into a fresh engine (result cache
     # off so every request exercises the plan path), expect zero misses

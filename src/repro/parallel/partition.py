@@ -34,6 +34,15 @@ from ..validation import INDEX_DTYPE
 #: ablation in ``benchmarks/bench_chunk_fusion.py``.
 FUSED_BYTES_PER_FLOP = 72
 
+#: bytes per partial product for the compiled tier (:mod:`repro.native`):
+#: the Gustavson loop streams one B row entry (col 8 + val 8) and touches
+#: one accumulator slot (state 1 + value 8, amortized over re-hits) per
+#: product, with no expanded intermediates, keys, or sort permutation —
+#: roughly a third of the fused pipeline's traffic, so native chunks can
+#: carry ~3× the flops in the same cache share. Validated against observed
+#: per-chunk timings by ``tools/check_chunk_budget.py``.
+NATIVE_BYTES_PER_FLOP = 24
+
 #: default per-chunk cache target: a last-level-cache share per worker on a
 #: laptop/CI-class box. 16 MiB / 72 B ≈ 230k partial products per chunk —
 #: well under the fused kernels' FUSE_FLOPS_BUDGET memory bound, so chunk

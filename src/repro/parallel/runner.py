@@ -47,8 +47,14 @@ from ..validation import INDEX_DTYPE, check_multiplicable
 from ..core import registry
 from ..core.plan import SymbolicPlan
 from ..core.types import stitch_blocks
-from .executor import ProcessExecutor
-from .partition import balanced_partition, budget_chunk_count, estimate_row_weights
+from .executor import ProcessExecutor, ThreadExecutor
+from .partition import (
+    NATIVE_BYTES_PER_FLOP,
+    balanced_partition,
+    budget_chunk_count,
+    chunk_budget,
+    estimate_row_weights,
+)
 
 # ---------------------------------------------------------------------- #
 # process-pool plumbing: context parked in globals pre-fork
@@ -145,16 +151,42 @@ def parallel_masked_spgemm(
     benchmarks use.
 
     ``backend`` selects the execution substrate: ``"local"`` (this runner's
-    chunked executor path) or ``"shard"``, which routes the product through
+    chunked executor path), ``"shard"``, which routes the product through
     :func:`repro.shard.shard_masked_spgemm` — a transient shard-worker pool
     whose workers scatter into a shared-memory output CSR (``executor``'s
-    ``nworkers`` sizes the pool; the executor itself is not used).
-    Ineligible requests degrade back to the local path inside the shard
-    layer, so results are identical either way.
+    ``nworkers`` sizes the pool; the executor itself is not used) — or
+    ``"thread"``: the compiled-tier successor to process shards. The thread
+    backend rewrites the algorithm to its native variant (when the
+    :mod:`repro.native` probe passes), runs on a
+    :class:`~repro.parallel.executor.ThreadExecutor` (``executor`` when it
+    is one, else a transient pool sized to the machine), and scatters
+    chunks straight into the preallocated CSR slices — the compiled kernels
+    release the GIL for the whole chunk call, so this gets real parallelism
+    with no processes and no shared-memory segments. Ineligible requests
+    degrade back to the local path inside the shard layer, and the thread
+    backend without a native backend is simply the local thread-pool path,
+    so results are identical for every backend.
     """
-    if backend not in ("local", "shard"):
+    if backend not in ("local", "shard", "thread"):
         raise AlgorithmError(
-            f"unknown backend {backend!r}; use 'local' or 'shard'")
+            f"unknown backend {backend!r}; use 'local', 'thread' or 'shard'")
+    if backend == "thread":
+        import os
+
+        own = None
+        if not isinstance(executor, ThreadExecutor):
+            nworkers = (executor.nworkers if executor is not None
+                        else min(8, os.cpu_count() or 2))
+            own = executor = ThreadExecutor(max(int(nworkers), 1))
+        try:
+            return parallel_masked_spgemm(
+                A, B, mask, algorithm=registry.native_variant(algorithm),
+                semiring=semiring, phases=phases, executor=executor,
+                nchunks=nchunks, plan=plan, plan_sink=plan_sink,
+                direct_write=direct_write, backend="local")
+        finally:
+            if own is not None:
+                own.close()
     if backend == "shard":
         from ..shard import shard_masked_spgemm
 
@@ -174,7 +206,12 @@ def parallel_masked_spgemm(
 
     weights = estimate_row_weights(A, B, mask, algorithm)
     if nchunks is None:
-        nchunks = budget_chunk_count(weights, executor.nworkers)
+        # the compiled loops stream ~1/3 the bytes per partial product of
+        # the fused pipeline, so native chunks carry 3x the flops for the
+        # same cache share (fewer dispatches, same residency)
+        budget = (chunk_budget(bytes_per_flop=NATIVE_BYTES_PER_FLOP)
+                  if spec.key.endswith("-native") else None)
+        nchunks = budget_chunk_count(weights, executor.nworkers, budget)
     chunks = balanced_partition(weights, nchunks)
     if not chunks:
         return CSRMatrix.empty(out_shape)

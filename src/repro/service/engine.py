@@ -53,8 +53,9 @@ from ..core import masked_spgemm
 from ..core.plan import SymbolicPlan, build_plan, splice_plan
 from ..delta import DeltaBatch, DeltaOutcome
 from ..errors import AlgorithmError, ShapeError
-from ..core.registry import BASELINE_KEYS
+from ..core.registry import BASELINE_KEYS, NATIVE_BASE
 from ..mask import Mask
+from ..native import warmup as native_warmup
 from ..obs import MetricsRegistry, Tracer, span
 from ..obs.metrics import CHUNK_BUCKETS
 from ..resilience import (CircuitBreaker, DeadlineExceeded, FaultPlan,
@@ -72,6 +73,28 @@ from .plan import PlanCache, PlanStore, plan_key
 from .requests import DeltaRequest, Request, RequestStats, Response
 from .result_cache import ResultCache, result_key
 from .store import MatrixStore, StoreError
+
+
+#: coarse execution tiers a numeric pass can run on, in preference order
+KERNEL_TIERS = ("native", "fused", "loop", "baseline")
+
+
+def kernel_tier(algorithm: str) -> str:
+    """Map a resolved kernel key to the coarse execution tier it runs on:
+    ``native`` (compiled msa-native/hash-native), ``loop`` (the per-row
+    reference rung), ``baseline`` (whole-matrix baselines), else ``fused``
+    (the vectorised numpy kernels). The engine stamps the tier of the
+    kernel that *actually executed* — not the one the plan named — onto
+    each request, so degraded-to-fused traffic is distinguishable in
+    ``repro_kernel_requests_total`` and the ``serve --smoke`` report."""
+    key = algorithm.lower()
+    if key.endswith("-native"):
+        return "native"
+    if key.endswith("-loop"):
+        return "loop"
+    if key in BASELINE_KEYS:
+        return "baseline"
+    return "fused"
 
 
 class EngineStats:
@@ -112,6 +135,12 @@ class EngineStats:
             "repro_phase_seconds",
             "engine time by phase (plan = auto-select + symbolic)",
             labels=("phase",))
+        self._kernel_tier = self.registry.counter(
+            "repro_kernel_requests_total",
+            "numeric passes by the kernel tier that actually executed "
+            "(native/fused/loop/baseline); degraded requests count under "
+            "the tier that served them, not the one the plan named",
+            labels=("tier",))
         #: bounded windows (a long-lived service must not grow telemetry
         #: without limit); the registry covers the full lifetime
         self.cold_latencies: deque = deque(maxlen=4096)
@@ -166,6 +195,15 @@ class EngineStats:
 
         return hit_rate(self.plan_hits, self.plan_misses)
 
+    @property
+    def kernel_tiers(self) -> dict:
+        """Non-zero ``repro_kernel_requests_total`` values by tier — which
+        kernel tier actually served the numeric passes (result-cache hits
+        ran no kernel and are excluded)."""
+        counts = {t: int(self._kernel_tier.value(tier=t))
+                  for t in KERNEL_TIERS}
+        return {t: c for t, c in counts.items() if c}
+
     def record(self, stats: RequestStats) -> None:
         if stats.result_cache_hit:
             # the plan cache was never consulted; keep its accounting clean
@@ -183,6 +221,8 @@ class EngineStats:
             self.cold_latencies.append(stats.total_seconds)
         self._requests.inc(tier=tier)
         self._request_seconds.observe(stats.total_seconds, tier=tier)
+        if stats.kernel_tier:
+            self._kernel_tier.inc(tier=stats.kernel_tier)
         if stats.symbolic_skipped:
             self._events.inc(event="symbolic_skipped")
         if stats.sharded:
@@ -334,6 +374,11 @@ class Engine:
             "repro_delta_stale_total",
             "late result-cache writebacks refused by the store-version "
             "guard (a delta landed while the request executed)")
+        # resolve + compile the native kernel tier off the request path
+        # (memoized: only the first engine in a process pays the JIT/cc
+        # cost) and record it — done *before* the shard pool forks so the
+        # workers inherit the compiled backend instead of re-probing
+        native_warmup(metrics=self.metrics)
         self.shards = None
         self.shard_degraded = False
         if shards:
@@ -346,6 +391,17 @@ class Engine:
                     "repro_shm_segment_bytes",
                     "bytes held in shared-memory operand segments",
                     callback=lambda: store_ref.shared_bytes)
+                pool_ref = self.shards.segment_pool
+                self.metrics.gauge(
+                    "repro_segment_pool_segments",
+                    "recycled output segments currently free in the "
+                    "coordinator's size-classed pool",
+                    callback=lambda: pool_ref.stats["held"])
+                self.metrics.gauge(
+                    "repro_segment_pool_bytes",
+                    "bytes pinned by free pooled output segments "
+                    "(bounded per size class and in total)",
+                    callback=lambda: pool_ref.stats["held_bytes"])
             else:
                 self.shard_degraded = True
 
@@ -917,6 +973,7 @@ class Engine:
                     self._retries.inc(tier="shard", outcome="success")
                 stats.sharded = True
                 stats.direct_write = True
+                stats.kernel_tier = kernel_tier(plan.algorithm)
                 return result
             except DeadlineExceeded:
                 raise
@@ -954,30 +1011,62 @@ class Engine:
                     self.retry.sleep(attempt - 1)
 
     def _inprocess_tiers(self, A, B, mask, plan, algorithm, phases,
-                         semiring, deadline) -> CSRMatrix:
-        """Tier 2 (fused in-process kernels), with tier 3 (per-row
-        ``msa-loop``) as the last rung.
+                         semiring, deadline, stats=None) -> CSRMatrix:
+        """Tier 2 (in-process kernels: compiled native, then fused numpy),
+        with tier 3 (per-row ``msa-loop``) as the last rung.
 
-        The loop tier exists because a cached :class:`SymbolicPlan`'s row
+        The ladder exists because a cached :class:`SymbolicPlan`'s row
         sizes are *kernel-independent*: relabelling the plan replays the
-        same masked product through the simplest kernel in the registry
-        with the warm symbolic work intact — bit-identical output with the
-        smallest possible code surface under it. Only deliberate injections
-        (:class:`InjectedFault` via the ``engine.kernel`` site) and memory
-        pressure degrade here; genuine kernel bugs stay loud, because
-        silently papering over them would hide miscompares, not failures.
+        same masked product through a simpler kernel with the warm symbolic
+        work intact — bit-identical output at every rung. A native-routed
+        plan (``msa-native``/``hash-native``) first falls back to its fused
+        base kernel (:data:`~repro.core.registry.NATIVE_BASE`), then the
+        loop rung; the ``engine.kernel`` fault site is re-checked per rung
+        so chaos can kill exactly one. Only deliberate injections
+        (:class:`InjectedFault`) and memory pressure degrade here; genuine
+        kernel bugs stay loud, because silently papering over them would
+        hide miscompares, not failures. The tier that actually executed is
+        stamped onto ``stats.kernel_tier``.
         """
         if deadline is not None:
             deadline.check("engine", "numeric start")
         try:
             if self.faults is not None and plan is not None:
                 apply_fault(self.faults.check("engine.kernel"))
-            return masked_spgemm(A, B, mask, algorithm=algorithm,
-                                 semiring=semiring, phases=phases,
-                                 executor=self.executor, plan=plan)
+            result = masked_spgemm(A, B, mask, algorithm=algorithm,
+                                   semiring=semiring, phases=phases,
+                                   executor=self.executor, plan=plan)
+            if stats is not None:
+                stats.kernel_tier = kernel_tier(
+                    plan.algorithm if plan is not None else algorithm)
+            return result
         except (InjectedFault, MemoryError) as exc:
             if plan is None:
-                raise  # baselines have no plan to relabel for the loop tier
+                raise  # baselines have no plan to relabel for a lower rung
+            base = NATIVE_BASE.get(plan.algorithm)
+            if base is not None:
+                # compiled rung failed: replay the plan on its fused base
+                # kernel before resorting to the loop tier
+                self._degraded.inc(**{"from": "native", "to": "fused"})
+                with span("degrade", tier="fused",
+                          error=type(exc).__name__,
+                          **{"from": "native", "to": "fused"}):
+                    fused_plan = SymbolicPlan(algorithm=base,
+                                              phases=plan.phases,
+                                              shape=plan.shape,
+                                              row_sizes=plan.row_sizes)
+                    try:
+                        if self.faults is not None:
+                            apply_fault(self.faults.check("engine.kernel"))
+                        result = masked_spgemm(
+                            A, B, mask, algorithm=base, semiring=semiring,
+                            phases=phases, executor=self.executor,
+                            plan=fused_plan)
+                        if stats is not None:
+                            stats.kernel_tier = "fused"
+                        return result
+                    except (InjectedFault, MemoryError) as exc2:
+                        exc, plan = exc2, fused_plan
             self._degraded.inc(**{"from": "inprocess", "to": "loop"})
             with span("degrade", tier="loop", error=type(exc).__name__,
                       **{"from": "inprocess", "to": "loop"}):
@@ -985,9 +1074,12 @@ class Engine:
                                          phases=plan.phases,
                                          shape=plan.shape,
                                          row_sizes=plan.row_sizes)
-                return masked_spgemm(A, B, mask, algorithm="msa-loop",
-                                     semiring=semiring, phases=phases,
-                                     plan=loop_plan)
+                result = masked_spgemm(A, B, mask, algorithm="msa-loop",
+                                       semiring=semiring, phases=phases,
+                                       plan=loop_plan)
+                if stats is not None:
+                    stats.kernel_tier = "loop"
+                return result
 
     def _execute_traced(self, A, B, mask, a_fp, b_fp, mask_fp, *, algorithm,
                         phases, semiring, tag, request, value_fps,
@@ -1088,7 +1180,8 @@ class Engine:
                                           "to": "inprocess"})
             if result is None:
                 result = self._inprocess_tiers(A, B, mask, plan, algorithm,
-                                               phases, semiring, deadline)
+                                               phases, semiring, deadline,
+                                               stats)
             if numeric_span is not None:
                 numeric_span.attrs["sharded"] = stats.sharded
         stats.numeric_seconds = time.perf_counter() - t0

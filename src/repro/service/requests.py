@@ -127,6 +127,10 @@ class RequestStats:
     """Per-request execution telemetry."""
 
     algorithm: str = ""            # resolved kernel (post auto-select)
+    kernel_tier: str = ""          # tier that executed the numeric pass
+                                   # (native/fused/loop/baseline; "" when no
+                                   # kernel ran, e.g. result-cache hits) —
+                                   # reflects degradation, unlike `algorithm`
     phases: int = 1
     planned: bool = True           # False for baselines (no symbolic phase)
     plan_cache_hit: bool = False   # plan came from the cache

@@ -40,6 +40,7 @@ from .coordinator import ShardCoordinator, shard_masked_spgemm
 from .memory import (
     MatrixHandle,
     SegmentMissing,
+    SegmentPool,
     SegmentRegistry,
     ShardError,
     WorkerDied,
@@ -58,6 +59,7 @@ __all__ = [
     "split_rows",
     "MatrixHandle",
     "SegmentMissing",
+    "SegmentPool",
     "SegmentRegistry",
     "ShardError",
     "WorkerDied",

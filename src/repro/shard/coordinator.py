@@ -61,11 +61,12 @@ from ..validation import INDEX_DTYPE, check_multiplicable
 from . import worker as worker_mod
 from .memory import (
     MatrixHandle,
+    SegmentPool,
     ShardError,
     WorkerDied,
+    acquire_output,
     adopt_arrays,
     attach,
-    create_output,
     output_arrays,
     shared_memory_available,
 )
@@ -104,6 +105,9 @@ class ShardCoordinator:
             raise ShardError(f"nshards must be positive, got {nshards}")
         self.nshards = int(nshards)
         self.store = store if store is not None else ShardedMatrixStore()
+        #: recycles output segments across requests (warm serving reuses a
+        #: same-size-class mapping instead of shm_open/mmap per product)
+        self.segment_pool = SegmentPool(self.store.registry)
         self.planner = ShardPlanner(self.nshards)
         self.faults = faults
         self._pool = None
@@ -258,6 +262,9 @@ class ShardCoordinator:
         if pool is not None:
             pool.terminate()
             pool.join()
+        # pool before registry: drain the free lists so close sees every
+        # segment exactly once (late releases after this retire directly)
+        self.segment_pool.close()
         self.store.close()
         self._finalizer.detach()
 
@@ -369,8 +376,7 @@ class ShardCoordinator:
 
         shard_plans = self.planner.split(plan, key=plan_cache_key,
                                          weights=weights)
-        out_handle, out_seg = create_output(nrows, nnz)
-        self.store.registry.track(out_seg)
+        out_handle, out_seg = acquire_output(self.segment_pool, nrows, nnz)
         indptr, cols, vals = output_arrays(out_handle, out_seg)
         # the shared indptr comes from *this* plan's row sizes, not the
         # memoized shard plans: the memo may only reuse partition
@@ -399,7 +405,10 @@ class ShardCoordinator:
                                         deadline=deadline)
         except BaseException:
             # worker failure (stale plan, kernel error, dead pool): the
-            # output segment must not outlive the request it belonged to
+            # output segment must not outlive the request it belonged to —
+            # and it must NOT go back to the pool, because an abandoned
+            # scatter's workers may still be writing these pages (recycling
+            # them under the next request would corrupt its output)
             del indptr, cols, vals
             self.store.registry.unlink(out_handle.name)
             raise
@@ -413,11 +422,13 @@ class ShardCoordinator:
                     rec.merge(payload, parent_id=(scatter.span_id
                                                   if scatter else None))
 
-        # hand the mapping's lifetime to the result arrays, then retire the
-        # *name* immediately: nothing to clean if we crash later, and the
-        # memory itself lives exactly as long as the result does
-        adopt_arrays(out_seg, indptr, cols, vals)
-        self.store.registry.unlink(out_handle.name)
+        # hand the mapping's lifetime to the result arrays; when the last
+        # one is collected the segment returns to the pool (name intact, so
+        # the next same-class product's workers attach right back to it)
+        # instead of being unlinked — the registry keeps tracking it, so
+        # shutdown hygiene is unchanged
+        adopt_arrays(out_seg, indptr, cols, vals,
+                     on_release=self.segment_pool.release)
         return CSRMatrix(indptr, cols, vals, out_shape, check=False)
 
 
@@ -506,8 +517,9 @@ def shard_masked_spgemm(
                                 shape=out_shape, row_sizes=row_sizes)
             if plan_sink is not None:
                 plan_sink.append(plan)
-        # the result views its own (already-unlinked) output segment, so
-        # tearing the transient coordinator down below cannot touch it
+        # the result adopts its output segment's mapping, so tearing the
+        # transient coordinator down below only unlinks the *name* — the
+        # pages live until the result is garbage collected
         return coord.multiply(a_key, b_key, mask_key, mask, plan, semiring)
     finally:
         if own:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -165,17 +166,44 @@ class _AdoptedSegment(shared_memory.SharedMemory):
             pass
 
 
-def adopt_arrays(seg: shared_memory.SharedMemory, *arrays: np.ndarray) -> None:
+def adopt_arrays(seg: shared_memory.SharedMemory, *arrays: np.ndarray,
+                 on_release=None) -> None:
     """Tie a mapping's lifetime to the arrays viewing it.
 
-    Each array gets a finalizer holding a strong reference to ``seg``; the
-    mapping is closed when the last viewing array is garbage collected. The
-    caller is expected to have unlinked (or to later unlink) the *name*
-    separately — names and mappings have independent lifetimes by design.
+    Without ``on_release`` each array gets a finalizer holding a strong
+    reference to ``seg``; the mapping is closed when the last viewing array
+    is garbage collected. The caller is expected to have unlinked (or to
+    later unlink) the *name* separately — names and mappings have
+    independent lifetimes by design.
+
+    With ``on_release`` (a callable taking the segment — in practice
+    :meth:`SegmentPool.release`), the finalizers instead *refcount* the
+    arrays: when the last one is collected the still-open segment is handed
+    to ``on_release`` exactly once, so the pool can recycle the mapping and
+    its name instead of retiring them. Views derived from the adopted
+    arrays keep their base array alive, so the refcount cannot reach zero
+    while any NumPy view of the buffer exists.
     """
     seg.__class__ = _AdoptedSegment  # make every later close() tolerant
+    if on_release is None:
+        for arr in arrays:
+            weakref.finalize(arr, _close_quietly, seg)
+        return
+    if not arrays:
+        on_release(seg)
+        return
+    remaining = [len(arrays)]
+    lock = threading.Lock()
+
+    def _drop():
+        with lock:
+            remaining[0] -= 1
+            if remaining[0]:
+                return
+        on_release(seg)
+
     for arr in arrays:
-        weakref.finalize(arr, _close_quietly, seg)
+        weakref.finalize(arr, _drop)
 
 
 # --------------------------------------------------------------------- #
@@ -300,6 +328,23 @@ def create_output(nrows: int, nnz: int
     return OutputHandle(name=seg.name, nrows=nrows, nnz=nnz), seg
 
 
+def acquire_output(pool: "SegmentPool", nrows: int, nnz: int
+                   ) -> tuple[OutputHandle, shared_memory.SharedMemory]:
+    """Pool-recycling variant of :func:`create_output`: the segment comes
+    from (and, when the result dies, returns to) a :class:`SegmentPool`, so
+    warm sharded serving reuses mappings instead of paying a
+    ``shm_open``/``ftruncate``/``mmap`` round trip per request. The handle
+    describes the *logical* CSR extent; the underlying segment is the
+    size class's power of two, and the slack is never read."""
+    nbytes = (nrows + 1 + 2 * nnz) * _ITEM
+    try:
+        seg = pool.acquire(nbytes)
+    except (OSError, ValueError) as e:
+        raise ShardError(f"cannot allocate {nbytes}-byte shared "
+                        f"output segment: {e}") from e
+    return OutputHandle(name=seg.name, nrows=nrows, nnz=nnz), seg
+
+
 def output_arrays(handle: OutputHandle, seg: shared_memory.SharedMemory
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     indptr = np.frombuffer(seg.buf, dtype=INDEX_DTYPE,
@@ -347,3 +392,113 @@ class SegmentRegistry:
 
     def __len__(self) -> int:
         return len(self._segments)
+
+
+# --------------------------------------------------------------------- #
+# output-segment recycling
+# --------------------------------------------------------------------- #
+#: smallest pooled size class — one page; anything smaller rounds up
+_MIN_CLASS = 4096
+
+
+def _size_class(nbytes: int) -> int:
+    """Power-of-two size class ≥ ``max(nbytes, _MIN_CLASS)``."""
+    n = max(int(nbytes), _MIN_CLASS)
+    return 1 << (n - 1).bit_length()
+
+
+class SegmentPool:
+    """Size-classed free lists of output segments, refcount-recycled.
+
+    Warm sharded serving used to allocate (and immediately unlink) a fresh
+    shared segment per request even though consecutive products on the
+    same plan need identically-sized outputs. The pool keeps retired
+    segments alive instead: :func:`acquire_output` rounds each request up
+    to a power-of-two size class and pops a free segment when one fits;
+    :func:`adopt_arrays`' ``on_release`` refcount hands the segment back
+    here once the last result array viewing it is collected. Pooled
+    segments keep their *names* (workers attach by name on reuse), stay
+    tracked in the owning :class:`SegmentRegistry` (so ``close`` and the
+    leak checks still see them, and ``repro gc-shm`` hygiene is
+    unchanged — the creator pid in the name is live), and are bounded per
+    class and in total so a burst of large products cannot pin unbounded
+    shm.
+
+    Error/deadline paths must **not** release into the pool: an abandoned
+    scatter's workers may still be writing those pages, so the caller
+    unlinks the name outright and lets the mappings die (exactly the
+    pre-pool behaviour).
+    """
+
+    def __init__(self, registry: SegmentRegistry, *, max_per_class: int = 4,
+                 max_total: int = 16):
+        self.registry = registry
+        self.max_per_class = int(max_per_class)
+        self.max_total = int(max_total)
+        self._free: dict[int, list] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._held = 0
+        self.hits = 0
+        self.misses = 0
+        self.returned = 0
+        self.dropped = 0
+
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A segment of at least ``nbytes`` — recycled when the size class
+        has a free one, freshly created (and registry-tracked) otherwise."""
+        cls = _size_class(nbytes)
+        with self._lock:
+            free = self._free.get(cls)
+            if free:
+                seg = free.pop()
+                self._held -= 1
+                self.hits += 1
+                return seg
+            self.misses += 1
+        seg = _new_segment(cls)
+        self.registry.track(seg)
+        return seg
+
+    def release(self, seg: shared_memory.SharedMemory) -> bool:
+        """Return a segment to its free list; retires it instead (unlink via
+        the registry) when the pool is closed or at capacity. Returns
+        whether the segment was pooled for reuse."""
+        with self._lock:
+            if not self._closed and self._held < self.max_total:
+                free = self._free.setdefault(_size_class(seg.size), [])
+                if len(free) < self.max_per_class:
+                    free.append(seg)
+                    self._held += 1
+                    self.returned += 1
+                    return True
+            self.dropped += 1
+        if not self.registry.unlink(seg.name):
+            # registry already closed (it unlinked the name underneath this
+            # late release); just drop our mapping
+            _close_quietly(seg)
+        return False
+
+    @property
+    def stats(self) -> dict:
+        """Counters + current residency (drives the pool gauges)."""
+        with self._lock:
+            held_bytes = sum(cls * len(free)
+                             for cls, free in self._free.items())
+            return {"hits": self.hits, "misses": self.misses,
+                    "returned": self.returned, "dropped": self.dropped,
+                    "held": self._held, "held_bytes": held_bytes}
+
+    def close(self) -> None:
+        """Unlink every pooled segment and refuse further pooling (late
+        releases from still-alive results retire their segments directly).
+        Idempotent; call before the owning registry's ``close`` so the
+        free lists do not hide mappings from it (double unlink is safe
+        either way — the registry pops on unlink)."""
+        with self._lock:
+            self._closed = True
+            segs = [seg for free in self._free.values() for seg in free]
+            self._free.clear()
+            self._held = 0
+        for seg in segs:
+            self.registry.unlink(seg.name)

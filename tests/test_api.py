@@ -105,12 +105,21 @@ def test_auto_select_follows_density_heuristic(rng):
     sparse_mask = Mask.from_matrix(csr_random(n, n, density=1 / n, rng=rng))
     dense_mask = Mask.from_matrix(csr_random(n, n, density=100 / n, rng=rng))
     comparable = Mask.from_matrix(csr_random(n, n, density=16 / n, rng=rng))
+    from repro.native import native_available
+
+    # with a compiled backend present, auto routes the accumulator kernels
+    # to their bit-identical native variants (strict either way: the tier
+    # must engage exactly when the probe passes)
+    native = native_available()
     assert auto_select(A, B, sparse_mask) == "inner"
     assert auto_select(A, B, dense_mask) == "heap"
-    assert auto_select(A, B, comparable) == "msa"  # small n
+    assert auto_select(A, B, comparable) == (  # small n
+        "msa-native" if native else "msa")
     compl = Mask.from_matrix(csr_random(n, n, density=0.1, rng=rng),
                              complemented=True)
-    assert auto_select(A, B, compl) in ("msa", "hash")
+    expected_compl = (("msa-native", "hash-native") if native
+                      else ("msa", "hash"))
+    assert auto_select(A, B, compl) in expected_compl
 
 
 def test_auto_runs_end_to_end(rng):

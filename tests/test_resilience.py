@@ -446,16 +446,27 @@ def test_injected_worker_error_trips_and_half_opens_breaker(rng):
 
 
 def test_engine_kernel_fault_degrades_to_loop_tier(rng):
-    eng = Engine(faults=FaultPlan(["engine.kernel:error:1"]))
+    from repro.native import native_available
+
+    # the compiled tier (when present) adds a rung above fused: kill every
+    # rung so the request bottoms out on the loop
+    native = native_available()
+    nfaults = 2 if native else 1
+    algorithm = "msa-native" if native else "msa"
+    eng = Engine(faults=FaultPlan([f"engine.kernel:error:{nfaults}"]))
     A, B, M = make_triple(rng, m=30, k=25, n=30)
     eng.register("A", A)
     eng.register("B", B)
     eng.register("M", M)
     try:
-        resp = eng.submit(Request(a="A", b="B", mask="M", phases=2))
+        resp = eng.submit(Request(a="A", b="B", mask="M",
+                                  algorithm=algorithm, phases=2))
         _assert_identical(resp.result, _reference_result(A, B, M))
-        assert _families(eng)["repro_degraded_total"][
-            (("from", "inprocess"), ("to", "loop"))] == 1
+        assert resp.stats.kernel_tier == "loop"
+        fam = _families(eng)["repro_degraded_total"]
+        if native:
+            assert fam[(("from", "native"), ("to", "fused"))] == 1
+        assert fam[(("from", "inprocess"), ("to", "loop"))] == 1
     finally:
         eng.close()
 

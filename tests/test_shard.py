@@ -553,3 +553,127 @@ class TestServerFailureHardening:
         assert resp.result.nnz == masked_spgemm(
             A, A, Mask.from_matrix(M), algorithm="esc", phases=2).nnz
         assert engine.stats.requests == 1  # the crashed batch never executed
+
+
+# ---------------------------------------------------------------------- #
+# segment recycling (the pool behind coordinator outputs)
+# ---------------------------------------------------------------------- #
+class TestSegmentPool:
+    def test_size_classes(self):
+        from repro.shard.memory import _MIN_CLASS, _size_class
+
+        assert _size_class(1) == _MIN_CLASS
+        assert _size_class(_MIN_CLASS) == _MIN_CLASS
+        assert _size_class(_MIN_CLASS + 1) == _MIN_CLASS * 2
+        assert _size_class(5000) == 8192
+        assert _size_class(8192) == 8192
+
+    def test_acquire_release_recycles_within_class(self):
+        from repro.shard import SegmentPool
+        from repro.shard.memory import SegmentRegistry
+
+        registry = SegmentRegistry()
+        pool = SegmentPool(registry)
+        try:
+            seg = pool.acquire(5000)
+            name = seg.name
+            assert seg.size == 8192
+            assert pool.release(seg)
+            # any request that rounds to the same class reuses the mapping
+            again = pool.acquire(6000)
+            assert again.name == name
+            s = pool.stats
+            assert (s["hits"], s["misses"], s["returned"]) == (1, 1, 1)
+            assert s["held"] == 0
+            pool.release(again)
+            assert pool.stats["held"] == 1
+            assert pool.stats["held_bytes"] == 8192
+        finally:
+            pool.close()
+            registry.close()
+        assert not _shm_leftovers([name])
+
+    def test_caps_retire_overflow(self):
+        from repro.shard import SegmentPool
+        from repro.shard.memory import SegmentRegistry
+
+        registry = SegmentRegistry()
+        pool = SegmentPool(registry, max_per_class=1, max_total=2)
+        try:
+            a, b, c = (pool.acquire(100) for _ in range(3))
+            names = [a.name, b.name, c.name]
+            assert pool.release(a)          # pooled
+            assert not pool.release(b)      # same class → over per-class cap
+            assert not _shm_leftovers([b.name])  # retired immediately
+            big = pool.acquire(100_000)     # different class
+            assert pool.release(big)        # total 2: at max_total
+            assert not pool.release(c)      # over the global cap
+            assert pool.stats["dropped"] == 2
+        finally:
+            pool.close()
+            registry.close()
+        assert not _shm_leftovers(names + [big.name])
+
+    def test_late_release_after_close_leaks_nothing(self):
+        from repro.shard import SegmentPool
+        from repro.shard.memory import SegmentRegistry
+
+        registry = SegmentRegistry()
+        pool = SegmentPool(registry)
+        seg = pool.acquire(4096)
+        name = seg.name
+        pool.close()
+        registry.close()
+        # a still-alive result releasing after engine teardown must retire
+        # the segment, not pool it (and not crash on the closed registry)
+        assert not pool.release(seg)
+        assert not _shm_leftovers([name])
+
+    def test_adopt_arrays_refcount_releases_once(self):
+        from repro.shard import SegmentPool
+        from repro.shard.memory import (SegmentRegistry, _new_segment,
+                                        adopt_arrays)
+
+        registry = SegmentRegistry()
+        pool = SegmentPool(registry)
+        released = []
+        seg = _new_segment(4096)
+        registry.track(seg)
+        xs = np.ndarray(8, dtype=np.int64, buffer=seg.buf)
+        ys = np.ndarray(8, dtype=np.float64, buffer=seg.buf, offset=64)
+        adopt_arrays(seg, xs, ys, on_release=released.append)
+        view = xs[:4]  # a view keeps its base alive, not a new refcount
+        del xs
+        assert not released
+        del ys
+        assert not released  # the view still pins the first array
+        del view
+        assert released == [seg]
+        pool.close()
+        registry.close()
+
+    def test_engine_pool_reuse_and_gauges(self, rng):
+        eng = Engine(shards=2)
+        A, B, M = make_triple(rng, m=60, k=50, n=60)
+        eng.register("A", A)
+        eng.register("B", B)
+        eng.register("M", M)
+        try:
+            want = None
+            for _ in range(4):
+                resp = eng.submit(Request(a="A", b="B", mask="M",
+                                          algorithm="hash", phases=2))
+                assert resp.stats.sharded
+                if want is None:
+                    want = resp.result
+                else:
+                    _assert_identical(resp.result, want)
+            s = eng.shards.segment_pool.stats
+            assert s["hits"] >= 1  # warm requests recycle output segments
+            from repro.obs import parse_exposition
+
+            fam = parse_exposition(eng.metrics.render())
+            assert "repro_segment_pool_segments" in fam
+            assert "repro_segment_pool_bytes" in fam
+        finally:
+            eng.close()

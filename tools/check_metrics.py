@@ -38,6 +38,11 @@ REQUIRED_FAMILIES = (
     "repro_phase_seconds",
     "repro_request_seconds",
     "repro_chunk_seconds",
+    # native tier (PR 9): the compile gauge renders from engine init (0.0
+    # when the tier is unavailable); the per-tier kernel counter populates
+    # on the first executed numeric pass either way
+    "repro_native_compile_seconds",
+    "repro_kernel_requests_total",
     # resilience: the breaker gauge renders from engine init; the labeled
     # retry/degrade/deadline counters only appear after their first
     # increment, so the chaos smoke gate asserts those instead
