@@ -12,7 +12,11 @@ gating on warm-2P bounds the worst case.
 Protocol: one engine per mode (``tracing=True`` / ``tracing=False``), same
 repeated-mask TC workload (hash-2P on a suite R-MAT graph), one cold submit
 to populate the plan cache, then the mean per-request latency over a long
-warm stream, best-of-repeats. Gate: tracing-on adds **< 3%**.
+warm stream, best-of-repeats. The tracing-on engine carries the full v2
+diagnosis stack (ISSUE 10): a declared SLO (so every request-latency
+observation also maintains exemplar slots the evaluator reads) on top of
+the always-attached flight recorder's per-request ring note, which both
+modes pay. Gate: tracing-on adds **< 3%**.
 
 ``main()`` appends a run to ``BENCH_service.json`` at the repo root (bench
 tag ``obs_overhead``) — the perf-trajectory artifact documented in
@@ -27,6 +31,7 @@ from pathlib import Path
 from common import append_trajectory_run, emit, tc_workload
 from repro.bench import render_table
 from repro.graphs import load_graph
+from repro.obs import parse_slo
 from repro.service import Engine, Request
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -39,7 +44,11 @@ WARM_REQUESTS, REPEATS = 300, 3
 
 
 def _engine(L, mask, *, tracing: bool) -> Engine:
-    eng = Engine(tracing=tracing)  # result cache off: warm = plan-hit numeric
+    # result cache off: warm = plan-hit numeric. Tracing-on carries the
+    # declared SLO so the run prices the whole diagnosis stack (exemplar
+    # slots, flight-recorder ring notes, chunk-observer sink).
+    slos = [parse_slo("p99=50ms:0.99")] if tracing else None
+    eng = Engine(tracing=tracing, slos=slos)
     eng.register("L", L)
     eng.register("M", mask)
     return eng

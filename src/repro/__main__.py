@@ -14,7 +14,10 @@ Examples
     python -m repro serve --smoke        # CI smoke: warm serving + restart
     python -m repro serve workload.json --metrics-port 9100  # live /metrics
     python -m repro serve --smoke --chaos --shards 2  # CI chaos: inject kills
+    python -m repro serve --smoke --slo p99=50ms:0.99  # burn-rate SLO gate
     python -m repro trace workload.json -o trace.json  # offline flame trace
+    python -m repro bundle --smoke --chaos -o bundle.json  # debug bundle
+    python -m repro profile workload.json -o prof.txt  # collapsed stacks
     python -m repro gc-shm               # unlink orphaned repro_* segments
     python -m repro suite                # list the built-in input suite
     python -m repro info                 # algorithms and semirings
@@ -291,9 +294,22 @@ def cmd_serve(args) -> int:
         faults = FaultPlan.from_env() or FaultPlan.parse(_CHAOS_DEFAULT)
         print(f"chaos: injecting {faults!r}")
 
+    slos = None
+    if getattr(args, "slo", None):
+        from .obs import parse_slo
+
+        try:
+            slos = [parse_slo(s) for s in args.slo]
+        except ValueError as e:
+            raise SystemExit(f"bad --slo spec: {e}")
+        print("slo: " + ", ".join(
+            f"{o.name} ({o.kind}, target {o.target:g}"
+            + (f", ≤ {o.threshold * 1e3:g} ms" if o.kind == "latency" else "")
+            + ")" for o in slos))
+
     engine = Engine(result_cache_bytes=(int(args.result_cache_mb * 2**20)
                                         if args.result_cache_mb else None),
-                    shards=(args.shards or None), faults=faults)
+                    shards=(args.shards or None), faults=faults, slos=slos)
     if args.shards and engine.shard_degraded:
         print(f"shards: --shards {args.shards} requested but shared memory "
               f"is unavailable; serving in-process instead")
@@ -303,9 +319,10 @@ def cmd_serve(args) -> int:
 
         obs = ObsHTTPServer(engine.metrics, engine.tracer,
                             port=args.metrics_port,
-                            ready=engine.ready).start()
-        print(f"observability: {obs.url}/metrics  "
-              f"{obs.url}/trace/<request_id>.json")
+                            ready=engine.ready, slo=engine.slo,
+                            flight=engine.flight).start()
+        print(f"observability: {obs.url}/metrics  {obs.url}/slo  "
+              f"{obs.url}/trace/<request_id>.json  {obs.url}/debug/bundles")
     try:
         if args.plans:
             try:
@@ -371,6 +388,12 @@ def _check_smoke(engine, server, responses, args, obs=None,
     ok_obs = True
     if obs is not None:
         ok_obs = _check_metrics_smoke(obs, responses, executed)
+    ok_slo = True
+    if getattr(args, "slo", None):
+        ok_slo = _check_slo_smoke(engine, obs)
+    ok_bundle = True
+    if getattr(args, "chaos", False):
+        ok_bundle = _check_bundle_smoke(engine, obs)
     if engine.shards is not None:
         print(f"smoke shards: {engine.stats.sharded}/{executed} executed "
               f"requests ran on the {engine.shards.nshards}-worker pool")
@@ -420,7 +443,8 @@ def _check_smoke(engine, server, responses, args, obs=None,
     ok4 = True
     if getattr(args, "chaos", False):
         ok4 = _check_chaos_smoke(engine, responses, failures)
-    return 0 if ok and ok2 and ok3 and ok4 and ok_obs else 1
+    return (0 if ok and ok2 and ok3 and ok4 and ok_obs and ok_slo
+            and ok_bundle else 1)
 
 
 def _check_chaos_smoke(engine, responses, failures) -> bool:
@@ -505,6 +529,84 @@ def _check_metrics_smoke(obs, responses, executed: int) -> bool:
     return ok_obs
 
 
+def _check_slo_smoke(engine, obs) -> bool:
+    """SLO gate (``--smoke --slo ...``): every configured objective must
+    evaluate, at least one must be *alerting* on both burn-rate windows
+    (pick a threshold the smoke stream breaches — the CI leg uses
+    ``p99=100us:0.99``), and each alerting latency objective must surface
+    ≥ 1 exemplar whose trace id resolves to a retained trace (over real
+    HTTP when ``--metrics-port`` is live)."""
+    import json
+    import urllib.request
+
+    if engine.slo is None:
+        print("smoke slo: FAIL (no evaluator attached)")
+        return False
+    if obs is not None:
+        with urllib.request.urlopen(f"{obs.url}/slo", timeout=10) as resp:
+            payload = json.loads(resp.read().decode())["slos"]
+    else:
+        payload = engine.slo.evaluate(force=True)
+    alerting = [o for o in payload if o["alerting"]]
+    ok_alert = bool(alerting)
+    need_exemplar = [o for o in alerting if o["kind"] == "latency"]
+    resolved = 0
+    for o in need_exemplar:
+        for ex in o.get("exemplars", []):
+            if obs is not None:
+                try:
+                    url = f"{obs.url}/trace/{ex['trace_id']}.json"
+                    with urllib.request.urlopen(url, timeout=10) as resp:
+                        doc = json.loads(resp.read().decode())
+                    hit = bool(doc.get("traceEvents"))
+                except urllib.error.HTTPError:
+                    hit = False
+            else:
+                hit = engine.tracer.get(ex["trace_id"]) is not None
+            if hit:
+                resolved += 1
+                break
+    ok_exemplar = resolved == len(need_exemplar)
+    burns = ", ".join(
+        f"{o['slo']}: fast={o['windows']['fast']['burn_rate']:.1f}x "
+        f"slow={o['windows']['slow']['burn_rate']:.1f}x"
+        f"{' ALERT' if o['alerting'] else ''}" for o in payload)
+    ok_slo = ok_alert and ok_exemplar
+    print(f"smoke slo: {burns}; {resolved}/{len(need_exemplar)} alerting "
+          f"objectives with a resolvable exemplar trace → "
+          f"{'PASS' if ok_slo else 'FAIL'}")
+    return ok_slo
+
+
+def _check_bundle_smoke(engine, obs) -> bool:
+    """Flight-recorder gate (``--smoke --chaos``): the injected fault's
+    degrade must have captured a debug bundle, downloadable (over real HTTP
+    when the sidecar is live) with the trace, metrics snapshot, and live
+    context intact."""
+    import json
+    import urllib.request
+
+    flight = engine.flight
+    ids = flight.bundle_ids() if flight is not None else []
+    degrade = [i for i in ids if "degrade" in i]
+    ok = bool(degrade)
+    if ok:
+        bid = degrade[-1]
+        if obs is not None:
+            with urllib.request.urlopen(f"{obs.url}/debug/bundle/{bid}",
+                                        timeout=10) as resp:
+                doc = json.loads(resp.read().decode())
+        else:
+            doc = flight.bundle(bid)
+        ok = (doc is not None and doc.get("reason") == "degrade"
+              and bool(doc.get("metrics")) and "context" in doc)
+    print(f"smoke flightrec: {len(ids)} bundle(s) "
+          f"({', '.join(ids) if ids else 'none'}); degrade bundle "
+          f"{'downloaded and parsed' if ok else 'MISSING'} → "
+          f"{'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def cmd_trace(args) -> int:
     """Offline capture: serve a workload once and write one request's trace
     as Chrome-trace JSON (open in Perfetto or ``chrome://tracing``)."""
@@ -549,6 +651,117 @@ def cmd_trace(args) -> int:
         print(f"wrote {args.output}: request {rec.trace_id} "
               f"({len(rec.spans)} spans across {len(pids)} processes) — "
               f"open in Perfetto or chrome://tracing")
+        for tag, exc in failures[:5]:
+            print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
+        return 1 if failures else 0
+    finally:
+        engine.close()
+
+
+def cmd_bundle(args) -> int:
+    """Offline flight-recorder capture: serve a workload once, force a
+    manual debug bundle (trace + metrics snapshot + request ring + live
+    engine context), and copy it to ``--output`` for attachment to a bug
+    report. Any bundles captured *during* the run (resilience edges under
+    ``--chaos`` / ``$REPRO_FAULTS``) are listed too."""
+    import json
+    import shutil
+
+    from .service import Engine, load_workload
+
+    if args.smoke:
+        spec = _SMOKE_SPEC
+    elif args.workload:
+        try:
+            spec = load_workload(args.workload)
+        except FileNotFoundError:
+            raise SystemExit(f"workload file not found: {args.workload}")
+        except (json.JSONDecodeError, ValueError) as e:
+            raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    else:
+        raise SystemExit("provide a workload.json or --smoke")
+
+    faults = None
+    if getattr(args, "chaos", False):
+        from .resilience import FaultPlan
+
+        if not args.shards:
+            args.shards = 2
+        faults = FaultPlan.from_env() or FaultPlan.parse(_CHAOS_DEFAULT)
+        print(f"chaos: injecting {faults!r}")
+
+    engine = Engine(shards=(args.shards or None), faults=faults)
+    try:
+        responses, failures, _, _ = _serve_once(spec, args, engine=engine)
+        edge_ids = engine.flight.bundle_ids()
+        bid = engine.flight.capture(
+            "manual", detail=f"repro bundle ({len(responses)} responses, "
+                             f"{len(failures)} failures)", force=True)
+        if bid is None:
+            raise SystemExit("bundle capture failed (spool unwritable?)")
+        shutil.copyfile(engine.flight.bundle_path(bid), args.output)
+        doc = engine.flight.bundle(bid)
+        print(f"wrote {args.output}: bundle {bid} "
+              f"({len(doc.get('ring', []))} ring entries, "
+              f"{len(doc.get('metrics', ''))} metric bytes)")
+        for eid in edge_ids:
+            edge = engine.flight.bundle(eid) or {}
+            print(f"  also captured during run: {eid} "
+                  f"({edge.get('detail', '')})")
+        return 1 if failures else 0
+    finally:
+        engine.close()
+
+
+def cmd_profile(args) -> int:
+    """Run a workload under the sampling profiler and write collapsed
+    stacks (``stack;frames count`` lines). Feed the output to
+    ``flamegraph.pl`` or drag it into https://speedscope.app (Import →
+    collapsed stacks). By default samples are kept only while a numeric or
+    cold-symbolic span is open, so the profile answers "where does kernel
+    time go" rather than "where does the interpreter idle"."""
+    import json
+
+    from .obs import SamplingProfiler
+    from .service import Engine, load_workload
+
+    if args.smoke:
+        spec = _SMOKE_SPEC
+    elif args.workload:
+        try:
+            spec = load_workload(args.workload)
+        except FileNotFoundError:
+            raise SystemExit(f"workload file not found: {args.workload}")
+        except (json.JSONDecodeError, ValueError) as e:
+            raise SystemExit(f"bad workload spec {args.workload}: {e}")
+    else:
+        raise SystemExit("provide a workload.json or --smoke")
+
+    spans = None
+    if args.spans != "all":
+        spans = [s.strip() for s in args.spans.split(",") if s.strip()]
+        if not spans:
+            raise SystemExit("--spans needs span names or 'all'")
+
+    engine = Engine(shards=(args.shards or None))
+    try:
+        prof = SamplingProfiler(interval=args.interval, spans=spans)
+        with prof:
+            responses, failures, _, seconds = _serve_once(spec, args,
+                                                          engine=engine)
+        text = prof.collapsed()
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        nstacks = len(text.splitlines())
+        scope = "all threads" if spans is None else f"spans {spans}"
+        print(f"wrote {args.output}: {nstacks} distinct stacks from "
+              f"{prof.samples} wake-ups over {seconds * 1e3:.0f} ms "
+              f"({scope}, interval {args.interval * 1e3:g} ms) — "
+              f"flamegraph.pl or speedscope.app can render it")
+        if not nstacks:
+            print("note: no samples landed inside the selected spans — "
+                  "try a larger workload, a smaller --interval, or "
+                  "--spans all")
         for tag, exc in failures[:5]:
             print(f"FAILED request {tag!r}: {type(exc).__name__}: {exc}")
         return 1 if failures else 0
@@ -700,6 +913,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "shard worker on the first numeric scatter and its "
                          "retry); with --smoke the gate asserts completion, "
                          "bit-identical degraded results, and shm hygiene")
+    sv.add_argument("--slo", action="append", metavar="SPEC",
+                    help="declare a service objective, e.g. p99=50ms:0.99 "
+                         "(99%% of requests under 50 ms) or "
+                         "availability=0.999; "
+                         "repeatable. Burn rates are served at /slo and "
+                         "exported as repro_slo_*; with --smoke the gate "
+                         "requires an alerting objective with a resolvable "
+                         "exemplar trace (use a breaching threshold such as "
+                         "p99=100us:0.99)")
     sv.set_defaults(fn=cmd_serve)
 
     tr = sub.add_parser(
@@ -714,6 +936,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="which traced request to export (0 = the stream's "
                          "first/cold request; negative indexes from the end)")
     tr.set_defaults(fn=cmd_trace)
+
+    bu = sub.add_parser(
+        "bundle",
+        help="serve a workload once and capture a flight-recorder debug "
+             "bundle (trace + metrics + request ring + engine context) "
+             "for attachment to a bug report")
+    _add_pool_flags(bu)
+    bu.add_argument("--output", "-o", default="bundle.json",
+                    help="output path for the bundle JSON "
+                         "(default bundle.json)")
+    bu.add_argument("--chaos", action="store_true",
+                    help="inject faults from $REPRO_FAULTS (default: "
+                         f"{_CHAOS_DEFAULT}) so resilience-edge bundles "
+                         "are captured during the run too")
+    bu.set_defaults(fn=cmd_bundle)
+
+    pr = sub.add_parser(
+        "profile",
+        help="run a workload under the sampling profiler and write "
+             "collapsed stacks (flamegraph.pl / speedscope.app)")
+    _add_pool_flags(pr)
+    pr.add_argument("--output", "-o", default="profile.txt",
+                    help="output path for collapsed stacks "
+                         "(default profile.txt)")
+    pr.add_argument("--interval", type=float, default=0.001,
+                    help="sampling interval in seconds (default 0.001)")
+    pr.add_argument("--spans", default="numeric,symbolic.cold",
+                    help="comma-separated span names to scope samples to, "
+                         "or 'all' for whole-process profiling (default "
+                         "numeric,symbolic.cold: kernel time only)")
+    pr.set_defaults(fn=cmd_profile)
 
     gc = sub.add_parser(
         "gc-shm",

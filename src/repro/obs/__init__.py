@@ -1,25 +1,43 @@
-"""repro.obs — phase-level tracing and metrics for the serving stack.
+"""repro.obs — tracing, metrics, and diagnosis for the serving stack.
 
-Three pieces, all stdlib-only:
+Six pieces, all stdlib-only:
 
 * :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
-  in a :class:`MetricsRegistry` with Prometheus text exposition;
+  in a :class:`MetricsRegistry` with Prometheus text exposition and
+  OpenMetrics trace exemplars on histogram buckets;
 * :mod:`repro.obs.trace` — context-var :func:`span` tracer with a bounded
   per-request ring (:class:`Tracer`) and Chrome ``traceEvents`` export;
+* :mod:`repro.obs.slo` — declarative latency/availability objectives
+  evaluated with multi-window burn rates (:class:`SLOEvaluator`),
+  exported as ``repro_slo_*`` families and the ``/slo`` endpoint;
+* :mod:`repro.obs.flightrec` — :class:`FlightRecorder`: per-request ring
+  + spooled debug bundles captured when a resilience edge fires;
+* :mod:`repro.obs.profile` — :class:`SamplingProfiler`, a wall-clock
+  stack sampler (collapsed-stack export) scoped to spans on demand;
 * :mod:`repro.obs.http` — :class:`ObsHTTPServer`, the ``/metrics`` +
-  ``/trace/<id>.json`` sidecar behind ``repro serve --metrics-port``.
+  ``/slo`` + ``/trace/<id>.json`` + ``/debug/bundle/<id>`` +
+  ``/profile`` sidecar behind ``repro serve --metrics-port``.
 
-See ``docs/OBSERVABILITY.md`` for the metric catalog and span taxonomy.
+See ``docs/OBSERVABILITY.md`` for the metric catalog, span taxonomy, and
+the diagnosis workflow.
 """
 
 from .metrics import (CHUNK_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
-                      Histogram, MetricsRegistry, parse_exposition)
+                      Histogram, MetricsRegistry, chunk_observer,
+                      current_chunk_observer, parse_exposition)
 from .trace import Span, TraceRecord, Tracer, capture, current_record, span
+from .slo import SLObjective, SLOEvaluator, parse_slo
+from .flightrec import FlightRecorder
+from .profile import SamplingProfiler, sample_for
 from .http import ObsHTTPServer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "parse_exposition",
+    "chunk_observer", "current_chunk_observer",
     "LATENCY_BUCKETS", "CHUNK_BUCKETS",
     "Span", "TraceRecord", "Tracer", "capture", "current_record", "span",
+    "SLObjective", "SLOEvaluator", "parse_slo",
+    "FlightRecorder",
+    "SamplingProfiler", "sample_for",
     "ObsHTTPServer",
 ]

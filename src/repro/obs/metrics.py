@@ -23,6 +23,19 @@ and ``tools/check_metrics.py`` to validate that output strictly — names,
 label syntax, bucket monotonicity — without pulling in a real Prometheus
 parser.
 
+Histograms additionally carry **trace exemplars**: when an observation is
+made inside an active trace (:func:`repro.obs.trace.current_record`), the
+trace id is retained against the bucket the observation landed in —
+bounded (one exemplar per bucket per label set), latest-wins — and emitted
+in OpenMetrics exemplar syntax (``... 42 # {trace_id="r000007"} 0.0031
+<unix ts>``) so a latency bucket on ``/metrics`` names a concrete retained
+trace to open in Perfetto. ``/slo`` surfaces the same exemplars for the
+buckets that breach an objective (:mod:`repro.obs.slo`).
+
+:func:`chunk_observer` is the context hook the engine uses to record
+per-chunk kernel timings (``repro_chunk_seconds``) directly at the runner
+call sites, so those families populate even with tracing disabled.
+
 Registries are cheap; the engine and server each bind one (usually shared)
 rather than mutating process-global state, so tests that build dozens of
 engines in one process never cross-contaminate.
@@ -30,10 +43,16 @@ engines in one process never cross-contaminate.
 
 from __future__ import annotations
 
+import bisect
+import contextvars
 import math
 import re
 import threading
-from typing import Callable, Iterable, Mapping
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .trace import current_record
 
 __all__ = [
     "Counter",
@@ -43,6 +62,8 @@ __all__ = [
     "LATENCY_BUCKETS",
     "CHUNK_BUCKETS",
     "parse_exposition",
+    "chunk_observer",
+    "current_chunk_observer",
 ]
 
 #: request/phase latency buckets (seconds) — spans ~0.1 ms to 10 s, the
@@ -90,6 +111,16 @@ def _labelstr(names: tuple[str, ...], values: tuple[str, ...],
         return ""
     inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
     return "{" + inner + "}"
+
+
+def _fmt_exemplar(slot: tuple | None) -> str:
+    """OpenMetrics exemplar suffix for a ``_bucket`` sample line:
+    `` # {trace_id="r000007"} 0.0031 1700000000.123`` (empty when the
+    bucket has never retained one)."""
+    if slot is None:
+        return ""
+    trace_id, value, ts = slot
+    return f' # {{trace_id="{_escape(trace_id)}"}} {_fmt(value)} {ts:.3f}'
 
 
 class _Metric:
@@ -195,20 +226,34 @@ class Histogram(_Metric):
         self.buckets = bs
 
     def observe(self, value: float, **labelvalues: object) -> None:
+        rec = current_record()
+        self.observe_traced(value, rec.trace_id if rec is not None else None,
+                            **labelvalues)
+
+    def observe_traced(self, value: float, trace_id: str | None,
+                       **labelvalues: object) -> None:
+        """Observe with an explicit exemplar trace id (or ``None``). Call
+        sites that run outside the trace context — executor pool threads,
+        the coordinator's chunk-timing feed — pass the id they captured on
+        the submitting thread; :meth:`observe` resolves it implicitly."""
         key = self._key(labelvalues)
+        # bucket index the observation lands in; len(buckets) means +Inf
+        idx = bisect.bisect_left(self.buckets, float(value))
         with self._lock:
             state = self._samples.get(key)
             if state is None:
-                state = [0.0, 0, [0] * len(self.buckets)]  # sum, count, per-bucket
+                # sum, count, per-bucket (non-cumulative; cumulated on
+                # render), one exemplar slot per bucket + one for +Inf
+                state = [0.0, 0, [0] * len(self.buckets),
+                         [None] * (len(self.buckets) + 1)]
                 self._samples[key] = state
             state[0] += float(value)
             state[1] += 1
-            # non-cumulative per-bucket counts internally; cumulated on render
-            for i, ub in enumerate(self.buckets):
-                if value <= ub:
-                    state[2][i] += 1
-                    break
+            if idx < len(self.buckets):
+                state[2][idx] += 1
             # values above the top bucket only land in +Inf (the count)
+            if trace_id:
+                state[3][idx] = (str(trace_id), float(value), time.time())
 
     def count(self, **labelvalues: object) -> int:
         with self._lock:
@@ -241,22 +286,62 @@ class Histogram(_Metric):
             out.append(int(state[1]))
             return out
 
+    # -- objective/exemplar views (repro.obs.slo) ----------------------- #
+    def le_bound(self, value: float) -> float:
+        """The bucket bound a ≤-threshold snaps to: the smallest bound
+        ≥ ``value``, or ``+Inf`` when ``value`` exceeds the top bucket."""
+        idx = bisect.bisect_left(self.buckets, float(value))
+        return self.buckets[idx] if idx < len(self.buckets) else math.inf
+
+    def count_le(self, value: float) -> int:
+        """Observations ≤ :meth:`le_bound`, summed across every label set
+        (the "good event" count for a latency objective)."""
+        idx = bisect.bisect_left(self.buckets, float(value))
+        with self._lock:
+            if idx >= len(self.buckets):
+                return int(sum(s[1] for s in self._samples.values()))
+            return int(sum(sum(s[2][:idx + 1])
+                           for s in self._samples.values()))
+
+    def exemplars(self, **labelvalues: object) -> dict[float, tuple]:
+        """Retained exemplars for one label set, keyed by bucket bound
+        (``math.inf`` for +Inf): ``{bound: (trace_id, value, unix_ts)}``."""
+        with self._lock:
+            state = self._samples.get(self._key(labelvalues))
+            slots = list(state[3]) if state is not None else []
+        bounds = (*self.buckets, math.inf)
+        return {bounds[i]: ex for i, ex in enumerate(slots)
+                if ex is not None}
+
+    def exemplars_above(self, value: float) -> list[tuple]:
+        """Exemplars from buckets strictly above :meth:`le_bound` — the
+        observations that *violated* a ≤-``value`` objective — across all
+        label sets, newest first."""
+        idx = bisect.bisect_left(self.buckets, float(value))
+        out: list[tuple] = []
+        with self._lock:
+            for state in self._samples.values():
+                out.extend(ex for ex in state[3][idx + 1:] if ex is not None)
+        out.sort(key=lambda ex: ex[2], reverse=True)
+        return out
+
     def collect(self) -> list[str]:
         with self._lock:
-            items = sorted((k, (s[0], s[1], list(s[2])))
+            items = sorted((k, (s[0], s[1], list(s[2]), list(s[3])))
                            for k, s in self._samples.items())
         lines: list[str] = []
-        for key, (total, count, per_bucket) in items:
+        for key, (total, count, per_bucket, slots) in items:
             acc = 0
-            for ub, c in zip(self.buckets, per_bucket):
+            for i, (ub, c) in enumerate(zip(self.buckets, per_bucket)):
                 acc += c
                 lines.append(
                     f"{self.name}_bucket"
                     f"{_labelstr(self.labels, key, (('le', _fmt(ub)),))}"
-                    f" {acc}")
+                    f" {acc}{_fmt_exemplar(slots[i])}")
             lines.append(
                 f"{self.name}_bucket"
-                f"{_labelstr(self.labels, key, (('le', '+Inf'),))} {count}")
+                f"{_labelstr(self.labels, key, (('le', '+Inf'),))} {count}"
+                f"{_fmt_exemplar(slots[-1])}")
             lines.append(
                 f"{self.name}_sum{_labelstr(self.labels, key)} {_fmt(total)}")
             lines.append(
@@ -332,21 +417,34 @@ class MetricsRegistry:
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[^\s]+)\s*$")
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+#\s+\{(?P<exlabels>[^}]*)\}"
+    r"\s+(?P<exvalue>[^\s]+)(?:\s+(?P<exts>[^\s]+))?)?"
+    r"\s*$")
 _LABELPAIR_RE = re.compile(
     r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"$')
 
 
-def parse_exposition(text: str) -> dict[str, dict[tuple, float]]:
+def parse_exposition(
+        text: str, *, return_exemplars: bool = False,
+) -> dict[str, dict[tuple, float]] | tuple[dict, dict]:
     """Strictly parse Prometheus text exposition into
     ``{name: {(label pairs sorted): value}}``.
 
     Raises ``ValueError`` on any malformed line, unknown TYPE, sample for a
     name with no preceding TYPE, or a histogram whose cumulative bucket
     counts decrease — strict enough that passing it is meaningful in CI.
+
+    OpenMetrics exemplar suffixes (`` # {trace_id="..."} value [ts]``) are
+    accepted on histogram ``_bucket`` samples only, and validated: the
+    exemplar labelset must parse, its value and optional timestamp must be
+    floats. With ``return_exemplars=True`` the result is a pair
+    ``(samples, exemplars)`` where exemplars maps
+    ``{name: {(label pairs sorted): ((exemplar pairs sorted), value, ts)}}``.
     """
     types: dict[str, str] = {}
     samples: dict[str, dict[tuple, float]] = {}
+    exemplars: dict[str, dict[tuple, tuple]] = {}
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -369,23 +467,45 @@ def parse_exposition(text: str) -> dict[str, dict[tuple, float]]:
         base = re.sub(r"_(bucket|sum|count)$", "", name)
         if name not in types and base not in types:
             raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
-        labels = []
-        if rawlabels:
-            for pair in _split_labelpairs(rawlabels, lineno):
-                pm = _LABELPAIR_RE.match(pair)
-                if not pm:
-                    raise ValueError(
-                        f"line {lineno}: bad label pair {pair!r}")
-                labels.append((pm.group("k"), pm.group("v")))
+        labels = _parse_labelpairs(rawlabels, lineno)
         try:
             value = float(rawvalue.replace("+Inf", "inf")
                           .replace("-Inf", "-inf"))
         except ValueError:
             raise ValueError(
                 f"line {lineno}: bad sample value {rawvalue!r}") from None
-        samples.setdefault(name, {})[tuple(sorted(labels))] = value
+        key = tuple(sorted(labels))
+        samples.setdefault(name, {})[key] = value
+        if m.group("exlabels") is not None:
+            if not (name.endswith("_bucket")
+                    and types.get(base) == "histogram"):
+                raise ValueError(
+                    f"line {lineno}: exemplar on non-bucket sample {name!r}")
+            expairs = _parse_labelpairs(m.group("exlabels"), lineno)
+            try:
+                exvalue = float(m.group("exvalue"))
+                exts = (float(m.group("exts"))
+                        if m.group("exts") is not None else None)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad exemplar value/timestamp: "
+                    f"{line!r}") from None
+            exemplars.setdefault(name, {})[key] = (
+                tuple(sorted(expairs)), exvalue, exts)
     _check_bucket_monotonicity(types, samples)
-    return samples
+    return (samples, exemplars) if return_exemplars else samples
+
+
+def _parse_labelpairs(rawlabels: str | None,
+                      lineno: int) -> list[tuple[str, str]]:
+    labels: list[tuple[str, str]] = []
+    if rawlabels:
+        for pair in _split_labelpairs(rawlabels, lineno):
+            pm = _LABELPAIR_RE.match(pair)
+            if not pm:
+                raise ValueError(f"line {lineno}: bad label pair {pair!r}")
+            labels.append((pm.group("k"), pm.group("v")))
+    return labels
 
 
 def _split_labelpairs(raw: str, lineno: int) -> list[str]:
@@ -411,6 +531,33 @@ def _split_labelpairs(raw: str, lineno: int) -> list[str]:
     if buf:
         pairs.append("".join(buf))
     return pairs
+
+
+# --------------------------------------------------------------------- #
+# chunk-timing observer (call-site recording for repro_chunk_seconds)
+# --------------------------------------------------------------------- #
+_CHUNK_OBSERVER: contextvars.ContextVar[Callable | None] = \
+    contextvars.ContextVar("repro_chunk_observer", default=None)
+
+
+def current_chunk_observer() -> Callable | None:
+    """The chunk-timing sink installed by the engine for the current
+    request: ``fn(seconds, kernel, phase)``. Like the trace record, pool
+    threads do not inherit it — runner call sites capture it on the
+    submitting thread before fanning out."""
+    return _CHUNK_OBSERVER.get()
+
+
+@contextmanager
+def chunk_observer(fn: Callable | None) -> Iterator[None]:
+    """Install ``fn`` as the chunk-timing sink for the calling context.
+    The engine wraps each request in this so ``repro_chunk_seconds`` is
+    recorded where the chunk runs, tracing on or off."""
+    token = _CHUNK_OBSERVER.set(fn)
+    try:
+        yield
+    finally:
+        _CHUNK_OBSERVER.reset(token)
 
 
 def _check_bucket_monotonicity(types: dict[str, str],

@@ -137,6 +137,19 @@ class TraceRecord:
         with self._lock:
             return [sp.as_dict() for sp in self.spans]
 
+    def t_start(self) -> float | None:
+        """Earliest span start (perf_counter axis), ``None`` if span-less."""
+        with self._lock:
+            return min((sp.t0 for sp in self.spans), default=None)
+
+    def duration(self) -> float:
+        """Wall seconds from the earliest span start to the latest end."""
+        with self._lock:
+            if not self.spans:
+                return 0.0
+            return max(0.0, (max(sp.t1 for sp in self.spans)
+                             - min(sp.t0 for sp in self.spans)))
+
     def find(self, name: str) -> list[Span]:
         with self._lock:
             return [sp for sp in self.spans if sp.name == name]
@@ -191,6 +204,58 @@ def current_record() -> TraceRecord | None:
     return ctx.record if ctx is not None else None
 
 
+# --------------------------------------------------------------------- #
+# open-span table for the sampling profiler (repro.obs.profile)
+#
+# ``None`` whenever no profiler is attached, so the per-span cost in normal
+# operation is one global load and a None check. While a span-scoped
+# profiler runs, the table maps thread ident -> stack of open span names;
+# the sampler thread snapshots it to decide which threads' stacks to
+# attribute (and to which span).
+# --------------------------------------------------------------------- #
+_OPEN_SPANS: dict[int, list[str]] | None = None
+_OPEN_SPANS_LOCK = threading.Lock()
+
+
+def _profile_attach() -> None:
+    global _OPEN_SPANS
+    with _OPEN_SPANS_LOCK:
+        _OPEN_SPANS = {}
+
+
+def _profile_detach() -> None:
+    global _OPEN_SPANS
+    with _OPEN_SPANS_LOCK:
+        _OPEN_SPANS = None
+
+
+def _profile_snapshot() -> dict[int, tuple[str, ...]]:
+    with _OPEN_SPANS_LOCK:
+        table = _OPEN_SPANS
+        return ({tid: tuple(names) for tid, names in table.items()}
+                if table is not None else {})
+
+
+def _profile_push(name: str) -> None:
+    table = _OPEN_SPANS
+    if table is None:
+        return
+    with _OPEN_SPANS_LOCK:
+        if _OPEN_SPANS is not None:
+            _OPEN_SPANS.setdefault(threading.get_ident(), []).append(name)
+
+
+def _profile_pop() -> None:
+    table = _OPEN_SPANS
+    if table is None:
+        return
+    with _OPEN_SPANS_LOCK:
+        if _OPEN_SPANS is not None:
+            stack = _OPEN_SPANS.get(threading.get_ident())
+            if stack:
+                stack.pop()
+
+
 @contextmanager
 def span(name: str, **attrs: Any) -> Iterator[Span | None]:
     """Record a nested interval in the active trace; no-op outside one."""
@@ -204,6 +269,11 @@ def span(name: str, **attrs: Any) -> Iterator[Span | None]:
         yield None
         return
     token = _CURRENT.set(_Ctx(ctx.record, sp.span_id))
+    if _OPEN_SPANS is not None:
+        _profile_push(name)
+        popped = True
+    else:
+        popped = False
     try:
         yield sp
     except BaseException as exc:
@@ -212,6 +282,8 @@ def span(name: str, **attrs: Any) -> Iterator[Span | None]:
     finally:
         sp.t1 = time.perf_counter()
         _CURRENT.reset(token)
+        if popped:
+            _profile_pop()
 
 
 @contextmanager
@@ -269,6 +341,31 @@ class Tracer:
     def ids(self) -> list[str]:
         with self._lock:
             return list(self._records)
+
+    def summaries(self) -> list[dict[str, Any]]:
+        """One scannable dict per retained record, in retention order:
+        trace id, duration, start offset (seconds after the oldest retained
+        record began), and whatever outcome attrs the engine stamped
+        (``tier``, ``outcome``, ``kernel_tier``, ...) — the ``/traces``
+        listing, readable without fetching every flame view."""
+        with self._lock:
+            records = list(self._records.values())
+        starts = [rec.t_start() for rec in records]
+        origin = min((t for t in starts if t is not None), default=0.0)
+        out = []
+        for rec, t0 in zip(records, starts):
+            entry: dict[str, Any] = {
+                "id": rec.trace_id,
+                "seconds": round(rec.duration(), 6),
+                "start_offset": (round(t0 - origin, 6)
+                                 if t0 is not None else None),
+                "spans": len(rec.spans),
+            }
+            for k in ("tier", "kernel_tier", "outcome", "tag", "algorithm"):
+                if k in rec.attrs:
+                    entry[k] = rec.attrs[k]
+            out.append(entry)
+        return out
 
     def export(self, trace_id: str) -> dict[str, Any] | None:
         rec = self.get(trace_id)

@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import AlgorithmError
+from ..obs.metrics import current_chunk_observer
 from ..obs.trace import current_record
 from ..mask import Mask
 from ..semiring import PLUS_TIMES, Semiring
@@ -106,20 +107,29 @@ def direct_write_numeric(spec, A, B, mask, semiring, chunks, row_sizes,
     cols = np.empty(nnz, dtype=INDEX_DTYPE)
     vals = np.empty(nnz, dtype=np.float64)
     into = spec.numeric_into
-    # the active trace record is captured *here*, on the submitting thread:
-    # contextvars do not propagate into thread-pool workers, so chunk
-    # closures carry the record explicitly (None → zero-cost path)
+    # the active trace record and chunk-metric sink are captured *here*, on
+    # the submitting thread: contextvars do not propagate into thread-pool
+    # workers, so chunk closures carry both explicitly (None/None → the
+    # zero-cost path). One perf_counter pair feeds both, so the histogram
+    # stays bit-identical to the span when tracing is on — and populated
+    # when it is off.
     rec = current_record()
+    sink = current_chunk_observer()
+    trace_id = rec.trace_id if rec is not None else None
 
     def run(chunk):
         offsets = indptr[int(chunk[0]): int(chunk[-1]) + 2]
-        if rec is None:
+        if rec is None and sink is None:
             into(A, B, mask, semiring, chunk, cols, vals, offsets)
             return
         t0 = time.perf_counter()
         into(A, B, mask, semiring, chunk, cols, vals, offsets)
-        rec.add_span("chunk", t0, time.perf_counter(), kernel=spec.key,
-                     phase="numeric", rows=len(chunk))
+        t1 = time.perf_counter()
+        if rec is not None:
+            rec.add_span("chunk", t0, t1, kernel=spec.key,
+                         phase="numeric", rows=len(chunk))
+        if sink is not None:
+            sink(t1 - t0, spec.key, "numeric", trace_id)
 
     executor.map(run, chunks)
     return CSRMatrix(indptr, cols, vals, out_shape, check=False)
@@ -230,19 +240,25 @@ def parallel_masked_spgemm(
         token = next(_TOKENS)
         _CONTEXTS[token] = (A, B, mask, algorithm, semiring.name)
     # captured on the submitting thread (pool threads don't inherit the
-    # trace contextvar); process pools stay uninstrumented — children
-    # cannot write the parent's record
+    # trace/sink contextvars); process pools stay uninstrumented — children
+    # cannot write the parent's record or registry
     rec = None if is_process else current_record()
+    sink = None if is_process else current_chunk_observer()
+    trace_id = rec.trace_id if rec is not None else None
 
     def timed(fn, phase):
-        if rec is None:
+        if rec is None and sink is None:
             return fn
 
         def wrapped(chunk):
             t0 = time.perf_counter()
             out = fn(chunk)
-            rec.add_span("chunk", t0, time.perf_counter(), kernel=spec.key,
-                         phase=phase, rows=len(chunk))
+            t1 = time.perf_counter()
+            if rec is not None:
+                rec.add_span("chunk", t0, t1, kernel=spec.key,
+                             phase=phase, rows=len(chunk))
+            if sink is not None:
+                sink(t1 - t0, spec.key, phase, trace_id)
             return out
         return wrapped
 

@@ -56,8 +56,8 @@ from ..errors import AlgorithmError, ShapeError
 from ..core.registry import BASELINE_KEYS, NATIVE_BASE
 from ..mask import Mask
 from ..native import warmup as native_warmup
-from ..obs import MetricsRegistry, Tracer, span
-from ..obs.metrics import CHUNK_BUCKETS
+from ..obs import FlightRecorder, MetricsRegistry, SLOEvaluator, Tracer, span
+from ..obs.metrics import CHUNK_BUCKETS, chunk_observer
 from ..resilience import (CircuitBreaker, DeadlineExceeded, FaultPlan,
                           InjectedFault, RetryPolicy, apply_fault,
                           resolve_deadline)
@@ -286,6 +286,16 @@ class Engine:
     faults : :class:`~repro.resilience.FaultPlan` chaos seam — defaults to
         ``FaultPlan.from_env()`` (the ``REPRO_FAULTS`` variable), so the CI
         chaos leg can inject worker kills into an unmodified server.
+    slos : optional list of :class:`~repro.obs.SLObjective` (what ``serve
+        --slo p99=50ms:0.99`` parses). When given, the engine owns an
+        :class:`~repro.obs.SLOEvaluator` (``engine.slo``) exporting
+        ``repro_slo_*`` burn-rate families over this registry and backing
+        the sidecar's ``/slo`` endpoint.
+    flight : optional :class:`~repro.obs.FlightRecorder`; the engine builds
+        its own by default (ring of request summaries + debug-bundle
+        capture whenever a resilience edge fires — retry exhaustion,
+        degrade, breaker trip, deadline shed), wired with a context probe
+        reporting live breaker/pool/cache state into each bundle.
     """
 
     def __init__(self, store: MatrixStore | None = None,
@@ -302,7 +312,9 @@ class Engine:
                  tracing: bool = True,
                  retry: RetryPolicy | None = None,
                  breaker: CircuitBreaker | None = None,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 slos: list | None = None,
+                 flight: FlightRecorder | None = None):
         self.store = store if store is not None else MatrixStore(budget_bytes)
         self.plans = plan_cache if plan_cache is not None else PlanCache(plan_capacity)
         if result_cache is None and result_cache_bytes is not None:
@@ -321,13 +333,13 @@ class Engine:
             self.results.bind_metrics(self.metrics)
         self._chunk_seconds = self.metrics.histogram(
             "repro_chunk_seconds",
-            "per-chunk kernel wall time (derived from trace spans; "
-            "populated while tracing is enabled)",
+            "per-chunk kernel wall time (recorded at the runner/worker "
+            "call sites; populated with tracing on or off)",
             labels=("kernel", "phase"), buckets=CHUNK_BUCKETS)
         self._scatter_seconds = self.metrics.histogram(
             "repro_shard_scatter_seconds",
-            "coordinator-side shard fan-out wall time (derived from trace "
-            "spans; populated while tracing is enabled)",
+            "coordinator-side shard fan-out wall time (recorded at the "
+            "coordinator call site; populated with tracing on or off)",
             labels=("phase",))
         self._trace_seq = itertools.count(1)
         self._lock = threading.Lock()
@@ -337,6 +349,15 @@ class Engine:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.faults = faults if faults is not None else FaultPlan.from_env()
         self.breaker.bind_metrics(self.metrics)
+        # diagnosis layer (PR 10): burn-rate SLOs over this registry, and a
+        # flight recorder capturing debug bundles on resilience edges
+        self.slo = (SLOEvaluator(self.metrics, list(slos),
+                                 tracer=self.tracer)
+                    if slos else None)
+        self.flight = (flight if flight is not None else
+                       FlightRecorder(registry=self.metrics,
+                                      tracer=self.tracer,
+                                      context=self._flight_context))
         self._retries = self.metrics.counter(
             "repro_retries_total",
             "same-tier retry attempts by tier and outcome",
@@ -385,7 +406,10 @@ class Engine:
             from ..shard import ShardCoordinator, shared_memory_available
 
             if shared_memory_available():
-                self.shards = ShardCoordinator(shards, faults=self.faults)
+                self.shards = ShardCoordinator(
+                    shards, faults=self.faults,
+                    chunk_observer=self._observe_chunk,
+                    scatter_observer=self._observe_scatter)
                 store_ref = self.shards.store
                 self.metrics.gauge(
                     "repro_shm_segment_bytes",
@@ -866,31 +890,87 @@ class Engine:
                     if self.tracer.enabled else "")
         with self.tracer.trace(trace_id, tag=tag, algorithm=algorithm,
                                phases=phases) as rec:
-            try:
-                return self._execute_traced(
-                    A, B, mask, a_fp, b_fp, mask_fp, algorithm=algorithm,
-                    phases=phases, semiring=semiring, tag=tag,
-                    request=request, value_fps=value_fps,
-                    trace_id=trace_id, versions=versions,
-                    plan_free=plan_free)
-            except DeadlineExceeded as exc:
-                self._deadline_total.inc(stage=exc.stage or "engine")
-                raise
-            finally:
-                if rec is not None:
-                    self._harvest_spans(rec)
+            with chunk_observer(self._observe_chunk):
+                try:
+                    resp = self._execute_traced(
+                        A, B, mask, a_fp, b_fp, mask_fp, algorithm=algorithm,
+                        phases=phases, semiring=semiring, tag=tag,
+                        request=request, value_fps=value_fps,
+                        trace_id=trace_id, versions=versions,
+                        plan_free=plan_free)
+                except DeadlineExceeded as exc:
+                    self._deadline_total.inc(stage=exc.stage or "engine")
+                    if rec is not None:
+                        rec.attrs["outcome"] = "deadline"
+                    self._flight_capture(
+                        "deadline",
+                        detail=f"stage={exc.stage or 'engine'} tag={tag}",
+                        record=rec)
+                    raise
+                except Exception as exc:
+                    if rec is not None:
+                        rec.attrs["outcome"] = f"error:{type(exc).__name__}"
+                    raise
+            if rec is not None:
+                rec.attrs["outcome"] = "ok"
+                rec.attrs["tier"] = resp.stats.serving_tier
+                if resp.stats.kernel_tier:
+                    rec.attrs["kernel_tier"] = resp.stats.kernel_tier
+            return resp
 
-    def _harvest_spans(self, rec) -> None:
-        """Derive the chunk/scatter histograms from the request's finished
-        trace spans: the span timing is the single measurement, the metrics
-        a bucketed view of it (so they populate while tracing is on)."""
-        for sp in rec.find("chunk"):
-            self._chunk_seconds.observe(
-                sp.seconds, kernel=str(sp.attrs.get("kernel", "")),
-                phase=str(sp.attrs.get("phase", "numeric")))
-        for sp in rec.find("shard.scatter"):
-            self._scatter_seconds.observe(
-                sp.seconds, phase=str(sp.attrs.get("phase", "")))
+    # ------------------------------------------------------------------ #
+    # call-site observation + flight capture
+    # ------------------------------------------------------------------ #
+    def _observe_chunk(self, seconds: float, kernel: str, phase: str,
+                      trace_id: str | None = None) -> None:
+        """Chunk-timing sink: installed per request via
+        :func:`~repro.obs.metrics.chunk_observer` (in-process runners
+        capture it on the submitting thread) and handed to the shard
+        coordinator for worker-timed chunks. The call site's own
+        ``perf_counter`` pair feeds the histogram, so
+        ``repro_chunk_seconds`` populates with tracing disabled and stays
+        bit-identical to the span timing with it enabled."""
+        if trace_id:
+            self._chunk_seconds.observe_traced(seconds, trace_id,
+                                               kernel=kernel, phase=phase)
+        else:
+            self._chunk_seconds.observe(seconds, kernel=kernel, phase=phase)
+
+    def _observe_scatter(self, seconds: float, phase: str,
+                         trace_id: str | None = None) -> None:
+        if trace_id:
+            self._scatter_seconds.observe_traced(seconds, trace_id,
+                                                 phase=phase)
+        else:
+            self._scatter_seconds.observe(seconds, phase=phase)
+
+    def _note_degrade(self, frm: str, to: str, error: str = "") -> None:
+        """Count a tier downgrade and flight-record it — every degrade is
+        a resilience edge worth a debug bundle (rate-limited per reason)."""
+        self._degraded.inc(**{"from": frm, "to": to})
+        detail = f"{frm}->{to}" + (f" ({error})" if error else "")
+        self._flight_capture("degrade", detail=detail)
+
+    def _flight_capture(self, reason: str, detail: str = "",
+                        record=None) -> None:
+        if self.flight is not None:
+            self.flight.capture(reason, detail=detail, record=record)
+
+    def _flight_context(self) -> dict:
+        """Live owner state snapshotted into every debug bundle."""
+        ctx: dict = {
+            "breaker": {"state": self.breaker.state},
+            "shard_degraded": self.shard_degraded,
+            "closed": self._closed,
+        }
+        shards = self.shards
+        if shards is not None:
+            ctx["shards"] = {
+                "nshards": getattr(shards, "nshards", None),
+                "segment_pool": dict(getattr(
+                    getattr(shards, "segment_pool", None), "stats", {}) or {}),
+            }
+        return ctx
 
     def _build_plan_cold(self, A, B, mask, algorithm, phases,
                          request, deadline=None) -> SymbolicPlan:
@@ -932,9 +1012,13 @@ class Engine:
                     self.breaker.record_failure()
                     if self.breaker.state == "open":
                         self.shards.quiesce()
+                        self._flight_capture(
+                            "breaker_open",
+                            detail=f"symbolic {type(exc).__name__}: {exc}")
                     else:
                         self._heal_shards()
-                self._degraded.inc(**{"from": "shard", "to": "inprocess"})
+                self._note_degrade("shard", "inprocess",
+                                   error=type(exc).__name__)
         return build_plan(A, B, mask, algorithm=algorithm, phases=phases)
 
     # ------------------------------------------------------------------ #
@@ -981,7 +1065,8 @@ class Engine:
                 # incl. a worker's attach losing a race with operand
                 # re-registration; serves in-process, no breaker count
                 self.shard_degraded = True
-                self._degraded.inc(**{"from": "shard", "to": "inprocess"})
+                self._note_degrade("shard", "inprocess",
+                                   error="SegmentMissing")
                 return None
             except (ShardError, OSError, InjectedFault) as exc:
                 # InjectedFault from a worker counts as the worker error
@@ -994,6 +1079,9 @@ class Engine:
                     # with the in-process kernels (the half-open probe's
                     # dispatch respawns it)
                     self.shards.quiesce()
+                    self._flight_capture(
+                        "breaker_open",
+                        detail=f"numeric {type(exc).__name__}: {exc}")
                 elif isinstance(exc, WorkerDied):
                     self._heal_shards()
                 attempt += 1
@@ -1001,8 +1089,12 @@ class Engine:
                         or not self.breaker.allow()):
                     if attempt > 1:
                         self._retries.inc(tier="shard", outcome="failure")
-                    self._degraded.inc(**{"from": "shard",
-                                          "to": "inprocess"})
+                        self._flight_capture(
+                            "retry_exhausted",
+                            detail=f"tier=shard attempts={attempt} "
+                                   f"error={type(exc).__name__}")
+                    self._note_degrade("shard", "inprocess",
+                                       error=type(exc).__name__)
                     return None
                 if deadline is not None:
                     deadline.check("engine", "shard retry")
@@ -1047,7 +1139,8 @@ class Engine:
             if base is not None:
                 # compiled rung failed: replay the plan on its fused base
                 # kernel before resorting to the loop tier
-                self._degraded.inc(**{"from": "native", "to": "fused"})
+                self._note_degrade("native", "fused",
+                                   error=type(exc).__name__)
                 with span("degrade", tier="fused",
                           error=type(exc).__name__,
                           **{"from": "native", "to": "fused"}):
@@ -1067,7 +1160,8 @@ class Engine:
                         return result
                     except (InjectedFault, MemoryError) as exc2:
                         exc, plan = exc2, fused_plan
-            self._degraded.inc(**{"from": "inprocess", "to": "loop"})
+            self._note_degrade("inprocess", "loop",
+                               error=type(exc).__name__)
             with span("degrade", tier="loop", error=type(exc).__name__,
                       **{"from": "inprocess", "to": "loop"}):
                 loop_plan = SymbolicPlan(algorithm="msa-loop",
@@ -1116,6 +1210,8 @@ class Engine:
                 stats.total_seconds = time.perf_counter() - t_start
                 with self._lock:
                     self.stats.record(stats)
+                if self.flight is not None:
+                    self.flight.note_request(stats.as_summary())
                 return Response(result=cached.matrix, stats=stats, tag=tag,
                                 request=request)
 
@@ -1176,8 +1272,8 @@ class Engine:
                 else:
                     # breaker open: route around the pool without paying a
                     # scatter-and-fail round trip per request
-                    self._degraded.inc(**{"from": "shard",
-                                          "to": "inprocess"})
+                    self._note_degrade("shard", "inprocess",
+                                       error="breaker_open")
             if result is None:
                 result = self._inprocess_tiers(A, B, mask, plan, algorithm,
                                                phases, semiring, deadline,
@@ -1214,6 +1310,8 @@ class Engine:
                                          stats.algorithm or algorithm,
                                          flops=flops)
             self.stats.record(stats)
+        if self.flight is not None:
+            self.flight.note_request(stats.as_summary())
         return Response(result=result, stats=stats, tag=tag, request=request)
 
     # ------------------------------------------------------------------ #

@@ -152,6 +152,38 @@ class RequestStats:
                                    # is off); fetch the flame view at
                                    # /trace/<trace_id>.json while retained
 
+    @property
+    def serving_tier(self) -> str:
+        """Where this request was answered — the label
+        ``repro_engine_requests_total{tier=...}`` counts it under:
+        ``result`` (whole output from the result cache), ``warm``
+        (plan-cache hit), ``cold`` (plan built), ``unplanned``
+        (baselines / plan-free)."""
+        if self.result_cache_hit:
+            return "result"
+        if not self.planned:
+            return "unplanned"
+        return "warm" if self.plan_cache_hit else "cold"
+
+    def as_summary(self) -> dict:
+        """Compact JSON-able summary for the flight recorder's request
+        ring: enough to reconstruct what a request did without holding
+        the matrices or the trace."""
+        return {
+            "trace_id": self.trace_id,
+            "tier": self.serving_tier,
+            "algorithm": self.algorithm,
+            "kernel_tier": self.kernel_tier,
+            "phases": self.phases,
+            "sharded": self.sharded,
+            "direct_write": self.direct_write,
+            "plan_seconds": round(self.plan_seconds, 6),
+            "numeric_seconds": round(self.numeric_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "queued_seconds": round(self.queued_seconds, 6),
+            "output_nnz": self.output_nnz,
+        }
+
     def as_row(self) -> list:
         """Flat rendering for tables/CSV (bench + CLI reporting)."""
         return [self.algorithm, self.phases,

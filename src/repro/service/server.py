@@ -389,6 +389,11 @@ class AsyncServer:
     def _shed(self, stage: str, detail: str = "") -> None:
         """Record and raise a deadline shed at ``stage``."""
         self.stats.note_shed(stage)
+        flight = getattr(self.engine, "flight", None)
+        if flight is not None:
+            # a shed is a resilience edge: flight-record it with the
+            # server-side stage (engine-side sheds capture in _execute)
+            flight.capture("deadline", detail=f"stage={stage} {detail}")
         extra = f" ({detail})" if detail else ""
         raise DeadlineExceeded(f"deadline exceeded at {stage}{extra}",
                                stage=stage)

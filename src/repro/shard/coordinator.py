@@ -44,6 +44,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import threading
+import time
 import weakref
 
 import numpy as np
@@ -97,10 +98,17 @@ class ShardCoordinator:
         chaos seam. The coordinator does the fault *counting* here in one
         process and ships each fired spec on exactly one task's arguments,
         so "kill one worker" kills exactly one, deterministically.
+    chunk_observer : optional ``fn(seconds, kernel, phase, trace_id)`` sink
+        fed each worker-timed chunk parent-side after a scatter — the
+        engine wires ``repro_chunk_seconds`` in, so per-chunk timings
+        populate even with tracing disabled.
+    scatter_observer : optional ``fn(seconds, phase, trace_id)`` sink fed
+        the coordinator-side fan-out wall time of each scatter
+        (``repro_shard_scatter_seconds``), measured at this call site.
     """
 
     def __init__(self, nshards: int, *, store: ShardedMatrixStore | None = None,
-                 faults=None):
+                 faults=None, chunk_observer=None, scatter_observer=None):
         if nshards <= 0:
             raise ShardError(f"nshards must be positive, got {nshards}")
         self.nshards = int(nshards)
@@ -110,6 +118,8 @@ class ShardCoordinator:
         self.segment_pool = SegmentPool(self.store.registry)
         self.planner = ShardPlanner(self.nshards)
         self.faults = faults
+        self._chunk_observer = chunk_observer
+        self._scatter_observer = scatter_observer
         self._pool = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -328,10 +338,18 @@ class ShardCoordinator:
                   algorithm, lo, hi, rec is not None,
                   fault if i == 0 else None)
                  for i, (lo, hi) in enumerate(ranges)]
+        t0 = time.perf_counter()
         with span("shard.scatter", phase="symbolic", nshards=len(tasks),
                   kernel=algorithm) as scatter:
             results = self._scatter(worker_mod.symbolic_task, tasks,
                                     deadline=deadline)
+        t1 = time.perf_counter()
+        if self._scatter_observer is not None:
+            # span measurement when tracing (metric == trace), our own
+            # perf_counter pair otherwise
+            self._scatter_observer(
+                scatter.seconds if scatter is not None else t1 - t0,
+                "symbolic", rec.trace_id if rec is not None else None)
         self.tasks += len(tasks)
         parts = [sizes for sizes, _ in results]
         if rec is not None:
@@ -399,10 +417,12 @@ class ShardCoordinator:
                       out_handle, rec is not None,
                       fault if i == 0 else None)
                      for i, sp in enumerate(shard_plans)]
+            t0 = time.perf_counter()
             with span("shard.scatter", phase="numeric", nshards=len(tasks),
                       kernel=plan.algorithm) as scatter:
                 results = self._scatter(worker_mod.numeric_task, tasks,
                                         deadline=deadline)
+            t1 = time.perf_counter()
         except BaseException:
             # worker failure (stale plan, kernel error, dead pool): the
             # output segment must not outlive the request it belonged to —
@@ -414,10 +434,23 @@ class ShardCoordinator:
             raise
         self.tasks += len(tasks)
         self.products += 1
+        trace_id = rec.trace_id if rec is not None else None
+        if self._scatter_observer is not None:
+            self._scatter_observer(
+                scatter.seconds if scatter is not None else t1 - t0,
+                "numeric", trace_id)
+        if self._chunk_observer is not None:
+            # workers time their chunks unconditionally; feeding the sink
+            # parent-side keeps repro_chunk_seconds populated with tracing
+            # off (the engine used to harvest these from merged spans)
+            for _, _, chunk_secs in results:
+                for secs in chunk_secs:
+                    self._chunk_observer(secs, plan.algorithm, "numeric",
+                                         trace_id)
         if rec is not None:
             # fold the workers' span payloads into the request trace,
             # nesting them under the scatter span that dispatched them
-            for _, payload in results:
+            for _, payload, _ in results:
                 if payload:
                     rec.merge(payload, parent_id=(scatter.span_id
                                                   if scatter else None))

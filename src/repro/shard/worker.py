@@ -27,6 +27,7 @@ pickled, and attachments never own segment names (see
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -146,15 +147,19 @@ def _shard_chunks(A, B, mask, algorithm: str, row_lo: int, row_hi: int,
 # --------------------------------------------------------------------- #
 # task entry points (top-level: must pickle under fork *and* spawn)
 # --------------------------------------------------------------------- #
-def numeric_task(args) -> tuple[int, list | None]:
+def numeric_task(args) -> tuple[int, list | None, list[float]]:
     """Compute one shard's rows straight into the shared output arrays.
 
-    Returns ``(nnz, spans)``: the shard's nnz (cheap progress telemetry)
-    plus — when the coordinator asked for span collection — the worker's
-    trace spans as a picklable payload the coordinator merges into the
-    request's record (``perf_counter`` is CLOCK_MONOTONIC, shared across
-    forked children, so the timestamps land on the parent's axis). Size
-    validation happens inside ``numeric_rows_into`` (via
+    Returns ``(nnz, spans, chunk_seconds)``: the shard's nnz (cheap
+    progress telemetry), — when the coordinator asked for span collection —
+    the worker's trace spans as a picklable payload the coordinator merges
+    into the request's record (``perf_counter`` is CLOCK_MONOTONIC, shared
+    across forked children, so the timestamps land on the parent's axis),
+    and the per-chunk kernel wall times. Chunks are *always* timed — the
+    coordinator feeds them to the engine's ``repro_chunk_seconds`` sink
+    parent-side, so the histogram populates with tracing off; with tracing
+    on each timing is the chunk span's own measurement, bit-identical to
+    the trace. Size validation happens inside ``numeric_rows_into`` (via
     ``write_block_into``), so a stale plan raises *here*, before any
     out-of-slice write, and the error propagates to the coordinator pickled.
     """
@@ -166,21 +171,22 @@ def numeric_task(args) -> tuple[int, list | None]:
     # worker, mid-scatter (kill → dead process, error → pickled exception)
     apply_fault(fault)
     if not collect_spans:
-        return _numeric_shard(a_handle, b_handle, mask_handle, complemented,
-                              out_shape, algorithm, semiring_name, row_lo,
-                              row_hi, out_handle), None
+        nnz, chunk_secs = _numeric_shard(
+            a_handle, b_handle, mask_handle, complemented, out_shape,
+            algorithm, semiring_name, row_lo, row_hi, out_handle)
+        return nnz, None, chunk_secs
     with capture("shard") as rec:
         with span("shard.task", phase="numeric", kernel=algorithm,
                   row_lo=row_lo, row_hi=row_hi):
-            nnz = _numeric_shard(a_handle, b_handle, mask_handle,
-                                 complemented, out_shape, algorithm,
-                                 semiring_name, row_lo, row_hi, out_handle)
-    return nnz, rec.payload()
+            nnz, chunk_secs = _numeric_shard(
+                a_handle, b_handle, mask_handle, complemented, out_shape,
+                algorithm, semiring_name, row_lo, row_hi, out_handle)
+    return nnz, rec.payload(), chunk_secs
 
 
 def _numeric_shard(a_handle, b_handle, mask_handle, complemented, out_shape,
                    algorithm, semiring_name, row_lo, row_hi,
-                   out_handle) -> int:
+                   out_handle) -> tuple[int, list[float]]:
     A = _matrix(a_handle)
     B = _matrix(b_handle)
     mask = _mask(mask_handle, complemented, out_shape)
@@ -190,17 +196,23 @@ def _numeric_shard(a_handle, b_handle, mask_handle, complemented, out_shape,
                  mask_handle.name if mask_handle else None, complemented,
                  algorithm, row_lo, row_hi)
     chunks = _shard_chunks(A, B, mask, algorithm, row_lo, row_hi, chunk_key)
+    chunk_secs: list[float] = []
     out_seg = attach(out_handle.name)
     try:
         # absolute destination offsets are a zero-copy slice of the shared
         # indptr the coordinator wrote before dispatch
         indptr, out_cols, out_vals = output_arrays(out_handle, out_seg)
         for lo, hi in chunks:
+            t0 = time.perf_counter()
             with span("chunk", kernel=algorithm, phase="numeric",
-                      rows=hi - lo):
+                      rows=hi - lo) as sp:
                 spec.numeric_into(A, B, mask, semiring,
                                   np.arange(lo, hi, dtype=INDEX_DTYPE),
                                   out_cols, out_vals, indptr[lo:hi + 1])
+            t1 = time.perf_counter()
+            # the span's measurement when tracing (so metric == trace);
+            # our own perf_counter pair otherwise
+            chunk_secs.append(sp.seconds if sp is not None else t1 - t0)
         nnz = int(indptr[row_hi] - indptr[row_lo])
         del indptr, out_cols, out_vals  # release buffer exports
     finally:
@@ -210,7 +222,7 @@ def _numeric_shard(a_handle, b_handle, mask_handle, complemented, out_shape,
             out_seg.close()
         except BufferError:  # pragma: no cover - exports above always freed
             pass
-    return nnz
+    return nnz, chunk_secs
 
 
 def symbolic_task(args) -> tuple[np.ndarray, list | None]:

@@ -231,7 +231,12 @@ def test_http_server_routes():
             families = parse_exposition(r.read().decode())
         assert families["repro_hits_total"][()] == 3.0
         with urllib.request.urlopen(f"{obs.url}/traces", timeout=5) as r:
-            assert json.loads(r.read())["traces"] == ["r9"]
+            entries = json.loads(r.read())["traces"]
+        # scannable summaries, not bare ids: duration + start offset + size
+        assert [e["id"] for e in entries] == ["r9"]
+        assert entries[0]["spans"] == 1
+        assert entries[0]["seconds"] >= 0
+        assert entries[0]["start_offset"] == 0.0
         with urllib.request.urlopen(f"{obs.url}/trace/r9.json", timeout=5) as r:
             doc = json.loads(r.read())
         assert any(e["name"] == "numeric" for e in doc["traceEvents"])

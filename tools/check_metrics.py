@@ -7,8 +7,11 @@ serves a handful of requests, then validates over actual HTTP that
 * ``GET /metrics`` returns strict Prometheus text exposition
   (:func:`repro.obs.parse_exposition` — HELP/TYPE lines, escaped labels,
   monotone cumulative histogram buckets) carrying non-zero engine request
-  counters and the expected metric families;
-* ``GET /traces`` lists every retained request id;
+  counters, the expected metric families (``repro_slo_*`` included), and
+  well-formed OpenMetrics exemplars on the latency histograms whose trace
+  ids resolve;
+* ``GET /slo`` reports burn rates for the configured objective;
+* ``GET /traces`` lists every retained request with duration/tier/outcome;
 * ``GET /trace/<id>.json`` returns Chrome-trace JSON whose complete events
   cover the serving span taxonomy (symbolic.cold → numeric → cache on the
   cold request), loadable by Perfetto / chrome://tracing as-is;
@@ -47,6 +50,12 @@ REQUIRED_FAMILIES = (
     # retry/degrade/deadline counters only appear after their first
     # increment, so the chaos smoke gate asserts those instead
     "repro_breaker_state",
+    # SLO layer (PR 10): all five families render from evaluator init
+    "repro_slo_target",
+    "repro_slo_burn_rate",
+    "repro_slo_error_budget_remaining",
+    "repro_slo_alerting",
+    "repro_slo_alerts_total",
 )
 
 #: spans a cold two-phase request must record
@@ -61,19 +70,21 @@ def _fetch(url: str) -> bytes:
 def check() -> list[str]:
     import numpy as np
 
-    from repro.obs import ObsHTTPServer, parse_exposition
+    from repro.obs import ObsHTTPServer, parse_exposition, parse_slo
     from repro.service import Engine, Request
     from repro.sparse import csr_random
 
     problems: list[str] = []
     rng = np.random.default_rng(7)
-    engine = Engine(result_cache_bytes=1 << 20)
+    engine = Engine(result_cache_bytes=1 << 20,
+                    slos=[parse_slo("p99=50ms:0.99")])
     engine.register("A", csr_random(200, 200, density=0.05, rng=rng))
     engine.register("M", csr_random(200, 200, density=0.05, rng=rng))
     responses = [engine.submit(Request(a="A", b="A", mask="M", phases=2))
                  for _ in range(3)]
 
-    with ObsHTTPServer(engine.metrics, engine.tracer) as obs:
+    with ObsHTTPServer(engine.metrics, engine.tracer, slo=engine.slo,
+                       flight=engine.flight) as obs:
         # -- /metrics: strict exposition + expected families ------------- #
         body = _fetch(f"{obs.url}/metrics").decode()
         try:
@@ -91,12 +102,48 @@ def check() -> list[str]:
                 f"repro_engine_requests_total {served:.0f} < "
                 f"{len(responses)} submitted requests")
 
-        # -- /traces lists every retained request ------------------------ #
-        ids = json.loads(_fetch(f"{obs.url}/traces"))["traces"]
+        # -- exemplars: well-formed OpenMetrics syntax, resolvable ids --- #
+        try:
+            _, exemplars = parse_exposition(body, return_exemplars=True)
+        except ValueError as e:
+            problems.append(f"exemplar syntax does not parse: {e}")
+            exemplars = {}
+        req_ex = exemplars.get("repro_request_seconds_bucket", {})
+        if not req_ex:
+            problems.append(
+                "repro_request_seconds buckets carry no exemplars despite "
+                "tracing being on")
+        for expairs, exvalue, _exts in req_ex.values():
+            trace_id = dict(expairs).get("trace_id", "")
+            if engine.tracer.get(trace_id) is None:
+                problems.append(f"exemplar trace {trace_id!r} not retained")
+            if not exvalue > 0:
+                problems.append(
+                    f"exemplar on {trace_id!r} has value {exvalue}")
+
+        # -- /slo reports burn rates for the configured objective -------- #
+        slos = json.loads(_fetch(f"{obs.url}/slo"))["slos"]
+        if [s["slo"] for s in slos] != ["p99"]:
+            problems.append(f"/slo objectives {[s['slo'] for s in slos]} "
+                            f"!= ['p99']")
+        for s in slos:
+            for window in ("fast", "slow"):
+                if window not in s["windows"]:
+                    problems.append(f"/slo {s['slo']} lacks {window} window")
+
+        # -- /traces lists every retained request with its summary ------- #
+        entries = json.loads(_fetch(f"{obs.url}/traces"))["traces"]
+        ids = [e.get("id") for e in entries]
         want_ids = [r.stats.trace_id for r in responses]
         missing = [i for i in want_ids if i not in ids]
         if missing:
             problems.append(f"/traces missing ids {missing}")
+        for e in entries:
+            lacking = {"id", "seconds", "start_offset", "spans",
+                       "tier", "outcome"} - set(e)
+            if lacking:
+                problems.append(
+                    f"/traces entry {e.get('id')} lacks {sorted(lacking)}")
 
         # -- /trace/<id>.json: Chrome JSON with the span taxonomy -------- #
         doc = json.loads(_fetch(f"{obs.url}/trace/{want_ids[0]}.json"))
